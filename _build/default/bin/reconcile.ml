@@ -1,0 +1,303 @@
+(* Command-line driver: generate a synthetic workload, run a reconciliation
+   protocol on it, and report correctness plus honest communication costs.
+
+     dune exec bin/reconcile.exe -- sets -n 10000 -d 20 --method cpi
+     dune exec bin/reconcile.exe -- sos --children 100 --edits 8 --protocol cascade
+     dune exec bin/reconcile.exe -- db --columns 256 --rows 500 --flips 12
+     dune exec bin/reconcile.exe -- graph --scheme order -d 2
+     dune exec bin/reconcile.exe -- forest -n 400 --sigma 5 -d 3
+     dune exec bin/reconcile.exe -- estimate -n 5000 -d 100
+     dune exec bin/reconcile.exe -- sos3 --edits 3
+     dune exec bin/reconcile.exe -- multiparty -k 5 --drift 10
+     dune exec bin/reconcile.exe -- twoway -d 20 *)
+
+module Prng = Ssr_util.Prng
+module Iset = Ssr_util.Iset
+module Comm = Ssr_setrecon.Comm
+module Set_recon = Ssr_setrecon.Set_recon
+module Cpi = Ssr_setrecon.Cpi_recon
+module L0 = Ssr_sketch.L0_estimator
+module Strata = Ssr_sketch.Strata_estimator
+module Parent = Ssr_core.Parent
+module Protocol = Ssr_core.Protocol
+module Bindb = Ssr_apps.Bindb
+module Gnp = Ssr_graphs.Gnp
+module Graph = Ssr_graphs.Graph
+module Planted = Ssr_graphs.Planted
+module Nsig = Ssr_graphs.Neighbor_degree_sig
+module Forest = Ssr_graphs.Forest
+module Degree_order = Ssr_graphrecon.Degree_order
+module Degree_nbr = Ssr_graphrecon.Degree_nbr
+module Forest_recon = Ssr_graphrecon.Forest_recon
+
+open Cmdliner
+
+let seed_term =
+  let doc = "Random seed (hex or decimal)." in
+  Arg.(value & opt int64 42L & info [ "seed" ] ~doc)
+
+let protocol_term =
+  let kinds = [ ("naive", Protocol.Naive); ("iblt-of-iblts", Protocol.Iblt_of_iblts);
+                ("cascade", Protocol.Cascade); ("multiround", Protocol.Multiround) ] in
+  let doc = "Set-of-sets protocol: naive, iblt-of-iblts, cascade or multiround." in
+  Arg.(value & opt (enum kinds) Protocol.Cascade & info [ "protocol" ] ~doc)
+
+let report ~label ~ok stats =
+  Printf.printf "%s: %s  %s\n" label (if ok then "RECOVERED" else "FAILED") (Comm.show_stats stats);
+  if ok then 0 else 1
+
+(* ---- sets ---- *)
+
+let run_sets seed n d method_ =
+  let rng = Prng.create ~seed in
+  let universe = 1 lsl 40 in
+  let alice = Iset.random_subset rng ~universe ~size:n in
+  let bob =
+    Iset.apply_diff alice
+      ~add:(Iset.random_subset rng ~universe ~size:(d / 2))
+      ~del:
+        (let arr = Iset.to_array alice in
+         Iset.of_list (List.init (d - (d / 2)) (fun i -> arr.(i * 7 mod max 1 (Array.length arr)))))
+  in
+  let dd = Iset.sym_diff_size alice bob in
+  Printf.printf "sets: |A|=%d |B|=%d  true diff=%d\n" (Iset.cardinal alice) (Iset.cardinal bob) dd;
+  match method_ with
+  | `Iblt -> (
+    match Set_recon.reconcile_known_d ~seed ~d:dd ~alice ~bob () with
+    | Ok o -> report ~label:"iblt" ~ok:(Iset.equal o.Set_recon.recovered alice) o.Set_recon.stats
+    | Error (`Decode_failure st) -> report ~label:"iblt" ~ok:false st)
+  | `Cpi -> (
+    match Cpi.reconcile_known_d ~seed ~d:dd ~alice ~bob () with
+    | Ok o -> report ~label:"cpi" ~ok:(Iset.equal o.Cpi.recovered alice) o.Cpi.stats
+    | Error (`Bound_too_small st) -> report ~label:"cpi" ~ok:false st)
+  | `Unknown -> (
+    match Set_recon.reconcile_unknown_d ~seed ~alice ~bob () with
+    | Ok o -> report ~label:"unknown-d" ~ok:(Iset.equal o.Set_recon.recovered alice) o.Set_recon.stats
+    | Error (`Decode_failure st) -> report ~label:"unknown-d" ~ok:false st)
+
+let sets_cmd =
+  let n = Arg.(value & opt int 10_000 & info [ "n" ] ~doc:"Set size.") in
+  let d = Arg.(value & opt int 20 & info [ "d" ] ~doc:"Number of differences.") in
+  let m =
+    Arg.(value
+         & opt (enum [ ("iblt", `Iblt); ("cpi", `Cpi); ("unknown", `Unknown) ]) `Iblt
+         & info [ "method" ] ~doc:"iblt, cpi or unknown.")
+  in
+  Cmd.v (Cmd.info "sets" ~doc:"Plain set reconciliation (paper section 2)")
+    Term.(const run_sets $ seed_term $ n $ d $ m)
+
+(* ---- sos ---- *)
+
+let run_sos seed children child_size universe edits unknown kind =
+  let rng = Prng.create ~seed in
+  let bob = Parent.random rng ~universe ~children ~child_size in
+  let alice, _ = Parent.perturb rng ~universe ~edits bob in
+  let d = max edits (Parent.relaxed_matching_cost alice bob) in
+  let h = Parent.max_child_size alice + edits in
+  Printf.printf "sos: s=%d children, n=%d elements, %d edits (d bound %d), protocol %s\n" children
+    (Parent.total_elements bob) edits d (Protocol.name kind);
+  let result =
+    if unknown then Protocol.reconcile_unknown kind ~seed ~u:universe ~h ~alice ~bob ()
+    else Protocol.reconcile_known kind ~seed ~d ~u:universe ~h ~alice ~bob ()
+  in
+  match result with
+  | Ok o -> report ~label:(Protocol.name kind) ~ok:(Parent.equal o.Protocol.recovered alice) o.Protocol.stats
+  | Error (`Decode_failure st) -> report ~label:(Protocol.name kind) ~ok:false st
+
+let sos_cmd =
+  let children = Arg.(value & opt int 100 & info [ "children" ] ~doc:"Child sets per parent (s).") in
+  let child_size = Arg.(value & opt int 50 & info [ "child-size" ] ~doc:"Elements per child.") in
+  let universe = Arg.(value & opt int (1 lsl 24) & info [ "universe" ] ~doc:"Element universe size (u).") in
+  let edits = Arg.(value & opt int 8 & info [ "edits" ] ~doc:"Element edits between the parents (d).") in
+  let unknown = Arg.(value & flag & info [ "unknown" ] ~doc:"Use the unknown-d variant.") in
+  Cmd.v (Cmd.info "sos" ~doc:"Set-of-sets reconciliation (paper section 3)")
+    Term.(const run_sos $ seed_term $ children $ child_size $ universe $ edits $ unknown $ protocol_term)
+
+(* ---- db ---- *)
+
+let run_db seed columns rows flips kind =
+  let rng = Prng.create ~seed in
+  let bob =
+    Bindb.create ~columns
+      ~rows:(List.init rows (fun _ -> Array.init columns (fun _ -> Prng.bernoulli rng 0.5)))
+  in
+  let alice = Bindb.flip_random_bits rng bob flips in
+  Printf.printf "db: %d x %d, %d bit flips, protocol %s\n" rows columns flips (Protocol.name kind);
+  match Bindb.reconcile kind ~seed ~d:(2 * flips) ~alice ~bob () with
+  | Ok (recovered, stats) -> report ~label:"db" ~ok:(Bindb.equal recovered alice) stats
+  | Error (`Decode_failure st) -> report ~label:"db" ~ok:false st
+
+let db_cmd =
+  let columns = Arg.(value & opt int 128 & info [ "columns" ] ~doc:"Labeled columns (u).") in
+  let rows = Arg.(value & opt int 400 & info [ "rows" ] ~doc:"Unlabeled rows (s).") in
+  let flips = Arg.(value & opt int 10 & info [ "flips" ] ~doc:"Flipped bits (d).") in
+  Cmd.v (Cmd.info "db" ~doc:"Binary relational database reconciliation (paper section 1)")
+    Term.(const run_db $ seed_term $ columns $ rows $ flips $ protocol_term)
+
+(* ---- graph ---- *)
+
+let run_graph seed scheme n d =
+  let rng = Prng.create ~seed in
+  match scheme with
+  | `Order -> (
+    let h = 48 + (16 * d) in
+    let base = Planted.separated_instance rng ~n:(max n (10 * h)) ~h ~d () in
+    let alice, bob = Planted.perturbed_pair rng ~base ~d in
+    Printf.printf "graph(order): planted n=%d h=%d d=%d\n" (Graph.n base) h d;
+    match Degree_order.reconcile ~seed ~d ~h ~alice ~bob () with
+    | Ok o ->
+      let ok =
+        match Degree_order.labeled_view alice ~h with
+        | Some la -> Graph.equal o.Degree_order.recovered la
+        | None -> false
+      in
+      report ~label:"degree-order" ~ok o.Degree_order.stats
+    | Error (`Not_separated st) | Error (`Decode_failure st) -> report ~label:"degree-order" ~ok:false st)
+  | `Nbr -> (
+    let p = 0.3 in
+    let alice, bob = Gnp.perturbed_pair rng ~n ~p ~d in
+    let cap = Nsig.default_cap ~n ~p in
+    Printf.printf "graph(nbr): G(%d, %.2f) d=%d cap=%d\n" n p d cap;
+    match Degree_nbr.reconcile ~seed ~d ~cap ~alice ~bob () with
+    | Ok o ->
+      let ok =
+        match Degree_nbr.labeled_view alice ~cap with
+        | Some la -> Graph.equal o.Degree_nbr.recovered la
+        | None -> false
+      in
+      report ~label:"degree-nbr" ~ok o.Degree_nbr.stats
+    | Error (`Not_disjoint st) | Error (`Decode_failure st) -> report ~label:"degree-nbr" ~ok:false st)
+
+let graph_cmd =
+  let scheme =
+    Arg.(value
+         & opt (enum [ ("order", `Order); ("nbr", `Nbr) ]) `Order
+         & info [ "scheme" ] ~doc:"order (section 5.1) or nbr (section 5.2).")
+  in
+  let n = Arg.(value & opt int 480 & info [ "n" ] ~doc:"Vertices.") in
+  let d = Arg.(value & opt int 2 & info [ "d" ] ~doc:"Edge perturbations.") in
+  Cmd.v (Cmd.info "graph" ~doc:"Random graph reconciliation (paper section 5)")
+    Term.(const run_graph $ seed_term $ scheme $ n $ d)
+
+(* ---- forest ---- *)
+
+let run_forest seed n sigma d =
+  let rng = Prng.create ~seed in
+  let bob = Forest.random rng ~n ~max_depth:sigma () in
+  let alice = Forest.random_updates rng ~max_depth:sigma bob d in
+  Printf.printf "forest: n=%d sigma<=%d d=%d\n" n sigma d;
+  match Forest_recon.reconcile_unknown ~seed ~alice ~bob () with
+  | Ok o -> report ~label:"forest" ~ok:(Forest.isomorphic o.Forest_recon.recovered alice) o.Forest_recon.stats
+  | Error (`Decode_failure st) -> report ~label:"forest" ~ok:false st
+
+let forest_cmd =
+  let n = Arg.(value & opt int 400 & info [ "n" ] ~doc:"Vertices.") in
+  let sigma = Arg.(value & opt int 5 & info [ "sigma" ] ~doc:"Depth bound.") in
+  let d = Arg.(value & opt int 3 & info [ "d" ] ~doc:"Edge updates.") in
+  Cmd.v (Cmd.info "forest" ~doc:"Rooted forest reconciliation (paper section 6)")
+    Term.(const run_forest $ seed_term $ n $ sigma $ d)
+
+(* ---- sos3 ---- *)
+
+let run_sos3 seed parents children child_size edits =
+  let module S3 = Ssr_core.Sos3 in
+  let rng = Prng.create ~seed in
+  let mk () = Parent.random rng ~universe:100_000 ~children ~child_size in
+  let bob = S3.of_parents (List.init parents (fun _ -> mk ())) in
+  let alice = S3.perturb rng ~universe:100_000 ~edits bob in
+  let d3, d2, d1 = S3.diff_bounds alice bob in
+  Printf.printf "sos3: %d parents x %d children x %d elements; %d edits (d3=%d d2=%d d=%d)\n"
+    parents children child_size edits d3 d2 d1;
+  match
+    S3.reconcile_known ~seed ~d:(max 1 d1) ~d2:(max 1 d2) ~d3:(max 1 d3) ~alice ~bob ()
+  with
+  | Ok o -> report ~label:"sos3" ~ok:(S3.equal o.S3.recovered alice) o.S3.stats
+  | Error (`Decode_failure st) -> report ~label:"sos3" ~ok:false st
+
+let sos3_cmd =
+  let parents = Arg.(value & opt int 8 & info [ "parents" ] ~doc:"Parent sets in the collection.") in
+  let children = Arg.(value & opt int 10 & info [ "children" ] ~doc:"Child sets per parent.") in
+  let child_size = Arg.(value & opt int 12 & info [ "child-size" ] ~doc:"Elements per child.") in
+  let edits = Arg.(value & opt int 3 & info [ "edits" ] ~doc:"Element edits.") in
+  Cmd.v (Cmd.info "sos3" ~doc:"Sets of sets of sets (paper section 3.2's future work)")
+    Term.(const run_sos3 $ seed_term $ parents $ children $ child_size $ edits)
+
+(* ---- multiparty ---- *)
+
+let run_multiparty seed k n drift =
+  let module MP = Ssr_setrecon.Multi_party in
+  let rng = Prng.create ~seed in
+  let core = Iset.random_subset rng ~universe:(1 lsl 40) ~size:n in
+  let parties =
+    Array.init k (fun _ -> Iset.union core (Iset.random_subset rng ~universe:(1 lsl 41) ~size:drift))
+  in
+  let d = max 1 (MP.pairwise_bound parties) in
+  Printf.printf "multiparty: %d parties, %d-element core, max pairwise diff %d\n" k n d;
+  match MP.reconcile_broadcast ~seed ~d ~parties () with
+  | Ok o ->
+    let union = Array.fold_left Iset.union Iset.empty parties in
+    report ~label:"multiparty" ~ok:(Array.for_all (Iset.equal union) o.MP.per_party) o.MP.stats
+  | Error (`Decode_failure (_, st)) -> report ~label:"multiparty" ~ok:false st
+
+let multiparty_cmd =
+  let k = Arg.(value & opt int 5 & info [ "k" ] ~doc:"Number of parties.") in
+  let n = Arg.(value & opt int 5_000 & info [ "n" ] ~doc:"Core set size.") in
+  let drift = Arg.(value & opt int 10 & info [ "drift" ] ~doc:"Unique elements per party.") in
+  Cmd.v (Cmd.info "multiparty" ~doc:"Multi-party broadcast reconciliation (extension)")
+    Term.(const run_multiparty $ seed_term $ k $ n $ drift)
+
+(* ---- twoway ---- *)
+
+let run_twoway seed n d =
+  let module TW = Ssr_setrecon.Two_way in
+  let rng = Prng.create ~seed in
+  let alice = Iset.random_subset rng ~universe:(1 lsl 40) ~size:n in
+  let bob = Iset.union alice (Iset.random_subset rng ~universe:(1 lsl 41) ~size:d) in
+  let dd = max 1 (Iset.sym_diff_size alice bob) in
+  Printf.printf "twoway: |A|=%d |B|=%d diff=%d\n" (Iset.cardinal alice) (Iset.cardinal bob) dd;
+  match TW.reconcile_known_d ~seed ~d:dd ~alice ~bob () with
+  | Ok o -> report ~label:"twoway" ~ok:(Iset.equal o.TW.union (Iset.union alice bob)) o.TW.stats
+  | Error (`Decode_failure st) -> report ~label:"twoway" ~ok:false st
+
+let twoway_cmd =
+  let n = Arg.(value & opt int 10_000 & info [ "n" ] ~doc:"Set size.") in
+  let d = Arg.(value & opt int 20 & info [ "d" ] ~doc:"Difference size.") in
+  Cmd.v (Cmd.info "twoway" ~doc:"Mutual (two-way) set reconciliation (extension)")
+    Term.(const run_twoway $ seed_term $ n $ d)
+
+(* ---- estimate ---- *)
+
+let run_estimate seed n d =
+  let rng = Prng.create ~seed in
+  let universe = 1 lsl 40 in
+  let alice = Iset.random_subset rng ~universe ~size:n in
+  let extra = Iset.random_subset rng ~universe ~size:d in
+  let bob = Iset.union alice extra in
+  let true_d = Iset.sym_diff_size alice bob in
+  let l0 = L0.create ~seed () in
+  Iset.iter (fun x -> L0.update l0 L0.S1 x) alice;
+  Iset.iter (fun x -> L0.update l0 L0.S2 x) bob;
+  let sa = Strata.create ~seed () and sb = Strata.create ~seed () in
+  Iset.iter (Strata.add sa) alice;
+  Iset.iter (Strata.add sb) bob;
+  Printf.printf "true difference: %d\n" true_d;
+  Printf.printf "l0 estimator     (Thm 3.1): estimate=%-8d size=%d bits\n" (L0.query l0) (L0.size_bits l0);
+  Printf.printf "strata estimator ([14]):    estimate=%-8d size=%d bits\n"
+    (Strata.estimate ~local:sa ~remote:sb) (Strata.size_bits sa);
+  0
+
+let estimate_cmd =
+  let n = Arg.(value & opt int 5_000 & info [ "n" ] ~doc:"Set size.") in
+  let d = Arg.(value & opt int 100 & info [ "d" ] ~doc:"True difference.") in
+  Cmd.v (Cmd.info "estimate" ~doc:"Set-difference estimators (paper Theorem 3.1 / Appendix A)")
+    Term.(const run_estimate $ seed_term $ n $ d)
+
+let () =
+  let info = Cmd.info "reconcile" ~doc:"Protocols from 'Reconciling Graphs and Sets of Sets'" in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            sets_cmd; sos_cmd; db_cmd; graph_cmd; forest_cmd; estimate_cmd; sos3_cmd;
+            multiparty_cmd; twoway_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/database_sync.ml: Array List Printf Ssr_apps Ssr_core Ssr_setrecon Ssr_util String

@@ -1,0 +1,1 @@
+examples/document_collections.ml: List Printf Ssr_apps Ssr_core Ssr_setrecon

@@ -1,0 +1,1 @@
+examples/figure1_ambiguity.ml: Hashtbl List Printf Ssr_graphs String

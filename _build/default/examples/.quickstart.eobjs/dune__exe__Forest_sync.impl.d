@@ -1,0 +1,1 @@
+examples/forest_sync.ml: List Printf Ssr_graphrecon Ssr_graphs Ssr_setrecon Ssr_util

@@ -1,0 +1,1 @@
+examples/graph_sync.ml: Printf Ssr_graphrecon Ssr_graphs Ssr_setrecon Ssr_util

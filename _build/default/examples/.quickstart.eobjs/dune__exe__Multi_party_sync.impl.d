@@ -1,0 +1,1 @@
+examples/multi_party_sync.ml: Array Printf Ssr_setrecon Ssr_util

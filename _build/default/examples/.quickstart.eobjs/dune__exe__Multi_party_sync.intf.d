@@ -1,0 +1,1 @@
+examples/multi_party_sync.mli:

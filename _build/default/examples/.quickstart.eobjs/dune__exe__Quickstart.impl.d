@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Printf Ssr_core Ssr_setrecon Ssr_util

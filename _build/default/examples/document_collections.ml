@@ -1,0 +1,60 @@
+(* Document-collection reconciliation via shingles (paper §1's second
+   motivating application): two mirrors of a document corpus where most
+   documents match exactly, a few were lightly edited, and one is new.
+
+   Run with:  dune exec examples/document_collections.exe *)
+
+module Shingles = Ssr_apps.Shingles
+module Protocol = Ssr_core.Protocol
+module Comm = Ssr_setrecon.Comm
+
+let seed = 0xD0C5L
+
+(* A tiny synthetic corpus: paragraphs with shared vocabulary. *)
+let article i =
+  Printf.sprintf
+    "set reconciliation article %d: alice and bob hold similar data sets and wish to synchronize \
+     them with communication proportional to the difference rather than the data size; this \
+     article explores variant %d of the protocol family including invertible bloom lookup tables \
+     characteristic polynomials and estimators for the difference"
+    i (i mod 7)
+
+let () =
+  let k = 4 in
+  let mirror_docs = List.init 30 (fun i -> Shingles.shingle ~k (article i)) in
+  (* The source: article 7 got a correction, article 19 was rewritten more
+     heavily, and a brand-new press release appeared. *)
+  let corrected = Shingles.shingle ~k (article 7 ^ " correction: the bound holds with high probability") in
+  let rewritten =
+    Shingles.shingle ~k
+      (article 19
+     ^ " moreover the multi round protocol exchanges difference estimators before choosing between \
+        sketches and polynomial evaluations for each differing child set")
+  in
+  let press_release =
+    Shingles.shingle ~k
+      "for immediate release: a research group announced today a library reproducing the paper \
+       reconciling graphs and sets of sets including every protocol and application it describes"
+  in
+  let source_docs =
+    corrected :: rewritten :: press_release
+    :: List.filteri (fun i _ -> i <> 7 && i <> 19) mirror_docs
+  in
+  let source = Shingles.collection source_docs in
+  let mirror = Shingles.collection mirror_docs in
+  Printf.printf "corpus: %d documents at the source, %d at the mirror (k=%d shingles)\n\n"
+    (List.length source_docs) (List.length mirror_docs) k;
+  List.iter
+    (fun kind ->
+      match Shingles.reconcile kind ~seed ~alice:source ~bob:mirror () with
+      | Ok (recovered, cls, stats) ->
+        Printf.printf "%-14s recovered=%b  unchanged=%d near-duplicates=%d fresh=%d  %s\n"
+          (Protocol.name kind)
+          (Shingles.equal recovered source)
+          cls.Shingles.unchanged cls.Shingles.near_duplicates cls.Shingles.fresh (Comm.show_stats stats)
+      | Error _ -> Printf.printf "%-14s failed\n" (Protocol.name kind))
+    [ Protocol.Iblt_of_iblts; Protocol.Cascade; Protocol.Multiround ];
+  print_endline "";
+  print_endline
+    "The classification mirrors the paper's sketch: exact duplicates cost nothing, near-duplicates\n\
+     cost their shingle-set difference, and fresh documents surface as children with no close match."

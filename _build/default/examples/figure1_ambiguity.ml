@@ -1,0 +1,99 @@
+(* Reproduction of Figure 1 (paper §4): two-way graph merging is not well
+   defined. The figure exhibits two graphs where adding one edge to EACH
+   yields isomorphic results in two genuinely different ways — the merged
+   outcomes are not isomorphic to each other — which is why the paper
+   settles for one-way reconciliation.
+
+   Rather than hard-coding the figure, this example searches small graphs
+   exhaustively and prints minimal witnesses, re-deriving the figure's
+   phenomenon constructively.
+
+   Run with:  dune exec examples/figure1_ambiguity.exe *)
+
+module Graph = Ssr_graphs.Graph
+module Iso = Ssr_graphs.Iso
+
+let all_pairs n = List.concat (List.init n (fun a -> List.init (n - a - 1) (fun k -> (a, a + k + 1))))
+
+(* One representative per isomorphism class of graphs on n vertices. *)
+let representatives n =
+  let seen = Hashtbl.create 256 in
+  let out = ref [] in
+  let bits = Iso.code_bits ~n in
+  for code = 0 to (1 lsl bits) - 1 do
+    let edges = List.filteri (fun i _ -> code land (1 lsl i) <> 0) (all_pairs n) in
+    let g = Graph.create ~n ~edges in
+    let canon = Iso.canonical_code g in
+    if not (Hashtbl.mem seen canon) then begin
+      Hashtbl.add seen canon ();
+      out := g :: !out
+    end
+  done;
+  !out
+
+let non_edges g =
+  List.filter (fun (a, b) -> not (Graph.has_edge g a b)) (all_pairs (Graph.n g))
+
+let pp_graph name g =
+  Printf.printf "  %s: edges = %s\n" name
+    (String.concat " " (List.map (fun (a, b) -> Printf.sprintf "%d-%d" a b) (Graph.edges g)))
+
+(* Successor classes: canonical code of g+e -> one witness graph. *)
+let successors g =
+  List.map (fun (a, b) -> let g' = Graph.add_edge g a b in (Iso.canonical_code g', g')) (non_edges g)
+
+let search ~max_witnesses n =
+  Printf.printf "Searching pairs of non-isomorphic %d-vertex graphs with equal edge counts...\n" n;
+  let reps = representatives n in
+  Printf.printf "(%d isomorphism classes)\n\n" (List.length reps);
+  let witnesses = ref 0 in
+  List.iteri
+    (fun i ga ->
+      List.iteri
+        (fun j gb ->
+          if
+            !witnesses < max_witnesses && j > i
+            && Graph.num_edges ga = Graph.num_edges gb
+            && Iso.canonical_code ga <> Iso.canonical_code gb
+          then begin
+            let sa = successors ga and sb = successors gb in
+            (* Distinct merged classes reachable from BOTH sides. *)
+            let merged = Hashtbl.create 8 in
+            List.iter
+              (fun (ca, ga') ->
+                match List.assoc_opt ca sb with
+                | Some gb' when not (Hashtbl.mem merged ca) -> Hashtbl.add merged ca (ga', gb')
+                | _ -> ())
+              sa;
+            if Hashtbl.length merged >= 2 then begin
+              incr witnesses;
+              Printf.printf "WITNESS %d: merging these two graphs is ambiguous.\n" !witnesses;
+              pp_graph "G_A" ga;
+              pp_graph "G_B" gb;
+              Printf.printf "  One edge added to each yields %d non-isomorphic outcomes:\n"
+                (Hashtbl.length merged);
+              let idx = ref 0 in
+              Hashtbl.iter
+                (fun _ (ga', gb') ->
+                  incr idx;
+                  Printf.printf "   outcome %d  (G_A+edge ~ G_B+edge: %b):\n" !idx
+                    (Iso.is_isomorphic ga' gb');
+                  pp_graph "    G_A + edge" ga';
+                  pp_graph "    G_B + edge" gb')
+                merged;
+              print_endline ""
+            end
+          end)
+        reps)
+    reps;
+  !witnesses
+
+let () =
+  let found = search ~max_witnesses:2 4 in
+  let found = if found = 0 then search ~max_witnesses:2 5 else found in
+  if found = 0 then print_endline "No witness found (unexpected)."
+  else
+    Printf.printf
+      "Found %d witness pair(s): exactly the phenomenon of Figure 1. \"The union of two\n\
+       unlabeled graphs\" is ill-defined, so the paper's protocols are one-way.\n"
+      found

@@ -1,0 +1,38 @@
+(* Rooted-forest reconciliation (paper §6): Alice and Bob hold unlabeled
+   rooted forests a few edge updates apart; Bob rebuilds a forest
+   isomorphic to Alice's from reconciled subtree-signature multisets.
+
+   Run with:  dune exec examples/forest_sync.exe *)
+
+module Prng = Ssr_util.Prng
+module Forest = Ssr_graphs.Forest
+module Forest_recon = Ssr_graphrecon.Forest_recon
+module Comm = Ssr_setrecon.Comm
+
+let seed = 0xF04E57L
+
+let () =
+  let rng = Prng.create ~seed in
+  let n = 500 and sigma = 6 in
+  let bob = Forest.random rng ~n ~max_depth:sigma () in
+  let d = 4 in
+  let alice = Forest.random_updates rng ~max_depth:sigma bob d in
+  Printf.printf "forests: n=%d vertices, depth <= %d; %d edge updates apart\n" n sigma d;
+  Printf.printf "Bob:   %d trees, %d edges\n" (List.length (Forest.roots bob)) (Forest.num_edges bob);
+  Printf.printf "Alice: %d trees, %d edges\n\n" (List.length (Forest.roots alice)) (Forest.num_edges alice);
+  (match Forest_recon.reconcile_known ~seed ~d ~sigma ~alice ~bob () with
+  | Ok o ->
+    Printf.printf "known d:   Bob's result isomorphic to Alice's forest: %b  (%s)\n"
+      (Forest.isomorphic o.Forest_recon.recovered alice)
+      (Comm.show_stats o.Forest_recon.stats)
+  | Error _ -> print_endline "known d:   failed; rerun with another seed");
+  (match Forest_recon.reconcile_unknown ~seed ~alice ~bob () with
+  | Ok o ->
+    Printf.printf "unknown d: Bob's result isomorphic to Alice's forest: %b  (%s)\n"
+      (Forest.isomorphic o.Forest_recon.recovered alice)
+      (Comm.show_stats o.Forest_recon.stats)
+  | Error _ -> print_endline "unknown d: failed; rerun with another seed");
+  print_endline "";
+  print_endline
+    "Each edge update only disturbs the signatures of its <= sigma ancestors, so the transfer\n\
+     scales with d*sigma and not with the size of the forests (Theorem 6.1)."

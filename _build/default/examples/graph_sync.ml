@@ -1,0 +1,63 @@
+(* Unlabeled random-graph reconciliation (paper §5): Alice and Bob hold
+   perturbed copies of the same graph WITHOUT shared vertex labels. They
+   agree on a labeling through degree-based vertex signatures, reconcile
+   the signatures as a set of sets, and then the edges as a plain set.
+
+   Run with:  dune exec examples/graph_sync.exe *)
+
+module Prng = Ssr_util.Prng
+module Graph = Ssr_graphs.Graph
+module Gnp = Ssr_graphs.Gnp
+module Planted = Ssr_graphs.Planted
+module Nsig = Ssr_graphs.Neighbor_degree_sig
+module Degree_order = Ssr_graphrecon.Degree_order
+module Degree_nbr = Ssr_graphrecon.Degree_nbr
+module Comm = Ssr_setrecon.Comm
+
+let seed = 0x6AF51CL
+
+let () =
+  let rng = Prng.create ~seed in
+
+  print_endline "=== Degree-ordering scheme (§5.1, Theorem 5.2) ===";
+  let d = 2 and h = 48 in
+  (* Theorem 5.3's G(n,p) regime needs enormous n, so we exercise the
+     protocol on a planted instance certified (h, d+1, 2d+1)-separated. *)
+  let base = Planted.separated_instance rng ~n:480 ~h ~d () in
+  let alice, bob = Planted.perturbed_pair rng ~base ~d in
+  Printf.printf "n=%d vertices, %d edges; %d edge perturbations; h=%d signature bits\n"
+    (Graph.n base) (Graph.num_edges base) d h;
+  (match Degree_order.reconcile ~seed ~d ~h ~alice ~bob () with
+  | Ok o ->
+    let full_transfer = Graph.num_edges alice * 2 * 9 in
+    Printf.printf "Bob rebuilt Alice's graph (as labeled by her signatures): %b\n"
+      (match Degree_order.labeled_view alice ~h with
+      | Some la -> Graph.equal o.Degree_order.recovered la
+      | None -> false);
+    Printf.printf "cost: %s  (resending the edge list ~ %d bits)\n" (Comm.show_stats o.Degree_order.stats) full_transfer
+  | Error (`Not_separated _) -> print_endline "input not separated (precondition violated)"
+  | Error (`Decode_failure _) -> print_endline "sketch decode failed; rerun with another seed");
+
+  print_endline "";
+  print_endline "=== Degree-neighbourhood scheme (§5.2, Theorem 5.6) ===";
+  (* This one works on ordinary G(n,p) at moderate density. *)
+  let d = 1 in
+  let n = 300 and p = 0.3 in
+  let alice, bob = Gnp.perturbed_pair rng ~n ~p ~d in
+  let cap = Nsig.default_cap ~n ~p in
+  Printf.printf "G(%d, %.2f) with %d perturbation; degree cap m = %d\n" n p d cap;
+  if not (Nsig.is_disjoint alice ~cap ~k:((4 * d) + 1)) then
+    print_endline "sampled graph not (m,4d+1)-disjoint; rerun with another seed"
+  else begin
+    match Degree_nbr.reconcile ~seed ~d ~cap ~alice ~bob () with
+    | Ok o ->
+      Printf.printf "Bob rebuilt Alice's graph: %b\n"
+        (match Degree_nbr.labeled_view alice ~cap with
+        | Some la -> Graph.equal o.Degree_nbr.recovered la
+        | None -> false);
+      Printf.printf "cost: %s\n" (Comm.show_stats o.Degree_nbr.stats);
+      print_endline
+        "(as §5.2 predicts, the multiset signatures cost ~pn times more than degree-ordering\n\
+         but tolerate much sparser graphs)"
+    | Error _ -> print_endline "reconciliation failed; rerun with another seed"
+  end

@@ -1,0 +1,1 @@
+lib/apps/bindb.ml: Array Hashtbl List Ssr_core Ssr_setrecon Ssr_util

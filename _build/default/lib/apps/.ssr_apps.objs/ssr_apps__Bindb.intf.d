@@ -1,0 +1,1 @@
+lib/apps/bindb.mli: Ssr_core Ssr_setrecon Ssr_util

@@ -1,0 +1,1 @@
+lib/apps/shingles.ml: Array Buffer Bytes Char List Ssr_core Ssr_setrecon Ssr_util String

@@ -1,0 +1,1 @@
+lib/apps/shingles.mli: Ssr_core Ssr_setrecon Ssr_util

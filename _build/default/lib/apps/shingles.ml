@@ -1,0 +1,81 @@
+module Iset = Ssr_util.Iset
+module Hashing = Ssr_util.Hashing
+module Parent = Ssr_core.Parent
+module Protocol = Ssr_core.Protocol
+module Comm = Ssr_setrecon.Comm
+
+type doc = { shingles : Iset.t }
+
+let words text =
+  let buf = Buffer.create 16 in
+  let out = ref [] in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := Buffer.contents buf :: !out;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | '0' .. '9' -> Buffer.add_char buf c
+      | 'A' .. 'Z' -> Buffer.add_char buf (Char.lowercase_ascii c)
+      | _ -> flush ())
+    text;
+  flush ();
+  List.rev !out
+
+let shingle_hash_fn = Hashing.make ~seed:0x5417D0C5L ~tag:0
+
+let shingle ~k text =
+  if k < 1 then invalid_arg "Shingles.shingle: k must be positive";
+  let ws = Array.of_list (words text) in
+  let window i =
+    let parts = Array.to_list (Array.sub ws i (min k (Array.length ws - i))) in
+    Hashing.hash_bytes shingle_hash_fn (Bytes.of_string (String.concat "\x00" parts))
+  in
+  let count = max 1 (Array.length ws - k + 1) in
+  if Array.length ws = 0 then { shingles = Iset.empty }
+  else { shingles = Iset.of_list (List.init count window) }
+
+let shingle_set d = d.shingles
+
+let resemblance a b =
+  let inter = Iset.cardinal (Iset.inter a.shingles b.shingles) in
+  let union = Iset.cardinal (Iset.union a.shingles b.shingles) in
+  if union = 0 then 1.0 else float_of_int inter /. float_of_int union
+
+type collection = Parent.t
+
+let collection ds = Parent.of_children (List.map shingle_set ds)
+
+let docs c = List.map (fun s -> { shingles = s }) (Parent.children c)
+
+let equal = Parent.equal
+
+type classification = { unchanged : int; near_duplicates : int; fresh : int }
+
+(* Shingle hashes are 62-bit values. *)
+let universe = (1 lsl 62) - 1
+
+let classify ~recovered ~bob =
+  let bob_children = Parent.children bob in
+  let unchanged = ref 0 and near = ref 0 and fresh = ref 0 in
+  List.iter
+    (fun c ->
+      if List.exists (Iset.equal c) bob_children then incr unchanged
+      else begin
+        let cd = { shingles = c } in
+        let best =
+          List.fold_left (fun acc b -> max acc (resemblance cd { shingles = b })) 0.0 bob_children
+        in
+        if best >= 0.5 then incr near else incr fresh
+      end)
+    (Parent.children recovered);
+  { unchanged = !unchanged; near_duplicates = !near; fresh = !fresh }
+
+let reconcile kind ~seed ~alice ~bob () =
+  let h = max 1 (max (Parent.max_child_size alice) (Parent.max_child_size bob)) in
+  match Protocol.reconcile_unknown kind ~seed ~u:universe ~h ~alice ~bob () with
+  | Ok { Protocol.recovered; stats } -> Ok (recovered, classify ~recovered ~bob, stats)
+  | Error (`Decode_failure stats) -> Error (`Decode_failure stats)

@@ -1,0 +1,1 @@
+lib/core/cascade.ml: Array Bytes Direct Encoding List Option Parent Ssr_setrecon Ssr_sketch Ssr_util

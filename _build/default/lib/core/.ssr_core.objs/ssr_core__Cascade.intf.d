@@ -1,0 +1,1 @@
+lib/core/cascade.mli: Parent Ssr_setrecon

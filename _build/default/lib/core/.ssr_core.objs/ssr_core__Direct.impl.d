@@ -1,0 +1,1 @@
+lib/core/direct.ml: Bytes Char List Option Ssr_util

@@ -1,0 +1,1 @@
+lib/core/direct.mli: Bytes Ssr_util

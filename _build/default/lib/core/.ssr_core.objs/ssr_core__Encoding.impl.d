@@ -1,0 +1,1 @@
+lib/core/encoding.ml: Bytes Char Ssr_sketch Ssr_util

@@ -1,0 +1,1 @@
+lib/core/encoding.mli: Bytes Ssr_sketch Ssr_util

@@ -1,0 +1,1 @@
+lib/core/iblt_of_iblts.ml: Bytes Encoding List Option Parent Ssr_setrecon Ssr_sketch Ssr_util

@@ -1,0 +1,1 @@
+lib/core/iblt_of_iblts.mli: Parent Ssr_setrecon

@@ -1,0 +1,1 @@
+lib/core/multiround.ml: Array Float Hashtbl List Parent Ssr_setrecon Ssr_sketch Ssr_util

@@ -1,0 +1,1 @@
+lib/core/multiround.mli: Parent Ssr_setrecon Ssr_sketch

@@ -1,0 +1,1 @@
+lib/core/naive.ml: Direct List Parent Ssr_setrecon Ssr_sketch Ssr_util

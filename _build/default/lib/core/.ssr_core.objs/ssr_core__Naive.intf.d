@@ -1,0 +1,1 @@
+lib/core/naive.mli: Parent Ssr_setrecon Ssr_sketch

@@ -1,0 +1,1 @@
+lib/core/parent.ml: Array Format Hashtbl List Ssr_util Stdlib

@@ -1,0 +1,1 @@
+lib/core/parent.mli: Format Ssr_util

@@ -1,0 +1,1 @@
+lib/core/protocol.ml: Cascade Iblt_of_iblts List Multiround Naive Parent Result Ssr_setrecon Ssr_util

@@ -1,0 +1,1 @@
+lib/core/sos3.ml: Array Bytes Encoding List Option Parent Ssr_setrecon Ssr_sketch Ssr_util

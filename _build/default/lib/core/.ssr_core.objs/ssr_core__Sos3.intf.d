@@ -1,0 +1,1 @@
+lib/core/sos3.mli: Parent Ssr_setrecon Ssr_util

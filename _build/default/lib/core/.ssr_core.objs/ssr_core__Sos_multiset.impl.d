@@ -1,0 +1,1 @@
+lib/core/sos_multiset.ml: Array List Parent Protocol Ssr_setrecon Ssr_util

@@ -1,0 +1,1 @@
+lib/core/sos_multiset.mli: Protocol Ssr_setrecon

@@ -1,0 +1,205 @@
+module Iset = Ssr_util.Iset
+module Bits = Ssr_util.Bits
+module Prng = Ssr_util.Prng
+module Iblt = Ssr_sketch.Iblt
+module Comm = Ssr_setrecon.Comm
+
+type outcome = {
+  recovered : Parent.t;
+  levels : int;
+  used_star : bool;
+  recovered_per_level : int array;
+  stats : Comm.stats;
+}
+
+type error = [ `Decode_failure of Comm.stats ]
+
+let num_levels ~d ~h = max 1 (Bits.ceil_log2 (max 2 (min d h)))
+
+(* Lean child tables: level-i failures are recovered at level i+1, so we do
+   not pay the standalone-reliability slack of Algorithm 1 here. *)
+let child_cells ~k i = max k ((2 * (1 lsl i)) + 2)
+
+let level_config ~seed ~s_bound ~t ~k i : Encoding.config =
+  {
+    child_cells = child_cells ~k i;
+    child_k = k;
+    hash_bits = min 62 ((3 * Bits.ceil_log2 (max 2 (s_bound * (t + 1)))) + 10);
+    seed = Prng.derive ~seed ~tag:(0xCA5C + i);
+  }
+
+let outer_params ~seed ~k ~key_len ~diff_bound i : Iblt.params =
+  {
+    cells = Iblt.recommended_cells ~k ~diff_bound;
+    k;
+    key_len;
+    seed = Prng.derive ~seed ~tag:(0x07E0 + i);
+  }
+
+let run ~comm ~seed ~d ~d_hat ~s_bound ~u ~h ~k ~alice ~bob =
+  let t = num_levels ~d ~h in
+  let use_star = h <= d in
+  let cfgs = Array.init (t + 1) (fun i -> level_config ~seed ~s_bound ~t ~k i) in
+  (* Outer difference bounds: 2*d_hat encodings at level 1; geometrically
+     fewer unrecovered children at the higher levels (the paper's
+     (9/4) d/2^i bound). *)
+  let outer_bound i = if i = 1 then 2 * d_hat else max 4 (min d_hat ((3 * d) lsr i)) in
+  let outers =
+    Array.init (t + 1) (fun i ->
+        if i = 0 then None
+        else
+          Some
+            (outer_params ~seed ~k ~key_len:(Encoding.key_length cfgs.(i)) ~diff_bound:(outer_bound i) i))
+  in
+  let direct_cfg : Direct.config = { u; h } in
+  let star_prm =
+    if use_star then
+      Some
+        (outer_params ~seed ~k ~key_len:(Direct.key_length direct_cfg)
+           ~diff_bound:(max 4 (Bits.ceil_div (3 * d) (max 1 h)))
+           0x55)
+    else None
+  in
+  (* ---- Alice: build and send every level table (one message). ---- *)
+  let alice_children = Parent.children alice in
+  let alice_tables =
+    Array.init (t + 1) (fun i ->
+        match outers.(i) with
+        | None -> None
+        | Some prm ->
+          let table = Iblt.create prm in
+          List.iter (fun c -> Iblt.insert table (Encoding.encode cfgs.(i) c)) alice_children;
+          Some table)
+  in
+  let alice_star =
+    Option.map
+      (fun prm ->
+        let table = Iblt.create prm in
+        List.iter (fun c -> Iblt.insert table (Direct.encode direct_cfg c)) alice_children;
+        table)
+      star_prm
+  in
+  let total_bits =
+    Array.fold_left (fun acc -> function None -> acc | Some tbl -> acc + Iblt.size_bits tbl) 0 alice_tables
+    + (match alice_star with None -> 0 | Some tbl -> Iblt.size_bits tbl)
+    + 64
+  in
+  let alice_hash = Parent.hash ~seed alice in
+  Comm.send comm Comm.A_to_b ~label:"cascade-tables+hash" ~bits:total_bits;
+  (* ---- Bob. ---- *)
+  let bob_children = Parent.children bob in
+  let da = ref [] in
+  let per_level = Array.make (t + if use_star then 1 else 0) 0 in
+  let da_mem c = List.exists (Iset.equal c) !da in
+  let add_da c = if not (da_mem c) then da := c :: !da in
+  (* Level 1: identify D_B and recover what the tiny tables allow. *)
+  let level1 = Option.get alice_tables.(1) in
+  let bob_l1 = Iblt.create (Option.get outers.(1)) in
+  let bob_enc1 = List.map (fun c -> (Encoding.encode cfgs.(1) c, c)) bob_children in
+  List.iter (fun (key, _) -> Iblt.insert bob_l1 key) bob_enc1;
+  match Iblt.decode (Iblt.subtract level1 bob_l1) with
+  | Error `Peel_stuck -> Error `Decode_failure
+  | Ok { positives; negatives } -> (
+    let db =
+      List.filter_map
+        (fun neg -> List.find_opt (fun (key, _) -> Bytes.equal key neg) bob_enc1 |> Option.map snd)
+        negatives
+    in
+    if List.length db <> List.length negatives then Error `Decode_failure
+    else begin
+      let try_level i keys =
+        let recovered_here = ref 0 in
+        List.iter
+          (fun alice_key ->
+            match
+              List.find_map (fun bob_child -> Encoding.try_recover cfgs.(i) ~alice_key ~bob_child) db
+            with
+            | Some child ->
+              if not (da_mem child) then begin
+                add_da child;
+                incr recovered_here
+              end
+            | None -> ())
+          keys;
+        per_level.(i - 1) <- !recovered_here
+      in
+      try_level 1 positives;
+      (* Levels 2..t: delete everything Bob can account for, decode the
+         leftovers (Alice's still-unrecovered children), pair them up. *)
+      for i = 2 to t do
+        let cfg = cfgs.(i) in
+        let table = Iblt.copy (Option.get alice_tables.(i)) in
+        List.iter
+          (fun c -> if not (List.exists (Iset.equal c) db) then Iblt.delete table (Encoding.encode cfg c))
+          bob_children;
+        List.iter (fun c -> Iblt.delete table (Encoding.encode cfg c)) !da;
+        match Iblt.decode table with
+        | Error `Peel_stuck -> () (* recovered at a later level or T* *)
+        | Ok { positives; negatives = _ } -> try_level i positives
+      done;
+      (* T*: direct encodings as the final backstop. *)
+      (match (alice_star, star_prm) with
+      | Some star, Some _ ->
+        let table = Iblt.copy star in
+        List.iter
+          (fun c ->
+            if not (List.exists (Iset.equal c) db) then Iblt.delete table (Direct.encode direct_cfg c))
+          bob_children;
+        List.iter (fun c -> Iblt.delete table (Direct.encode direct_cfg c)) !da;
+        (match Iblt.decode table with
+        | Error `Peel_stuck -> ()
+        | Ok { positives; negatives = _ } ->
+          let recovered_here = ref 0 in
+          List.iter
+            (fun key ->
+              match Direct.decode direct_cfg key with
+              | Some child ->
+                if not (da_mem child) then begin
+                  add_da child;
+                  incr recovered_here
+                end
+              | None -> ())
+            positives;
+          per_level.(t) <- !recovered_here)
+      | _ -> ());
+      let remaining = List.filter (fun c -> not (List.exists (Iset.equal c) db)) bob_children in
+      let recovered = Parent.of_children (!da @ remaining) in
+      if Parent.hash ~seed recovered = alice_hash then
+        Ok
+          {
+            recovered;
+            levels = t;
+            used_star = use_star;
+            recovered_per_level = per_level;
+            stats = Comm.stats comm;
+          }
+      else Error `Decode_failure
+    end)
+
+let reconcile_known ~seed ~d ~u ~h ?d_hat ?s_bound ?(k = 3) ~alice ~bob () =
+  let s_bound = match s_bound with Some s -> s | None -> max 2 (Parent.cardinal bob) in
+  let d_hat = match d_hat with Some dh -> dh | None -> min d s_bound in
+  let comm = Comm.create () in
+  match run ~comm ~seed ~d ~d_hat ~s_bound ~u ~h ~k ~alice ~bob with
+  | Ok o -> Ok o
+  | Error `Decode_failure -> Error (`Decode_failure (Comm.stats comm))
+
+let reconcile_unknown ~seed ~u ~h ?s_bound ?(k = 3) ?(max_d = 1 lsl 22) ~alice ~bob () =
+  let s_bound = match s_bound with Some s -> s | None -> max 2 (Parent.cardinal bob) in
+  let comm = Comm.create () in
+  let rec attempt d =
+    if d > max_d then Error (`Decode_failure (Comm.stats comm))
+    else begin
+      let d_hat = min d s_bound in
+      match
+        run ~comm
+          ~seed:(Prng.derive ~seed ~tag:(0xCC0 + Bits.ceil_log2 (d + 1)))
+          ~d ~d_hat ~s_bound ~u ~h ~k ~alice ~bob
+      with
+      | Ok o -> Ok o
+      | Error `Decode_failure ->
+        Comm.send comm Comm.B_to_a ~label:"retry" ~bits:8;
+        attempt (2 * d)
+    end
+  in
+  attempt 1

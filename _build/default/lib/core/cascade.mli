@@ -1,0 +1,39 @@
+(** The cascading IBLTs-of-IBLTs protocol (paper §3.2, Algorithm 2,
+    Theorem 3.7, and the doubling extension of Corollary 3.8).
+
+    Algorithm 1 spends O(d) cells on every differing child even though the
+    d element changes are spread across children: only O(1) children can
+    have Ω(d) changes, O(sqrt d) can have Ω(sqrt d), and so on. The cascade
+    exploits this with log min(d, h) levels: level i pairs child IBLTs of
+    O(2^i) cells with an outer IBLT of O(d / 2^i) cells. Children with
+    small differences are recovered at low levels and deleted from the
+    higher-level tables, so each level only carries the children that still
+    need bigger sketches. When h <= d a final table T* of O(d/h) cells
+    holds full direct encodings as a backstop. Communication drops to
+    O(d log min(d, h) log u + d log s) — the d_hat * d product of
+    Algorithm 1 becomes additive.
+
+    Per-level child tables are deliberately lean (a low-level decode failure
+    is not fatal — the child is simply recovered at a higher level), which
+    is exactly the structure of the paper's X_i / Y_i analysis. *)
+
+type outcome = {
+  recovered : Parent.t;
+  levels : int;  (** Number of cascade levels used (the paper's t). *)
+  used_star : bool;  (** Whether the direct-encoding table T* was sent. *)
+  recovered_per_level : int array;  (** Children recovered at each level (and at T* last if present). *)
+  stats : Ssr_setrecon.Comm.stats;
+}
+
+type error = [ `Decode_failure of Ssr_setrecon.Comm.stats ]
+
+val reconcile_known :
+  seed:int64 -> d:int -> u:int -> h:int -> ?d_hat:int -> ?s_bound:int -> ?k:int ->
+  alice:Parent.t -> bob:Parent.t -> unit -> (outcome, error) result
+(** Theorem 3.7: one round (all level tables in a single message). [u] and
+    [h] size the T* direct encoding; [h] should bound every child's size. *)
+
+val reconcile_unknown :
+  seed:int64 -> u:int -> h:int -> ?s_bound:int -> ?k:int -> ?max_d:int ->
+  alice:Parent.t -> bob:Parent.t -> unit -> (outcome, error) result
+(** Corollary 3.8: repeated doubling on d; O(log d) rounds. *)

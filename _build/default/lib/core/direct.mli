@@ -1,0 +1,26 @@
+(** Fixed-width direct encodings of whole child sets.
+
+    The naive protocol (Theorem 3.3) and the overflow table T* of Algorithm 2
+    treat a child set as a single key from a universe of size
+    sum_{i<=h} C(u,i) = O(min(u^h, 2^u)): a child is serialized in
+    min(h log u, u) bits (rounded to bytes). Small universes use a bitmap;
+    large ones a padded sorted list. *)
+
+type config = { u : int; h : int }
+(** Universe size and maximum child cardinality. *)
+
+type mode = Bitmap | Element_list
+
+val mode : config -> mode
+(** Whichever of the two encodings is narrower. *)
+
+val key_length : config -> int
+(** Width in bytes of every encoded child under [config]. *)
+
+val encode : config -> Ssr_util.Iset.t -> Bytes.t
+(** Raises [Invalid_argument] if the child has more than [h] elements or an
+    element outside [\[0, u)]. *)
+
+val decode : config -> Bytes.t -> Ssr_util.Iset.t option
+(** [None] when the bytes are not a valid encoding (corrupt keys peeled out
+    of an overloaded IBLT fail here rather than producing garbage sets). *)

@@ -1,0 +1,82 @@
+module Iset = Ssr_util.Iset
+module Hashing = Ssr_util.Hashing
+module Bits = Ssr_util.Bits
+module Buf = Ssr_util.Buf
+module Iblt = Ssr_sketch.Iblt
+
+type config = { child_cells : int; child_k : int; hash_bits : int; seed : int64 }
+
+let child_seed_tag = 0xC11D
+let child_hash_tag = 0xC4A5
+
+let child_params cfg : Iblt.params =
+  {
+    cells = cfg.child_cells;
+    k = cfg.child_k;
+    key_len = 8;
+    seed = Ssr_util.Prng.derive ~seed:cfg.seed ~tag:child_seed_tag;
+  }
+
+let child_table cfg child =
+  let t = Iblt.create (child_params cfg) in
+  Iset.iter (fun x -> Iblt.insert_int t x) child;
+  t
+
+let child_hash cfg child =
+  if cfg.hash_bits < 1 || cfg.hash_bits > 62 then invalid_arg "Encoding: hash_bits out of range";
+  let full =
+    Hashing.hash_bytes (Hashing.make ~seed:cfg.seed ~tag:child_hash_tag) (Iset.canonical_bytes child)
+  in
+  Hashing.truncate_bits full ~bits:cfg.hash_bits
+
+let hash_len cfg = Bits.ceil_div cfg.hash_bits 8
+
+let key_length cfg = Iblt.body_length (child_params cfg) + hash_len cfg
+
+let encode cfg child =
+  let body = Iblt.body_bytes (child_table cfg child) in
+  let h = child_hash cfg child in
+  let hl = hash_len cfg in
+  let out = Bytes.create (Bytes.length body + hl) in
+  Bytes.blit body 0 out 0 (Bytes.length body);
+  for i = 0 to hl - 1 do
+    Bytes.set out (Bytes.length body + i) (Char.chr ((h lsr (8 * i)) land 0xFF))
+  done;
+  out
+
+let split cfg key =
+  if Bytes.length key <> key_length cfg then invalid_arg "Encoding.decode: wrong key length";
+  let body_len = Iblt.body_length (child_params cfg) in
+  let body = Bytes.sub key 0 body_len in
+  let hl = hash_len cfg in
+  let h = ref 0 in
+  for i = hl - 1 downto 0 do
+    h := (!h lsl 8) lor Char.code (Bytes.get key (body_len + i))
+  done;
+  (body, !h)
+
+let decode cfg key =
+  let body, h = split cfg key in
+  (Iblt.of_body_bytes (child_params cfg) body, h)
+
+let hash_of_key cfg key = snd (split cfg key)
+
+let try_recover cfg ~alice_key ~bob_child =
+  let alice_table, alice_hash = decode cfg alice_key in
+  let diff = Iblt.subtract alice_table (child_table cfg bob_child) in
+  match Iblt.decode_ints diff with
+  | Error `Peel_stuck -> None
+  | Ok (add, del) -> (
+    match (Iset.of_list add, Iset.of_list del) with
+    | exception Failure _ -> None
+    | add, del ->
+      (* The decoded sides must really be differences w.r.t. Bob's child. *)
+      let applicable =
+        Iset.fold (fun x ok -> ok && Iset.mem x bob_child) del true
+        && Iset.fold (fun x ok -> ok && not (Iset.mem x bob_child)) add true
+      in
+      if not applicable then None
+      else begin
+        let candidate = Iset.apply_diff bob_child ~add ~del in
+        if child_hash cfg candidate = alice_hash then Some candidate else None
+      end)

@@ -1,0 +1,96 @@
+module Iset = Ssr_util.Iset
+module Bits = Ssr_util.Bits
+module Prng = Ssr_util.Prng
+module Iblt = Ssr_sketch.Iblt
+module Comm = Ssr_setrecon.Comm
+
+type outcome = { recovered : Parent.t; differing_pairs : int; stats : Comm.stats }
+
+type error = [ `Decode_failure of Comm.stats ]
+
+let hash_bits_for s_bound = min 62 ((3 * Bits.ceil_log2 (max 2 s_bound)) + 10)
+
+let config ~seed ~d ~s_bound ~k : Encoding.config =
+  {
+    child_cells = Iblt.recommended_cells ~k ~diff_bound:d;
+    child_k = k;
+    hash_bits = hash_bits_for s_bound;
+    seed;
+  }
+
+let run ~comm ~seed ~d ~d_hat ~s_bound ~k ~alice ~bob =
+  let cfg = config ~seed ~d ~s_bound ~k in
+  let outer_prm : Iblt.params =
+    {
+      cells = Iblt.recommended_cells ~k ~diff_bound:(2 * d_hat);
+      k;
+      key_len = Encoding.key_length cfg;
+      seed = Prng.derive ~seed ~tag:0x07E5;
+    }
+  in
+  (* Alice: encode every child and ship the outer table. *)
+  let outer = Iblt.create outer_prm in
+  List.iter (fun c -> Iblt.insert outer (Encoding.encode cfg c)) (Parent.children alice);
+  let alice_hash = Parent.hash ~seed alice in
+  Comm.send comm Comm.A_to_b ~label:"outer-iblt+hash" ~bits:(Iblt.size_bits outer + 64);
+  (* Bob: delete his encodings and peel out the differing ones. *)
+  let bob_encodings = List.map (fun c -> (Encoding.encode cfg c, c)) (Parent.children bob) in
+  let bob_outer = Iblt.create outer_prm in
+  List.iter (fun (key, _) -> Iblt.insert bob_outer key) bob_encodings;
+  match Iblt.decode (Iblt.subtract outer bob_outer) with
+  | Error `Peel_stuck -> Error `Decode_failure
+  | Ok { positives; negatives } -> (
+    (* D_B: Bob's children whose encodings surfaced as negatives. *)
+    let db =
+      List.filter_map
+        (fun neg ->
+          List.find_opt (fun (key, _) -> Bytes.equal key neg) bob_encodings |> Option.map snd)
+        negatives
+    in
+    if List.length db <> List.length negatives then Error `Decode_failure
+    else begin
+      (* Pair each of Alice's differing child IBLTs with one of Bob's. *)
+      let recover_one alice_key =
+        List.find_map (fun bob_child -> Encoding.try_recover cfg ~alice_key ~bob_child) db
+      in
+      let rec recover_all keys acc =
+        match keys with
+        | [] -> Some acc
+        | key :: rest -> (
+          match recover_one key with None -> None | Some child -> recover_all rest (child :: acc))
+      in
+      match recover_all positives [] with
+      | None -> Error `Decode_failure
+      | Some da ->
+        let remaining =
+          List.filter (fun c -> not (List.exists (Iset.equal c) db)) (Parent.children bob)
+        in
+        let recovered = Parent.of_children (da @ remaining) in
+        if Parent.hash ~seed recovered = alice_hash then
+          Ok { recovered; differing_pairs = List.length positives; stats = Comm.stats comm }
+        else Error `Decode_failure
+    end)
+
+let reconcile_known ~seed ~d ?d_hat ?s_bound ?(k = 4) ~alice ~bob () =
+  let s_bound = match s_bound with Some s -> s | None -> max 2 (Parent.cardinal bob) in
+  let d_hat = match d_hat with Some dh -> dh | None -> min d s_bound in
+  let comm = Comm.create () in
+  match run ~comm ~seed ~d ~d_hat ~s_bound ~k ~alice ~bob with
+  | Ok o -> Ok o
+  | Error `Decode_failure -> Error (`Decode_failure (Comm.stats comm))
+
+let reconcile_unknown ~seed ?s_bound ?(k = 4) ?(max_d = 1 lsl 22) ~alice ~bob () =
+  let s_bound = match s_bound with Some s -> s | None -> max 2 (Parent.cardinal bob) in
+  let comm = Comm.create () in
+  let rec attempt d =
+    if d > max_d then Error (`Decode_failure (Comm.stats comm))
+    else begin
+      let d_hat = min d s_bound in
+      match run ~comm ~seed:(Prng.derive ~seed ~tag:(0xD0 + Bits.ceil_log2 (d + 1))) ~d ~d_hat ~s_bound ~k ~alice ~bob with
+      | Ok o -> Ok o
+      | Error `Decode_failure ->
+        Comm.send comm Comm.B_to_a ~label:"retry" ~bits:8;
+        attempt (2 * d)
+    end
+  in
+  attempt 1

@@ -1,0 +1,32 @@
+(** The IBLT-of-IBLTs protocol (paper §3.2, Algorithm 1, Theorem 3.5, and
+    the repeated-doubling extension of Corollary 3.6).
+
+    Every child set is compressed into an O(d)-cell child IBLT plus an
+    O(log s)-bit hash; the fixed-width (table, hash) encodings are then
+    themselves reconciled through an outer IBLT. Bob peels the outer table
+    to learn which encodings differ, pairs each of Alice's differing child
+    IBLTs with one of his own by attempting subtract-and-peel decodes, and
+    patches his children with the recovered element differences.
+    Communication O(d_hat d log u + d_hat log s), time O(n + d_hat^2 d). *)
+
+type outcome = {
+  recovered : Parent.t;
+  differing_pairs : int;  (** How many of Alice's children Bob had to repair. *)
+  stats : Ssr_setrecon.Comm.stats;
+}
+
+type error = [ `Decode_failure of Ssr_setrecon.Comm.stats ]
+
+val reconcile_known :
+  seed:int64 -> d:int -> ?d_hat:int -> ?s_bound:int -> ?k:int ->
+  alice:Parent.t -> bob:Parent.t -> unit -> (outcome, error) result
+(** Theorem 3.5: one round. [d] bounds the total number of element changes;
+    [d_hat] the number of differing children per side (default
+    [min d s_bound]); [s_bound] sizes the child hashes (default: Bob's
+    child count, which both parties know up to O(d)). *)
+
+val reconcile_unknown :
+  seed:int64 -> ?s_bound:int -> ?k:int -> ?max_d:int ->
+  alice:Parent.t -> bob:Parent.t -> unit -> (outcome, error) result
+(** Corollary 3.6: repeated doubling d = 1, 2, 4, ... until the transfer
+    verifies; O(log d) rounds, asymptotically the same communication. *)

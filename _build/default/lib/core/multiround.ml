@@ -1,0 +1,230 @@
+module Iset = Ssr_util.Iset
+module Hashing = Ssr_util.Hashing
+module Prng = Ssr_util.Prng
+module Iblt = Ssr_sketch.Iblt
+module L0 = Ssr_sketch.L0_estimator
+module Comm = Ssr_setrecon.Comm
+module Cpi = Ssr_setrecon.Cpi_recon
+
+type outcome = {
+  recovered : Parent.t;
+  matched_children : int;
+  cpi_children : int;
+  stats : Comm.stats;
+}
+
+type error = [ `Decode_failure of Comm.stats ]
+
+type primitive = Auto | Always_iblt | Always_cpi
+
+let child_hash_tag = 0x39A1
+let content_hash_tag = 0x39A2
+
+(* Default shape of the per-child estimators: small, since a child's
+   difference with its match is at most h. *)
+let default_child_shape : L0.shape = { levels = 14; reps = 2; buckets = 64; threshold = 8 }
+
+let child_hash ~seed child =
+  Hashing.hash_bytes (Hashing.make ~seed ~tag:child_hash_tag) (Iset.canonical_bytes child)
+
+let content_hash ~seed child =
+  Hashing.hash_bytes (Hashing.make ~seed ~tag:content_hash_tag) (Iset.canonical_bytes child)
+
+(* Children keyed by hash; collisions among one party's own children are a
+   1/poly failure we simply report. *)
+let hash_index ~seed children =
+  let tbl = Hashtbl.create (List.length children) in
+  let ok = ref true in
+  List.iter
+    (fun c ->
+      let h = child_hash ~seed c in
+      if Hashtbl.mem tbl h then ok := false else Hashtbl.add tbl h c)
+    children;
+  if !ok then Some tbl else None
+
+let run ~comm ~seed ~d ~d_hat ~k ~shape ~primitive ~alice ~bob =
+  let alice_children = Parent.children alice in
+  let bob_children = Parent.children bob in
+  match (hash_index ~seed alice_children, hash_index ~seed bob_children) with
+  | None, _ | _, None -> Error `Decode_failure
+  | Some alice_by_hash, Some bob_by_hash -> (
+    (* ---- Round 1 (A -> B): IBLT of Alice's child hashes. ---- *)
+    let hash_prm : Iblt.params =
+      {
+        cells = Iblt.recommended_cells ~k ~diff_bound:(2 * d_hat);
+        k;
+        key_len = 8;
+        seed = Prng.derive ~seed ~tag:0x3A;
+      }
+    in
+    let ta = Iblt.create hash_prm in
+    Hashtbl.iter (fun h _ -> Iblt.insert_int ta h) alice_by_hash;
+    let alice_parent_hash = Parent.hash ~seed alice in
+    Comm.send comm Comm.A_to_b ~label:"hash-iblt+parent-hash" ~bits:(Iblt.size_bits ta + 64);
+    let tb = Iblt.create hash_prm in
+    Hashtbl.iter (fun h _ -> Iblt.insert_int tb h) bob_by_hash;
+    match Iblt.decode_ints (Iblt.subtract ta tb) with
+    | Error `Peel_stuck -> Error `Decode_failure
+    | Ok (alice_diff_hashes, bob_diff_hashes) -> (
+      let alice_diff_hashes = List.sort compare alice_diff_hashes in
+      let bob_diff_hashes = List.sort compare bob_diff_hashes in
+      let find tbl h = Hashtbl.find_opt tbl h in
+      let bob_diff = List.filter_map (find bob_by_hash) bob_diff_hashes in
+      let alice_diff = List.filter_map (find alice_by_hash) alice_diff_hashes in
+      if
+        List.length bob_diff <> List.length bob_diff_hashes
+        || List.length alice_diff <> List.length alice_diff_hashes
+      then Error `Decode_failure
+      else begin
+        (* ---- Round 2 (B -> A): TB plus one estimator per differing child
+           of Bob's, in sorted-hash order. ---- *)
+        let bob_diff_arr = Array.of_list bob_diff in
+        let bob_estimators =
+          Array.mapi
+            (fun j child ->
+              let e = L0.create ~seed:(Prng.derive ~seed ~tag:0xE57) ~shape () in
+              Iset.iter (fun x -> L0.update e L0.S1 x) child;
+              ignore j;
+              e)
+            bob_diff_arr
+        in
+        let est_bits = Array.fold_left (fun acc e -> acc + L0.size_bits e) 0 bob_estimators in
+        Comm.send comm Comm.B_to_a ~label:"hash-iblt+child-estimators" ~bits:(Iblt.size_bits tb + est_bits);
+        (* ---- Alice decodes the same hash difference and matches her
+           differing children against Bob's estimators. ---- *)
+        let matches =
+          List.map
+            (fun child ->
+              let mine = L0.create ~seed:(Prng.derive ~seed ~tag:0xE57) ~shape () in
+              Iset.iter (fun x -> L0.update mine L0.S2 x) child;
+              let best = ref (-1) and best_d = ref max_int in
+              Array.iteri
+                (fun j be ->
+                  let est = L0.query (L0.merge be mine) in
+                  if est < !best_d then begin
+                    best_d := est;
+                    best := j
+                  end)
+                bob_estimators;
+              (child, !best, !best_d))
+            alice_diff
+        in
+        (* ---- Round 3 (A -> B): per-child payloads. ---- *)
+        let d_total = max 1 d in
+        let sqrt_d = int_of_float (Float.sqrt (float_of_int d_total)) in
+        let payload_bits = ref 0 in
+        let cpi_count = ref 0 in
+        let payloads =
+          List.mapi
+            (fun i (child, j, est) ->
+              let bound = max 2 ((2 * est) + 2) in
+              let chash = content_hash ~seed child in
+              (* match index + bound + content hash *)
+              payload_bits := !payload_bits + 32 + 32 + 64;
+              let use_iblt =
+                match primitive with
+                | Auto -> est >= sqrt_d
+                | Always_iblt -> true
+                | Always_cpi -> false
+              in
+              if j < 0 then `Unmatchable
+              else if use_iblt then begin
+                let prm : Iblt.params =
+                  {
+                    cells = Iblt.recommended_cells ~k ~diff_bound:bound;
+                    k;
+                    key_len = 8;
+                    seed = Prng.derive ~seed ~tag:(0x100 + i);
+                  }
+                in
+                let table = Iblt.create prm in
+                Iset.iter (fun x -> Iblt.insert_int table x) child;
+                payload_bits := !payload_bits + Iblt.size_bits table;
+                `Iblt (j, bound, prm, table, chash, child)
+              end
+              else begin
+                incr cpi_count;
+                let evals = Cpi.evaluations ~d:bound child in
+                payload_bits := !payload_bits + (64 * Cpi.num_evaluations ~d:bound) + 64;
+                `Cpi (j, bound, evals, Iset.cardinal child, chash, child)
+              end)
+            matches
+        in
+        if List.exists (fun p -> p = `Unmatchable) payloads && alice_diff <> [] then Error `Decode_failure
+        else begin
+          Comm.send comm Comm.A_to_b ~label:"per-child-payloads" ~bits:!payload_bits;
+          (* ---- Bob repairs each differing child. ---- *)
+          let recover payload =
+            match payload with
+            | `Unmatchable -> None
+            | `Iblt (j, _bound, prm, alice_table, chash, _witness) ->
+              let mine = bob_diff_arr.(j) in
+              let bob_table = Iblt.create prm in
+              Iset.iter (fun x -> Iblt.insert_int bob_table x) mine;
+              (match Iblt.decode_ints (Iblt.subtract alice_table bob_table) with
+              | Error `Peel_stuck -> None
+              | Ok (add, del) ->
+                let candidate =
+                  Iset.apply_diff mine ~add:(Iset.of_list add) ~del:(Iset.of_list del)
+                in
+                if content_hash ~seed candidate = chash then Some candidate else None)
+            | `Cpi (j, bound, evals, size_a, chash, _witness) -> (
+              let mine = bob_diff_arr.(j) in
+              match Cpi.recover_set ~seed ~d:bound ~size_a ~evals ~bob:mine with
+              | Some candidate when content_hash ~seed candidate = chash -> Some candidate
+              | _ -> None)
+          in
+          let rec recover_all ps acc =
+            match ps with
+            | [] -> Some acc
+            | p :: rest -> (
+              match recover p with None -> None | Some c -> recover_all rest (c :: acc))
+          in
+          match recover_all payloads [] with
+          | None -> Error `Decode_failure
+          | Some da ->
+            let remaining =
+              List.filter (fun c -> not (List.exists (Iset.equal c) bob_diff)) bob_children
+            in
+            let recovered = Parent.of_children (da @ remaining) in
+            if Parent.hash ~seed recovered = alice_parent_hash then
+              Ok
+                {
+                  recovered;
+                  matched_children = List.length payloads;
+                  cpi_children = !cpi_count;
+                  stats = Comm.stats comm;
+                }
+            else Error `Decode_failure
+        end
+      end))
+
+let reconcile_known ~seed ~d ?d_hat ?(k = 4) ?(primitive = Auto)
+    ?(estimator_shape = default_child_shape) ~alice ~bob () =
+  let d_hat =
+    match d_hat with Some dh -> dh | None -> min d (max 2 (Parent.cardinal bob))
+  in
+  let comm = Comm.create () in
+  match run ~comm ~seed ~d ~d_hat ~k ~shape:estimator_shape ~primitive ~alice ~bob with
+  | Ok o -> Ok o
+  | Error `Decode_failure -> Error (`Decode_failure (Comm.stats comm))
+
+let reconcile_unknown ~seed ?(k = 4) ?(estimator_shape = default_child_shape) ~alice ~bob () =
+  let comm = Comm.create () in
+  (* Round 0 (B -> A): estimator over Bob's child hashes sizes the exchange. *)
+  let bob_est = L0.create ~seed ~shape:L0.default_shape () in
+  List.iter (fun c -> L0.update bob_est L0.S1 (child_hash ~seed c)) (Parent.children bob);
+  Comm.send comm Comm.B_to_a ~label:"dhat-estimator" ~bits:(L0.size_bits bob_est);
+  let alice_est = L0.create ~seed ~shape:L0.default_shape () in
+  List.iter (fun c -> L0.update alice_est L0.S2 (child_hash ~seed c)) (Parent.children alice);
+  let est = L0.query (L0.merge bob_est alice_est) in
+  let d_hat = max 2 est in
+  (* The per-child estimators supply the element-level bounds, so d here
+     only gates the IBLT/CPI threshold; a generous surrogate suffices. *)
+  let d_surrogate = max 4 (d_hat * 4) in
+  match
+    run ~comm ~seed:(Prng.derive ~seed ~tag:0x4B) ~d:d_surrogate ~d_hat ~k ~shape:estimator_shape
+      ~primitive:Auto ~alice ~bob
+  with
+  | Ok o -> Ok o
+  | Error `Decode_failure -> Error (`Decode_failure (Comm.stats comm))

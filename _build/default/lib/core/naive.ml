@@ -1,0 +1,73 @@
+module Iset = Ssr_util.Iset
+module Hashing = Ssr_util.Hashing
+module Prng = Ssr_util.Prng
+module Iblt = Ssr_sketch.Iblt
+module L0 = Ssr_sketch.L0_estimator
+module Comm = Ssr_setrecon.Comm
+
+type outcome = { recovered : Parent.t; stats : Comm.stats }
+
+type error = [ `Decode_failure of Comm.stats ]
+
+let child_id_tag = 0x4A1D
+
+(* 62-bit stand-in for a child set, used only to feed the estimator. *)
+let child_id ~seed child =
+  Hashing.hash_bytes (Hashing.make ~seed ~tag:child_id_tag) (Iset.canonical_bytes child)
+
+let run ~comm ~seed ~d_hat ~u ~h ~k ~alice ~bob =
+  let cfg : Direct.config = { u; h } in
+  let prm : Iblt.params =
+    {
+      cells = Iblt.recommended_cells ~k ~diff_bound:(2 * d_hat);
+      k;
+      key_len = Direct.key_length cfg;
+      seed;
+    }
+  in
+  let table = Iblt.create prm in
+  List.iter (fun c -> Iblt.insert table (Direct.encode cfg c)) (Parent.children alice);
+  let alice_hash = Parent.hash ~seed alice in
+  Comm.send comm Comm.A_to_b ~label:"naive-iblt+hash" ~bits:(Iblt.size_bits table + 64);
+  let bob_table = Iblt.create prm in
+  List.iter (fun c -> Iblt.insert bob_table (Direct.encode cfg c)) (Parent.children bob);
+  match Iblt.decode (Iblt.subtract table bob_table) with
+  | Error `Peel_stuck -> Error `Decode_failure
+  | Ok { positives; negatives } -> (
+    let decode_all keys =
+      List.fold_left
+        (fun acc key ->
+          match acc with
+          | None -> None
+          | Some kids -> (
+            match Direct.decode cfg key with Some c -> Some (c :: kids) | None -> None))
+        (Some []) keys
+    in
+    match (decode_all positives, decode_all negatives) with
+    | Some alice_only, Some bob_only ->
+      let remaining =
+        List.filter (fun c -> not (List.exists (Iset.equal c) bob_only)) (Parent.children bob)
+      in
+      let recovered = Parent.of_children (alice_only @ remaining) in
+      if Parent.hash ~seed recovered = alice_hash then Ok { recovered; stats = Comm.stats comm }
+      else Error `Decode_failure
+    | _ -> Error `Decode_failure)
+
+let reconcile_known ~seed ~d_hat ~u ~h ?(k = 4) ~alice ~bob () =
+  let comm = Comm.create () in
+  match run ~comm ~seed ~d_hat ~u ~h ~k ~alice ~bob with
+  | Ok o -> Ok o
+  | Error `Decode_failure -> Error (`Decode_failure (Comm.stats comm))
+
+let reconcile_unknown ~seed ~u ~h ?(k = 4) ?estimator_shape ~alice ~bob () =
+  let comm = Comm.create () in
+  let bob_est = L0.create ~seed ?shape:estimator_shape () in
+  List.iter (fun c -> L0.update bob_est L0.S1 (child_id ~seed c)) (Parent.children bob);
+  Comm.send comm Comm.B_to_a ~label:"child-estimator" ~bits:(L0.size_bits bob_est);
+  let alice_est = L0.create ~seed ?shape:estimator_shape () in
+  List.iter (fun c -> L0.update alice_est L0.S2 (child_id ~seed c)) (Parent.children alice);
+  let est = L0.query (L0.merge bob_est alice_est) in
+  let d_hat = max 2 est in
+  match run ~comm ~seed:(Prng.derive ~seed ~tag:2) ~d_hat ~u ~h ~k ~alice ~bob with
+  | Ok o -> Ok o
+  | Error `Decode_failure -> Error (`Decode_failure (Comm.stats comm))

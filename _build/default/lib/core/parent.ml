@@ -1,0 +1,114 @@
+module Iset = Ssr_util.Iset
+module Prng = Ssr_util.Prng
+module Hashing = Ssr_util.Hashing
+module Buf = Ssr_util.Buf
+
+type t = Iset.t array
+(* Invariant: strictly increasing under Iset.compare (so children are
+   distinct and the representation is canonical). *)
+
+let of_children kids =
+  let arr = Array.of_list (List.sort_uniq Iset.compare kids) in
+  arr
+
+let children t = Array.to_list t
+
+let cardinal = Array.length
+
+let total_elements t = Array.fold_left (fun acc c -> acc + Iset.cardinal c) 0 t
+
+let max_child_size t = Array.fold_left (fun acc c -> max acc (Iset.cardinal c)) 0 t
+
+let equal (a : t) b = a = b
+
+let compare (a : t) b = Stdlib.compare a b
+
+let mem child t = Array.exists (fun c -> Iset.equal c child) t
+
+let canonical_bytes t =
+  (* Length-prefix each child so the concatenation is injective. *)
+  Buf.append_all
+    (List.concat_map
+       (fun c -> [ Buf.of_int_list [ Iset.cardinal c ]; Iset.canonical_bytes c ])
+       (children t))
+
+let hash_tag = 0x9A3E
+
+let hash ~seed t = Hashing.hash_bytes (Hashing.make ~seed ~tag:hash_tag) (canonical_bytes t)
+
+let symmetric_diff a b =
+  let a_only = List.filter (fun c -> not (mem c b)) (children a) in
+  let b_only = List.filter (fun c -> not (mem c a)) (children b) in
+  (a_only, b_only)
+
+let relaxed_matching_cost a b =
+  let one_side xs other =
+    List.fold_left
+      (fun acc c ->
+        let best =
+          Array.fold_left (fun m c' -> min m (Iset.sym_diff_size c c')) (Iset.cardinal c) other
+        in
+        acc + best)
+      0 xs
+  in
+  let a_only, b_only = symmetric_diff a b in
+  one_side a_only b + one_side b_only a
+
+type edit = { child_index : int; element : int; kind : [ `Add | `Del ] }
+
+let perturb rng ~universe ?max_child_size:cap ~edits t =
+  if Array.length t = 0 then invalid_arg "Parent.perturb: empty parent";
+  let kids = Array.copy t in
+  (* Track touched (child, element) pairs so edits never cancel. *)
+  let touched = Hashtbl.create (2 * edits) in
+  let log = ref [] in
+  let applied = ref 0 in
+  let attempts = ref 0 in
+  while !applied < edits && !attempts < 1000 * (edits + 1) do
+    incr attempts;
+    let i = Prng.int_below rng (Array.length kids) in
+    let child = kids.(i) in
+    let do_del = Prng.bool rng && not (Iset.is_empty child) in
+    if do_del then begin
+      let arr = Iset.to_array child in
+      let x = arr.(Prng.int_below rng (Array.length arr)) in
+      if not (Hashtbl.mem touched (i, x)) then begin
+        Hashtbl.add touched (i, x) ();
+        kids.(i) <- Iset.remove x child;
+        log := { child_index = i; element = x; kind = `Del } :: !log;
+        incr applied
+      end
+    end
+    else begin
+      let room = match cap with None -> true | Some h -> Iset.cardinal child < h in
+      if room then begin
+        let x = Prng.int_below rng universe in
+        if (not (Iset.mem x child)) && not (Hashtbl.mem touched (i, x)) then begin
+          Hashtbl.add touched (i, x) ();
+          kids.(i) <- Iset.add x child;
+          log := { child_index = i; element = x; kind = `Add } :: !log;
+          incr applied
+        end
+      end
+    end
+  done;
+  if !applied < edits then failwith "Parent.perturb: could not place all edits";
+  (of_children (Array.to_list kids), List.rev !log)
+
+let random rng ~universe ~children:s ~child_size =
+  if child_size > universe then invalid_arg "Parent.random: child_size > universe";
+  let rec distinct acc remaining guard =
+    if remaining = 0 then acc
+    else if guard > 100 * s then failwith "Parent.random: cannot draw distinct children"
+    else begin
+      let c = Iset.random_subset rng ~universe ~size:child_size in
+      if List.exists (Iset.equal c) acc then distinct acc remaining (guard + 1)
+      else distinct (c :: acc) (remaining - 1) guard
+    end
+  in
+  of_children (distinct [] s 0)
+
+let pp fmt t =
+  Format.fprintf fmt "parent(s=%d){%a}" (cardinal t)
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f "; ") Iset.pp)
+    (children t)

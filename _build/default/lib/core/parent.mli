@@ -1,0 +1,64 @@
+(** Parent sets: the "sets of sets" being reconciled (paper §3).
+
+    A parent set holds s child sets, each a set of at most h elements from a
+    universe of size u. The canonical representation (children sorted,
+    duplicates removed — a parent is a {e set} of sets) supports the hashing
+    and diffing the protocols need, plus the perturbation workloads used by
+    tests and benchmarks: Alice's parent is Bob's after a bounded number of
+    element additions/deletions applied to child sets. *)
+
+type t
+
+val of_children : Ssr_util.Iset.t list -> t
+(** Canonicalize: sort and deduplicate the children. *)
+
+val children : t -> Ssr_util.Iset.t list
+(** In canonical order. *)
+
+val cardinal : t -> int
+(** Number of (distinct) child sets: s. *)
+
+val total_elements : t -> int
+(** Sum of child sizes: n. *)
+
+val max_child_size : t -> int
+(** Largest child: h. 0 for the empty parent. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+(** Total order on canonical forms (used by the set-of-sets-of-sets
+    extension to canonicalize collections of parents). *)
+
+val mem : Ssr_util.Iset.t -> t -> bool
+
+val hash : seed:int64 -> t -> int
+(** 62-bit hash of the canonical form, used as the whole-object verification
+    guard ("Alice can send Bob a hash of her whole set of sets", §3.2). *)
+
+val symmetric_diff : t -> t -> Ssr_util.Iset.t list * Ssr_util.Iset.t list
+(** [(a_only, b_only)]: children of one parent absent from the other. *)
+
+val relaxed_matching_cost : t -> t -> int
+(** The difference measure the protocols actually solve (§3.1): the sum,
+    over every child set of either party, of its minimum set difference
+    with some child of the other party — each differing child is charged
+    its distance to its best counterpart. O(s^2 h). Children present on
+    both sides cost 0. For the empty other side, a child costs its size. *)
+
+type edit = { child_index : int; element : int; kind : [ `Add | `Del ] }
+(** One element edit applied to a child (by canonical index). *)
+
+val perturb :
+  Ssr_util.Prng.t -> universe:int -> ?max_child_size:int -> edits:int -> t -> t * edit list
+(** Apply [edits] random element additions/deletions across the children
+    (the paper's update model). Respects [universe] and, if given,
+    [max_child_size]; never creates an edit that cancels a previous one on
+    the same child, so the relaxed matching cost is at most (and typically
+    exactly) [edits]. Returns the perturbed parent and the edit log. *)
+
+val random :
+  Ssr_util.Prng.t -> universe:int -> children:int -> child_size:int -> t
+(** A random parent of [children] distinct child sets with approximately
+    [child_size] elements each, drawn from [\[0, universe)]. *)
+
+val pp : Format.formatter -> t -> unit

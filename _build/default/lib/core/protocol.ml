@@ -1,0 +1,83 @@
+module Comm = Ssr_setrecon.Comm
+
+type kind = Naive | Iblt_of_iblts | Cascade | Multiround
+
+let all = [ Naive; Iblt_of_iblts; Cascade; Multiround ]
+
+let name = function
+  | Naive -> "naive"
+  | Iblt_of_iblts -> "iblt-of-iblts"
+  | Cascade -> "cascade"
+  | Multiround -> "multiround"
+
+type outcome = { recovered : Parent.t; stats : Comm.stats }
+
+type error = [ `Decode_failure of Comm.stats ]
+
+let lift = function
+  | Ok (recovered, stats) -> Ok { recovered; stats }
+  | Error (`Decode_failure stats) -> Error (`Decode_failure stats)
+
+let reconcile_known kind ~seed ~d ~u ~h ~alice ~bob () =
+  match kind with
+  | Naive ->
+    lift
+      (Result.map
+         (fun (o : Naive.outcome) -> (o.Naive.recovered, o.Naive.stats))
+         (Naive.reconcile_known ~seed ~d_hat:(min d (max 2 (Parent.cardinal bob))) ~u ~h ~alice ~bob ()))
+  | Iblt_of_iblts ->
+    lift
+      (Result.map
+         (fun (o : Iblt_of_iblts.outcome) -> (o.Iblt_of_iblts.recovered, o.Iblt_of_iblts.stats))
+         (Iblt_of_iblts.reconcile_known ~seed ~d ~alice ~bob ()))
+  | Cascade ->
+    lift
+      (Result.map
+         (fun (o : Cascade.outcome) -> (o.Cascade.recovered, o.Cascade.stats))
+         (Cascade.reconcile_known ~seed ~d ~u ~h ~alice ~bob ()))
+  | Multiround ->
+    lift
+      (Result.map
+         (fun (o : Multiround.outcome) -> (o.Multiround.recovered, o.Multiround.stats))
+         (Multiround.reconcile_known ~seed ~d ~alice ~bob ()))
+
+let reconcile_unknown kind ~seed ~u ~h ~alice ~bob () =
+  match kind with
+  | Naive ->
+    lift
+      (Result.map
+         (fun (o : Naive.outcome) -> (o.Naive.recovered, o.Naive.stats))
+         (Naive.reconcile_unknown ~seed ~u ~h ~alice ~bob ()))
+  | Iblt_of_iblts ->
+    lift
+      (Result.map
+         (fun (o : Iblt_of_iblts.outcome) -> (o.Iblt_of_iblts.recovered, o.Iblt_of_iblts.stats))
+         (Iblt_of_iblts.reconcile_unknown ~seed ~alice ~bob ()))
+  | Cascade ->
+    lift
+      (Result.map
+         (fun (o : Cascade.outcome) -> (o.Cascade.recovered, o.Cascade.stats))
+         (Cascade.reconcile_unknown ~seed ~u ~h ~alice ~bob ()))
+  | Multiround ->
+    lift
+      (Result.map
+         (fun (o : Multiround.outcome) -> (o.Multiround.recovered, o.Multiround.stats))
+         (Multiround.reconcile_unknown ~seed ~alice ~bob ()))
+
+let reconcile_amplified kind ~seed ~d ~u ~h ~replicas ~alice ~bob () =
+  if replicas < 1 then invalid_arg "Protocol.reconcile_amplified: replicas must be positive";
+  (* All replicas run in parallel, so all of their traffic is spent; rounds
+     do not stack. *)
+  let runs =
+    List.init replicas (fun i ->
+        reconcile_known kind ~seed:(Ssr_util.Prng.derive ~seed ~tag:(0xA2F + i)) ~d ~u ~h ~alice ~bob ())
+  in
+  let stats_of = function Ok o -> o.stats | Error (`Decode_failure st) -> st in
+  let total_stats =
+    match List.map stats_of runs with
+    | [] -> assert false
+    | first :: rest -> List.fold_left Comm.merge_stats first rest
+  in
+  match List.find_opt Result.is_ok runs with
+  | Some (Ok o) -> Ok { o with stats = total_stats }
+  | _ -> Error (`Decode_failure total_stats)

@@ -1,0 +1,43 @@
+(** Unified front end over the four set-of-sets reconciliation protocols.
+
+    Benchmarks, examples and applications pick a protocol by name and get a
+    uniform result type; see the individual modules for the per-protocol
+    parameters and guarantees. *)
+
+type kind =
+  | Naive  (** §3.1, Thm 3.3/3.4: child sets as monolithic wide keys. *)
+  | Iblt_of_iblts  (** §3.2 Alg 1, Thm 3.5 / Cor 3.6. *)
+  | Cascade  (** §3.2 Alg 2, Thm 3.7 / Cor 3.8. *)
+  | Multiround  (** §3.3, Thm 3.9 / 3.10. *)
+
+val all : kind list
+val name : kind -> string
+
+type outcome = {
+  recovered : Parent.t;
+  stats : Ssr_setrecon.Comm.stats;
+}
+
+type error = [ `Decode_failure of Ssr_setrecon.Comm.stats ]
+
+val reconcile_known :
+  kind -> seed:int64 -> d:int -> u:int -> h:int ->
+  alice:Parent.t -> bob:Parent.t -> unit -> (outcome, error) result
+(** Run the chosen protocol with a known bound [d] on the total number of
+    element changes ([u], [h] size the direct encodings where needed;
+    the naive protocol derives its d_hat as [min d s]). *)
+
+val reconcile_unknown :
+  kind -> seed:int64 -> u:int -> h:int ->
+  alice:Parent.t -> bob:Parent.t -> unit -> (outcome, error) result
+(** Run the unknown-d variant (estimator round or repeated doubling,
+    whichever the protocol prescribes). *)
+
+val reconcile_amplified :
+  kind -> seed:int64 -> d:int -> u:int -> h:int -> replicas:int ->
+  alice:Parent.t -> bob:Parent.t -> unit -> (outcome, error) result
+(** The paper's replication amplification (§3.2): run [replicas] independent
+    instances in parallel (independent public coins) and let Bob output the
+    first recovery that verifies against Alice's whole-collection hash. The
+    failure probability drops exponentially in [replicas]; the transcript
+    charges every replica's traffic, as a parallel execution must. *)

@@ -1,0 +1,244 @@
+module Iset = Ssr_util.Iset
+module Bits = Ssr_util.Bits
+module Prng = Ssr_util.Prng
+module Buf = Ssr_util.Buf
+module Hashing = Ssr_util.Hashing
+module Iblt = Ssr_sketch.Iblt
+module Comm = Ssr_setrecon.Comm
+
+type t = Parent.t array
+(* Invariant: strictly increasing under Parent.compare. *)
+
+let of_parents ps = Array.of_list (List.sort_uniq Parent.compare ps)
+
+let parents = Array.to_list
+
+let cardinal = Array.length
+
+let equal (a : t) b = a = b
+
+let hash_tag = 0x5053
+
+let hash ~seed t =
+  let fn = Hashing.make ~seed ~tag:hash_tag in
+  Hashing.hash_bytes fn
+    (Buf.append_all (List.map (fun p -> Buf.of_int_list [ Parent.hash ~seed p ]) (parents t)))
+
+let perturb rng ~universe ~edits t =
+  if Array.length t = 0 then invalid_arg "Sos3.perturb: empty collection";
+  let arr = Array.copy t in
+  for _ = 1 to edits do
+    let i = Prng.int_below rng (Array.length arr) in
+    let p', _ = Parent.perturb rng ~universe ~edits:1 arr.(i) in
+    arr.(i) <- p'
+  done;
+  of_parents (Array.to_list arr)
+
+(* Relaxed best-matching bounds, one nesting level up from
+   Parent.relaxed_matching_cost. *)
+let diff_bounds a b =
+  let a_only = List.filter (fun p -> not (Array.exists (Parent.equal p) b)) (parents a) in
+  let b_only = List.filter (fun p -> not (Array.exists (Parent.equal p) a)) (parents b) in
+  let d3 = max (List.length a_only) (List.length b_only) in
+  let best_match p other =
+    Array.fold_left
+      (fun (bc, bp) q ->
+        let c = Parent.relaxed_matching_cost p q in
+        if c < bc then (c, Some q) else (bc, bp))
+      (max_int, None) other
+  in
+  let child_stats p q =
+    (* differing children of p against q, and the max child difference *)
+    let q_children = Parent.children q in
+    let diffs =
+      List.filter_map
+        (fun c ->
+          if List.exists (Iset.equal c) q_children then None
+          else
+            Some
+              (List.fold_left (fun m c' -> min m (Iset.sym_diff_size c c')) (Iset.cardinal c)
+                 q_children))
+        (Parent.children p)
+    in
+    (List.length diffs, List.fold_left max 0 diffs)
+  in
+  let d2 = ref 0 and d1 = ref 0 in
+  let consider side other =
+    List.iter
+      (fun p ->
+        match best_match p other with
+        | _, Some q ->
+          let nd, md = child_stats p q in
+          d2 := max !d2 nd;
+          d1 := max !d1 md
+        | _, None ->
+          d2 := max !d2 (Parent.cardinal p);
+          d1 := max !d1 (Parent.max_child_size p))
+      side
+  in
+  consider a_only b;
+  consider b_only a;
+  (d3, !d2, max 1 !d1)
+
+type outcome = { recovered : t; differing_parents : int; stats : Comm.stats }
+
+type error = [ `Decode_failure of Comm.stats ]
+
+(* Level-2 encoding: a parent becomes (IBLT over its child encodings, 64-bit
+   parent hash), serialized at fixed width. *)
+type level2_config = {
+  cfg1 : Encoding.config;
+  parent_prm : Iblt.params;
+  seed : int64;
+}
+
+let level2_config ~seed ~d ~d2 ~s_bound ~k =
+  let cfg1 : Encoding.config =
+    {
+      child_cells = Iblt.recommended_cells ~k ~diff_bound:d;
+      child_k = k;
+      hash_bits = min 62 ((3 * Bits.ceil_log2 (max 2 s_bound)) + 10);
+      seed = Prng.derive ~seed ~tag:0x531;
+    }
+  in
+  let parent_prm : Iblt.params =
+    {
+      cells = Iblt.recommended_cells ~k ~diff_bound:(2 * d2);
+      k;
+      key_len = Encoding.key_length cfg1;
+      seed = Prng.derive ~seed ~tag:0x532;
+    }
+  in
+  { cfg1; parent_prm; seed }
+
+let parent_table cfg parent =
+  let table = Iblt.create cfg.parent_prm in
+  List.iter (fun c -> Iblt.insert table (Encoding.encode cfg.cfg1 c)) (Parent.children parent);
+  table
+
+let parent_key_length cfg = Iblt.body_length cfg.parent_prm + 8
+
+let encode_parent cfg parent =
+  let body = Iblt.body_bytes (parent_table cfg parent) in
+  let out = Bytes.create (Bytes.length body + 8) in
+  Bytes.blit body 0 out 0 (Bytes.length body);
+  Buf.set_int_le out (Bytes.length body) (Parent.hash ~seed:cfg.seed parent);
+  out
+
+let decode_parent_key cfg key =
+  let body_len = Iblt.body_length cfg.parent_prm in
+  if Bytes.length key <> body_len + 8 then invalid_arg "Sos3: bad parent key";
+  (Iblt.of_body_bytes cfg.parent_prm (Bytes.sub key 0 body_len), Buf.get_int_le key body_len)
+
+(* Recover one of Alice's parents from its level-2 key by pairing it with
+   one of Bob's differing parents. *)
+let try_recover_parent cfg ~alice_key ~bob_parent =
+  let alice_table, alice_hash = decode_parent_key cfg alice_key in
+  let diff = Iblt.subtract alice_table (parent_table cfg bob_parent) in
+  match Iblt.decode diff with
+  | Error `Peel_stuck -> None
+  | Ok { positives; negatives } -> (
+    (* negatives are encodings of Bob's children inside this parent. *)
+    let bob_children = Parent.children bob_parent in
+    let bob_encodings = List.map (fun c -> (Encoding.encode cfg.cfg1 c, c)) bob_children in
+    let db =
+      List.filter_map
+        (fun neg ->
+          List.find_opt (fun (key, _) -> Bytes.equal key neg) bob_encodings |> Option.map snd)
+        negatives
+    in
+    if List.length db <> List.length negatives then None
+    else begin
+      let rec recover_children keys acc =
+        match keys with
+        | [] -> Some acc
+        | key :: rest -> (
+          match List.find_map (fun bc -> Encoding.try_recover cfg.cfg1 ~alice_key:key ~bob_child:bc) db with
+          | Some child -> recover_children rest (child :: acc)
+          | None -> None)
+      in
+      match recover_children positives [] with
+      | None -> None
+      | Some da ->
+        let remaining = List.filter (fun c -> not (List.exists (Iset.equal c) db)) bob_children in
+        let candidate = Parent.of_children (da @ remaining) in
+        if Parent.hash ~seed:cfg.seed candidate = alice_hash then Some candidate else None
+    end)
+
+let run ~comm ~seed ~d ~d2 ~d3 ~k ~alice ~bob =
+  let s_bound =
+    max 2 (Array.fold_left (fun acc p -> max acc (Parent.cardinal p)) 2 bob)
+  in
+  let cfg = level2_config ~seed ~d ~d2 ~s_bound ~k in
+  let outer_prm : Iblt.params =
+    {
+      cells = Iblt.recommended_cells ~k ~diff_bound:(2 * d3);
+      k;
+      key_len = parent_key_length cfg;
+      seed = Prng.derive ~seed ~tag:0x533;
+    }
+  in
+  (* Alice's single message: grandparent IBLT over parent encodings + hash. *)
+  let outer = Iblt.create outer_prm in
+  Array.iter (fun p -> Iblt.insert outer (encode_parent cfg p)) alice;
+  let alice_hash = hash ~seed alice in
+  Comm.send comm Comm.A_to_b ~label:"sos3-iblt+hash" ~bits:(Iblt.size_bits outer + 64);
+  (* Bob's side. *)
+  let bob_encodings = Array.to_list (Array.map (fun p -> (encode_parent cfg p, p)) bob) in
+  let bob_outer = Iblt.create outer_prm in
+  List.iter (fun (key, _) -> Iblt.insert bob_outer key) bob_encodings;
+  match Iblt.decode (Iblt.subtract outer bob_outer) with
+  | Error `Peel_stuck -> Error `Decode_failure
+  | Ok { positives; negatives } -> (
+    let db3 =
+      List.filter_map
+        (fun neg ->
+          List.find_opt (fun (key, _) -> Bytes.equal key neg) bob_encodings |> Option.map snd)
+        negatives
+    in
+    if List.length db3 <> List.length negatives then Error `Decode_failure
+    else begin
+      let rec recover_parents keys acc =
+        match keys with
+        | [] -> Some acc
+        | key :: rest -> (
+          match List.find_map (fun bp -> try_recover_parent cfg ~alice_key:key ~bob_parent:bp) db3 with
+          | Some parent -> recover_parents rest (parent :: acc)
+          | None -> None)
+      in
+      match recover_parents positives [] with
+      | None -> Error `Decode_failure
+      | Some da3 ->
+        let remaining =
+          List.filter (fun p -> not (List.exists (Parent.equal p) db3)) (Array.to_list bob)
+        in
+        let recovered = of_parents (da3 @ remaining) in
+        if hash ~seed recovered = alice_hash then
+          Ok { recovered; differing_parents = List.length positives; stats = Comm.stats comm }
+        else Error `Decode_failure
+    end)
+
+let reconcile_known ~seed ~d ?d2 ?d3 ?(k = 3) ~alice ~bob () =
+  let d2 = match d2 with Some v -> v | None -> d in
+  let d3 = match d3 with Some v -> v | None -> d in
+  let comm = Comm.create () in
+  match run ~comm ~seed ~d ~d2 ~d3 ~k ~alice ~bob with
+  | Ok o -> Ok o
+  | Error `Decode_failure -> Error (`Decode_failure (Comm.stats comm))
+
+let reconcile_unknown ~seed ?(k = 3) ?(max_d = 1 lsl 16) ~alice ~bob () =
+  let comm = Comm.create () in
+  let rec attempt d =
+    if d > max_d then Error (`Decode_failure (Comm.stats comm))
+    else begin
+      match
+        run ~comm ~seed:(Prng.derive ~seed ~tag:(0x540 + Bits.ceil_log2 (d + 1))) ~d ~d2:d ~d3:d ~k
+          ~alice ~bob
+      with
+      | Ok o -> Ok o
+      | Error `Decode_failure ->
+        Comm.send comm Comm.B_to_a ~label:"retry" ~bits:8;
+        attempt (2 * d)
+    end
+  in
+  attempt 1

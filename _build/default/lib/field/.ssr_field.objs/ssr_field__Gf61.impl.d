@@ -1,0 +1,1 @@
+lib/field/gf61.ml: Format Ssr_util

@@ -1,0 +1,1 @@
+lib/field/gf61.mli: Format Ssr_util

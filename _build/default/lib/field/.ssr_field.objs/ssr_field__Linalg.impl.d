@@ -1,0 +1,1 @@
+lib/field/linalg.ml: Array Gf61

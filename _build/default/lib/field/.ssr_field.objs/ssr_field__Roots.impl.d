@@ -1,0 +1,1 @@
+lib/field/roots.ml: Gf61 List Poly Ssr_util

@@ -1,0 +1,1 @@
+lib/field/roots.mli: Gf61 Poly Ssr_util

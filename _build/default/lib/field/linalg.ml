@@ -1,0 +1,72 @@
+type solution =
+  | Unique of Gf61.t array
+  | Underdetermined of Gf61.t array
+  | Inconsistent
+
+let solve a b =
+  let m = Array.length a in
+  if Array.length b <> m then invalid_arg "Linalg.solve: dimension mismatch";
+  if m = 0 then Underdetermined [||]
+  else begin
+    let n = Array.length a.(0) in
+    let mat = Array.map Array.copy a in
+    let rhs = Array.copy b in
+    let pivot_col = Array.make m (-1) in
+    let row = ref 0 in
+    let col = ref 0 in
+    while !row < m && !col < n do
+      (* Find a pivot in this column at or below [row]. *)
+      let pr = ref (-1) in
+      (try
+         for r = !row to m - 1 do
+           if mat.(r).(!col) <> 0 then begin
+             pr := r;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      if !pr < 0 then incr col
+      else begin
+        let r0 = !pr in
+        if r0 <> !row then begin
+          let tmp = mat.(r0) in
+          mat.(r0) <- mat.(!row);
+          mat.(!row) <- tmp;
+          let tb = rhs.(r0) in
+          rhs.(r0) <- rhs.(!row);
+          rhs.(!row) <- tb
+        end;
+        let inv = Gf61.inv mat.(!row).(!col) in
+        for j = !col to n - 1 do
+          mat.(!row).(j) <- Gf61.mul mat.(!row).(j) inv
+        done;
+        rhs.(!row) <- Gf61.mul rhs.(!row) inv;
+        for r = 0 to m - 1 do
+          if r <> !row && mat.(r).(!col) <> 0 then begin
+            let factor = mat.(r).(!col) in
+            for j = !col to n - 1 do
+              mat.(r).(j) <- Gf61.sub mat.(r).(j) (Gf61.mul factor mat.(!row).(j))
+            done;
+            rhs.(r) <- Gf61.sub rhs.(r) (Gf61.mul factor rhs.(!row))
+          end
+        done;
+        pivot_col.(!row) <- !col;
+        incr row;
+        incr col
+      end
+    done;
+    let rank = !row in
+    (* Inconsistent iff some zero row has a nonzero rhs. *)
+    let inconsistent = ref false in
+    for r = rank to m - 1 do
+      if rhs.(r) <> 0 then inconsistent := true
+    done;
+    if !inconsistent then Inconsistent
+    else begin
+      let x = Array.make n 0 in
+      for r = 0 to rank - 1 do
+        x.(pivot_col.(r)) <- rhs.(r)
+      done;
+      if rank = n then Unique x else Underdetermined x
+    end
+  end

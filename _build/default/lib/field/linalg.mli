@@ -1,0 +1,20 @@
+(** Linear algebra over GF(2^61 - 1).
+
+    Theorem 2.3 interpolates the rational function chi_A(z)/chi_B(z) from
+    point evaluations by solving a linear system in the unknown coefficients
+    (the "Gaussian elimination" step whose O(d^3) cost the paper cites). *)
+
+type solution =
+  | Unique of Gf61.t array
+  | Underdetermined of Gf61.t array
+      (** A valid solution with all free variables set to zero. For rational
+          interpolation this corresponds to picking one member of the
+          solution family; the spurious common factor it introduces is
+          removed by a polynomial gcd afterwards. *)
+  | Inconsistent
+
+val solve : Gf61.t array array -> Gf61.t array -> solution
+(** [solve a b] solves [a x = b] where [a] is an [m x n] row-major matrix
+    and [b] has length [m]. Gaussian elimination with partial (first
+    nonzero) pivoting; [O(m n min(m,n))]. The input arrays are not
+    modified. *)

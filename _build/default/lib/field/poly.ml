@@ -1,0 +1,129 @@
+type t = int array
+(* Invariant: either empty (the zero polynomial) or the last element is
+   nonzero. Index i holds the coefficient of z^i. *)
+
+let zero = [||]
+
+let normalize arr =
+  let n = Array.length arr in
+  let rec top i = if i >= 0 && arr.(i) = 0 then top (i - 1) else i in
+  let d = top (n - 1) in
+  if d = n - 1 then arr else Array.sub arr 0 (d + 1)
+
+let of_coeffs arr = normalize (Array.copy arr)
+
+let constant c = if c = 0 then [||] else [| c |]
+
+let one = [| 1 |]
+
+let coeffs t = Array.copy t
+
+let degree t = Array.length t - 1
+
+let is_zero t = Array.length t = 0
+
+let equal (a : t) b = a = b
+
+let coeff t i = if i < Array.length t then t.(i) else 0
+
+let eval t x =
+  let acc = ref 0 in
+  for i = Array.length t - 1 downto 0 do
+    acc := Gf61.add (Gf61.mul !acc x) t.(i)
+  done;
+  !acc
+
+let add a b =
+  let la = Array.length a and lb = Array.length b in
+  let n = max la lb in
+  normalize (Array.init n (fun i -> Gf61.add (coeff a i) (coeff b i)))
+
+let sub a b =
+  let la = Array.length a and lb = Array.length b in
+  let n = max la lb in
+  normalize (Array.init n (fun i -> Gf61.sub (coeff a i) (coeff b i)))
+
+let mul a b =
+  if is_zero a || is_zero b then zero
+  else begin
+    let la = Array.length a and lb = Array.length b in
+    let out = Array.make (la + lb - 1) 0 in
+    for i = 0 to la - 1 do
+      if a.(i) <> 0 then
+        for j = 0 to lb - 1 do
+          out.(i + j) <- Gf61.add out.(i + j) (Gf61.mul a.(i) b.(j))
+        done
+    done;
+    out
+  end
+
+let scale c t = if c = 0 then zero else normalize (Array.map (Gf61.mul c) t)
+
+let monic t =
+  if is_zero t then invalid_arg "Poly.monic: zero polynomial";
+  let lead = t.(Array.length t - 1) in
+  if lead = 1 then t else scale (Gf61.inv lead) t
+
+let divmod a b =
+  if is_zero b then invalid_arg "Poly.divmod: division by zero polynomial";
+  let db = degree b in
+  let da = degree a in
+  if da < db then (zero, a)
+  else begin
+    let rem = Array.copy a in
+    let q = Array.make (da - db + 1) 0 in
+    let lead_inv = Gf61.inv b.(db) in
+    for i = da - db downto 0 do
+      let c = Gf61.mul rem.(i + db) lead_inv in
+      q.(i) <- c;
+      if c <> 0 then
+        for j = 0 to db do
+          rem.(i + j) <- Gf61.sub rem.(i + j) (Gf61.mul c b.(j))
+        done
+    done;
+    (normalize q, normalize rem)
+  end
+
+let rec gcd a b =
+  if is_zero b then if is_zero a then zero else monic a
+  else
+    let _, r = divmod a b in
+    gcd b r
+
+let from_roots roots =
+  (* Product tree keeps intermediate degrees balanced. *)
+  let rec build lo hi =
+    if hi - lo = 0 then one
+    else if hi - lo = 1 then [| Gf61.neg roots.(lo); 1 |]
+    else
+      let mid = (lo + hi) / 2 in
+      mul (build lo mid) (build mid hi)
+  in
+  build 0 (Array.length roots)
+
+let eval_from_roots roots x =
+  Array.fold_left (fun acc r -> Gf61.mul acc (Gf61.sub x r)) 1 roots
+
+let powmod base k ~modulus =
+  if degree modulus < 1 then invalid_arg "Poly.powmod: modulus must have degree >= 1";
+  let reduce p = snd (divmod p modulus) in
+  let rec go base k acc =
+    if k = 0 then acc
+    else
+      let acc = if k land 1 = 1 then reduce (mul acc base) else acc in
+      go (reduce (mul base base)) (k lsr 1) acc
+  in
+  go (reduce base) k one
+
+let derivative t =
+  if Array.length t <= 1 then zero
+  else normalize (Array.init (Array.length t - 1) (fun i -> Gf61.mul (Gf61.of_int (i + 1)) t.(i + 1)))
+
+let pp fmt t =
+  if is_zero t then Format.fprintf fmt "0"
+  else
+    Array.iteri
+      (fun i c ->
+        if c <> 0 then
+          if i = 0 then Format.fprintf fmt "%d" c else Format.fprintf fmt " + %d z^%d" c i)
+      t

@@ -1,0 +1,67 @@
+(** Dense univariate polynomials over GF(2^61 - 1).
+
+    These are the characteristic polynomials of Theorem 2.3: a set
+    S = {x1, ..., xn} is represented by chi_S(z) = (z - x1)...(z - xn), and
+    reconciliation interpolates the rational function chi_A / chi_B from d
+    point evaluations. This module supplies the ring operations; rational
+    interpolation lives in {!Linalg} / {!module:Roots}. *)
+
+type t
+(** A polynomial; the zero polynomial has degree [-1]. Representations are
+    normalized (no trailing zero coefficients). *)
+
+val zero : t
+val one : t
+val constant : Gf61.t -> t
+
+val of_coeffs : Gf61.t array -> t
+(** Coefficients in increasing degree order; normalizes a copy. *)
+
+val coeffs : t -> Gf61.t array
+(** Fresh array of coefficients in increasing degree order; [[||]] for the
+    zero polynomial. *)
+
+val degree : t -> int
+(** [-1] for the zero polynomial. *)
+
+val is_zero : t -> bool
+val equal : t -> t -> bool
+
+val coeff : t -> int -> Gf61.t
+(** [coeff p i] is the coefficient of [z^i] (0 beyond the degree). *)
+
+val eval : t -> Gf61.t -> Gf61.t
+(** Horner evaluation, O(degree). *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+(** Schoolbook multiplication; degrees in this library are O(d), which is
+    small, so no FFT is needed. *)
+
+val scale : Gf61.t -> t -> t
+val monic : t -> t
+(** Divide by the leading coefficient. Requires a nonzero polynomial. *)
+
+val divmod : t -> t -> t * t
+(** [divmod a b = (q, r)] with [a = q*b + r] and [degree r < degree b].
+    Requires [b] nonzero. *)
+
+val gcd : t -> t -> t
+(** Monic greatest common divisor. *)
+
+val from_roots : Gf61.t array -> t
+(** [(z - r1)...(z - rk)], the characteristic polynomial of the multiset of
+    roots. Product-tree construction, O(k^2) worst case (k is O(d) here). *)
+
+val eval_from_roots : Gf61.t array -> Gf61.t -> Gf61.t
+(** Evaluate [(z - r1)...(z - rk)] at a point without building the
+    polynomial — this is how Alice computes chi_S(z_i) in O(n) per point. *)
+
+val powmod : t -> int -> modulus:t -> t
+(** [powmod base k ~modulus]: [base^k mod modulus] by repeated squaring;
+    the workhorse of equal-degree factorization in {!module:Roots}. *)
+
+val derivative : t -> t
+
+val pp : Format.formatter -> t -> unit

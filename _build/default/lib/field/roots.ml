@@ -1,0 +1,65 @@
+module Prng = Ssr_util.Prng
+
+let x_poly = Poly.of_coeffs [| 0; 1 |]
+
+(* Product of the distinct linear factors of [f]: gcd(f, x^p - x). *)
+let linear_part f =
+  let xp = Poly.powmod x_poly Gf61.p ~modulus:f in
+  Poly.gcd f (Poly.sub xp x_poly)
+
+(* Split a product of distinct linear factors into its roots.
+   (x + a)^((p-1)/2) mod g is ±1 at each root shifted by a; gcd with
+   (that - 1) separates the quadratic residues from the rest. *)
+let rec split_roots rng g acc =
+  match Poly.degree g with
+  | 0 -> acc
+  | 1 ->
+    (* g = x + c  =>  root = -c (g is monic). *)
+    Gf61.neg (Poly.coeff g 0) :: acc
+  | _ ->
+    let a = Gf61.random rng in
+    let shifted = Poly.of_coeffs [| a; 1 |] in
+    let h = Poly.powmod shifted ((Gf61.p - 1) / 2) ~modulus:g in
+    let w = Poly.gcd g (Poly.sub h Poly.one) in
+    let dw = Poly.degree w in
+    if dw = 0 || dw = Poly.degree g then split_roots rng g acc
+    else
+      let other, rem = Poly.divmod g w in
+      assert (Poly.is_zero rem);
+      split_roots rng w (split_roots rng other acc)
+
+let distinct_roots rng f =
+  if Poly.is_zero f then invalid_arg "Roots.distinct_roots: zero polynomial";
+  if Poly.degree f = 0 then []
+  else
+    let g = linear_part (Poly.monic f) in
+    if Poly.degree g = 0 then [] else List.sort compare (split_roots rng g [])
+
+let multiplicity_of f root =
+  let factor = Poly.of_coeffs [| Gf61.neg root; 1 |] in
+  let rec go f count =
+    let q, r = Poly.divmod f factor in
+    if Poly.is_zero r then go q (count + 1) else (count, f)
+  in
+  go f 0
+
+let roots_with_multiplicity rng f =
+  let roots = distinct_roots rng f in
+  let remaining = ref (Poly.monic f) in
+  let out =
+    List.map
+      (fun root ->
+        let count, rest = multiplicity_of !remaining root in
+        remaining := rest;
+        (root, count))
+      roots
+  in
+  List.sort compare out
+
+let splits_completely rng f =
+  if Poly.is_zero f then None
+  else if Poly.degree f = 0 then Some []
+  else
+    let factors = roots_with_multiplicity rng f in
+    let total = List.fold_left (fun acc (_, m) -> acc + m) 0 factors in
+    if total = Poly.degree f then Some factors else None

@@ -1,0 +1,24 @@
+(** Root finding over GF(2^61 - 1).
+
+    Theorem 2.3's reconciliation ends by "computing the roots of the ratio of
+    polynomials": the numerator's roots are Alice's missing elements, so Bob
+    cannot simply test candidates — he must factor. We find roots with the
+    standard probabilistic method: reduce to the distinct-root part via
+    gcd(f, x^p - x), then split by Cantor–Zassenhaus equal-degree splitting
+    with random shifts. Las Vegas: answers are always correct; only the
+    running time is randomized. *)
+
+val distinct_roots : Ssr_util.Prng.t -> Poly.t -> Gf61.t list
+(** All distinct roots of the polynomial, in increasing order. The zero
+    polynomial is rejected with [Invalid_argument]. *)
+
+val roots_with_multiplicity : Ssr_util.Prng.t -> Poly.t -> (Gf61.t * int) list
+(** Roots paired with multiplicities, in increasing root order. Needed for
+    multiset reconciliation (Section 3.4), where characteristic polynomials
+    can have repeated roots. *)
+
+val splits_completely : Ssr_util.Prng.t -> Poly.t -> (Gf61.t * int) list option
+(** [splits_completely rng f] is [Some factors] when [f] is (a constant
+    times) a product of linear factors, and [None] otherwise. Reconciliation
+    uses this as its success check: a numerator that does not split means
+    the difference bound was too small. *)

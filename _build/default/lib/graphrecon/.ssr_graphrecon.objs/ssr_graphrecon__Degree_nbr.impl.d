@@ -1,0 +1,1 @@
+lib/graphrecon/degree_nbr.ml: Array Option Ssr_core Ssr_graphs Ssr_setrecon Ssr_util

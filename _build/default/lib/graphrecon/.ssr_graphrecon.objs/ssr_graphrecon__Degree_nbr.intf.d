@@ -1,0 +1,1 @@
+lib/graphrecon/degree_nbr.mli: Ssr_graphs Ssr_setrecon

@@ -1,0 +1,1 @@
+lib/graphrecon/degree_order.mli: Ssr_graphs Ssr_setrecon

@@ -1,0 +1,1 @@
+lib/graphrecon/forest_recon.ml: Ssr_core Ssr_graphs Ssr_setrecon Ssr_util

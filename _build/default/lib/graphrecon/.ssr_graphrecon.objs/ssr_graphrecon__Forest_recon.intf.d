@@ -1,0 +1,1 @@
+lib/graphrecon/forest_recon.mli: Ssr_graphs Ssr_setrecon

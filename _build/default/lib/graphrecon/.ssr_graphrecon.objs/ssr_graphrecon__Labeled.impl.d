@@ -1,0 +1,1 @@
+lib/graphrecon/labeled.ml: Ssr_graphs Ssr_setrecon

@@ -1,0 +1,1 @@
+lib/graphrecon/labeled.mli: Ssr_graphs Ssr_setrecon

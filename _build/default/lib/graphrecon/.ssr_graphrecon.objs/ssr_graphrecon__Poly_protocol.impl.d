@@ -1,0 +1,1 @@
+lib/graphrecon/poly_protocol.ml: Array List Ssr_field Ssr_graphs Ssr_setrecon Ssr_util

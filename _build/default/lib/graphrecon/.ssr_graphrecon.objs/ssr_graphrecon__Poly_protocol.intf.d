@@ -1,0 +1,1 @@
+lib/graphrecon/poly_protocol.mli: Ssr_graphs Ssr_setrecon

@@ -1,0 +1,91 @@
+module Prng = Ssr_util.Prng
+module Graph = Ssr_graphs.Graph
+module Nsig = Ssr_graphs.Neighbor_degree_sig
+module Multiset = Ssr_setrecon.Multiset
+module Sos_multiset = Ssr_core.Sos_multiset
+module Protocol = Ssr_core.Protocol
+module Set_recon = Ssr_setrecon.Set_recon
+module Comm = Ssr_setrecon.Comm
+
+type outcome = { recovered : Graph.t; stats : Comm.stats }
+
+type error = [ `Decode_failure of Comm.stats | `Not_disjoint of Comm.stats ]
+
+(* Labeling: vertices in the canonical (Multiset.compare) order of their
+   signatures; ties void the scheme. *)
+let labeling_of_sigs sigs =
+  let n = Array.length sigs in
+  let order = Array.init n (fun v -> v) in
+  Array.sort (fun a b -> Multiset.compare sigs.(a) sigs.(b)) order;
+  let distinct = ref true in
+  for i = 0 to n - 2 do
+    if Multiset.compare sigs.(order.(i)) sigs.(order.(i + 1)) = 0 then distinct := false
+  done;
+  if not !distinct then None
+  else begin
+    let perm = Array.make n (-1) in
+    Array.iteri (fun rank v -> perm.(v) <- rank) order;
+    Some perm
+  end
+
+let labeled_view g ~cap =
+  Option.map (Graph.relabel g) (labeling_of_sigs (Nsig.signatures g ~cap))
+
+let reconcile ~seed ~d ~cap ~alice ~bob () =
+  if Graph.n alice <> Graph.n bob then invalid_arg "Degree_nbr.reconcile: size mismatch";
+  let n = Graph.n alice in
+  let sigs_a = Nsig.signatures alice ~cap in
+  let sigs_b = Nsig.signatures bob ~cap in
+  let empty = Comm.stats (Comm.create ()) in
+  match labeling_of_sigs sigs_a with
+  | None -> Error (`Not_disjoint empty)
+  | Some perm_a -> (
+    let labeled_alice = Graph.relabel alice perm_a in
+    (* --- Signature reconciliation: a set of multisets over [0, cap]. ---
+       Each edge change shifts the two endpoint signatures by one element
+       and each affected neighbour's by two, so the total multiset change is
+       at most d * (2 * maxdeg + 2) — Bob's max degree plus slack bounds
+       Alice's to within d. *)
+    let maxdeg = Array.fold_left max 0 (Graph.degrees bob) + d in
+    let d_ms = max 2 (d * ((2 * maxdeg) + 2)) in
+    let sos_a = Sos_multiset.of_children (Array.to_list sigs_a) in
+    let sos_b = Sos_multiset.of_children (Array.to_list sigs_b) in
+    match
+      Sos_multiset.reconcile Protocol.Cascade ~seed:(Prng.derive ~seed ~tag:1) ~d:d_ms ~u:(cap + 1)
+        ~alice:sos_a ~bob:sos_b ()
+    with
+    | Error (`Decode_failure stats) -> Error (`Decode_failure stats)
+    | Ok (recovered_sigs, sig_stats) -> (
+      let alice_sigs = Array.of_list (Sos_multiset.children recovered_sigs) in
+      (* Canonical order of the recovered collection = Alice's label order. *)
+      let perm = Array.make n (-1) in
+      let ambiguous = ref false in
+      Array.iteri
+        (fun v s ->
+          let matches = ref [] in
+          Array.iteri
+            (fun idx sa -> if Multiset.sym_diff_size s sa <= 2 * d then matches := idx :: !matches)
+            alice_sigs;
+          match !matches with
+          | [ idx ] -> perm.(v) <- idx
+          | _ -> ambiguous := true)
+        sigs_b;
+      let used = Array.make n false in
+      Array.iter
+        (fun l -> if l >= 0 && l < n && not used.(l) then used.(l) <- true else ambiguous := true)
+        perm;
+      if !ambiguous then Error (`Not_disjoint sig_stats)
+      else begin
+        let labeled_bob = Graph.relabel bob perm in
+        match
+          Set_recon.reconcile_known_d ~seed:(Prng.derive ~seed ~tag:2) ~d:(max 1 d)
+            ~alice:(Graph.edge_ids labeled_alice) ~bob:(Graph.edge_ids labeled_bob) ()
+        with
+        | Error (`Decode_failure stats) -> Error (`Decode_failure (Comm.merge_stats sig_stats stats))
+        | Ok edge_outcome ->
+          Ok
+            {
+              recovered = Graph.of_edge_ids ~n edge_outcome.Set_recon.recovered;
+              stats = Comm.merge_stats sig_stats edge_outcome.Set_recon.stats;
+            }
+      end))

@@ -1,0 +1,31 @@
+(** Random-graph reconciliation via the degree-neighbourhood scheme
+    (paper §5.2, Theorem 5.6).
+
+    Precondition (Theorem 5.5 gives when G(n,p) satisfies it w.h.p.): all
+    degree neighbourhoods are (cap, 4d+1)-disjoint for cap = pn. A vertex's
+    signature is the multiset of its neighbours' degrees (≤ cap); the
+    signatures are reconciled as a set of multisets (§3.4 reduction over
+    the cascading protocol), Bob matches each of his signatures to the
+    unique one of Alice's within multiset distance 2d, and the labeled edge
+    sets are reconciled in parallel. Costs O(pn) more communication than
+    the degree-ordering scheme but works for far sparser graphs — the
+    trade-off benchmarked in EXPERIMENTS.md (E6). *)
+
+type outcome = {
+  recovered : Ssr_graphs.Graph.t;  (** In Alice's labeling; isomorphic to GA. *)
+  stats : Ssr_setrecon.Comm.stats;
+}
+
+type error =
+  [ `Decode_failure of Ssr_setrecon.Comm.stats
+  | `Not_disjoint of Ssr_setrecon.Comm.stats ]
+
+val labeled_view : Ssr_graphs.Graph.t -> cap:int -> Ssr_graphs.Graph.t option
+(** The graph relabeled by the canonical order of its signatures; [None] on
+    a signature collision. *)
+
+val reconcile :
+  seed:int64 -> d:int -> cap:int ->
+  alice:Ssr_graphs.Graph.t -> bob:Ssr_graphs.Graph.t -> unit ->
+  (outcome, error) result
+(** [cap] is the degree cutoff m (use {!Ssr_graphs.Neighbor_degree_sig.default_cap}). *)

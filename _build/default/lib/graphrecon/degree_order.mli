@@ -1,0 +1,39 @@
+(** Random-graph reconciliation via the degree-ordering scheme
+    (paper §5.1, Theorem 5.2).
+
+    Precondition (Theorem 5.3 gives when it holds w.h.p. for G(n,p)): the
+    underlying graph is (h, d+1, 2d+1)-separated. Then:
+
+    - both parties label the top-h vertices by degree rank and the rest by
+      the lexicographic order of their h-bit signatures;
+    - the signatures, viewed as subsets of [h], are reconciled with the
+      cascading set-of-sets protocol (at most d total element changes,
+      since an edge change touches at most one signature);
+    - Bob matches each of his signatures to the unique one of Alice's
+      within Hamming distance d, yielding a conforming labeling;
+    - in parallel, the labeled edge sets are reconciled with an ordinary
+      IBLT (at most d edge differences under the conforming labeling).
+
+    One round, O(d (log d log h + log n)) bits. *)
+
+type outcome = {
+  recovered : Ssr_graphs.Graph.t;
+      (** Bob's final graph, in Alice's labeling — isomorphic to GA. *)
+  stats : Ssr_setrecon.Comm.stats;
+}
+
+type error =
+  [ `Decode_failure of Ssr_setrecon.Comm.stats
+  | `Not_separated of Ssr_setrecon.Comm.stats
+    (** Signature collision or ambiguous matching: the input violated the
+        separation precondition (always detected, never silent). *) ]
+
+val labeled_view : Ssr_graphs.Graph.t -> h:int -> Ssr_graphs.Graph.t option
+(** The graph relabeled by its own degree-order/signature labeling; [None]
+    if two signatures collide. [recovered] equals Alice's labeled view on
+    success. *)
+
+val reconcile :
+  seed:int64 -> d:int -> h:int ->
+  alice:Ssr_graphs.Graph.t -> bob:Ssr_graphs.Graph.t -> unit ->
+  (outcome, error) result

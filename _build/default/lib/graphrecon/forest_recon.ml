@@ -1,0 +1,44 @@
+module Prng = Ssr_util.Prng
+module Forest = Ssr_graphs.Forest
+module Sos_multiset = Ssr_core.Sos_multiset
+module Protocol = Ssr_core.Protocol
+module Comm = Ssr_setrecon.Comm
+
+type outcome = { recovered : Forest.t; stats : Comm.stats }
+
+type error = [ `Decode_failure of Comm.stats ]
+
+(* Signatures are 40-bit, tagged into 41-bit elements; the pair encoding
+   inside Sos_multiset then stays well below 2^61. *)
+let universe = 1 lsl 41
+
+let encode ~seed forest = Sos_multiset.of_children (Forest.edge_encoding ~seed forest)
+
+let finish result =
+  match result with
+  | Error (`Decode_failure stats) -> Error (`Decode_failure stats)
+  | Ok (recovered_enc, stats) -> (
+    match Forest.reconstruct (Sos_multiset.children recovered_enc) with
+    | Some forest -> Ok { recovered = forest; stats }
+    | None -> Error (`Decode_failure stats))
+
+let reconcile_known ~seed ~d ~sigma ~alice ~bob () =
+  let enc_seed = Prng.derive ~seed ~tag:0xF0 in
+  let alice_enc = encode ~seed:enc_seed alice in
+  let bob_enc = encode ~seed:enc_seed bob in
+  (* Each edge update rewrites <= sigma ancestor signatures; a signature
+     change touches its own child multiset (one parent element) and its
+     parent's (one child element), and the updated edge itself moves two
+     more elements. *)
+  let d_ms = max 2 (d * ((2 * (sigma + 1)) + 2)) in
+  finish
+    (Sos_multiset.reconcile Protocol.Cascade ~seed:(Prng.derive ~seed ~tag:0xF1) ~d:d_ms ~u:universe
+       ~alice:alice_enc ~bob:bob_enc ())
+
+let reconcile_unknown ~seed ~alice ~bob () =
+  let enc_seed = Prng.derive ~seed ~tag:0xF0 in
+  let alice_enc = encode ~seed:enc_seed alice in
+  let bob_enc = encode ~seed:enc_seed bob in
+  finish
+    (Sos_multiset.reconcile_unknown Protocol.Cascade ~seed:(Prng.derive ~seed ~tag:0xF1) ~u:universe
+       ~alice:alice_enc ~bob:bob_enc ())

@@ -1,0 +1,32 @@
+(** Forest reconciliation (paper §6, Theorem 6.1).
+
+    Alice and Bob hold rooted forests within d edge updates of each other,
+    with tree depth at most σ. Each vertex's subtree signature is a hash of
+    its children's sorted signatures; the forest is encoded as the multiset
+    of per-vertex child multisets ({!Ssr_graphs.Forest.edge_encoding}). One
+    edge update changes at most σ signatures, and each changed signature
+    perturbs O(1) elements of O(1) child multisets, so the encodings differ
+    by O(dσ) total elements and the cascading set-of-(multi)sets protocol
+    reconciles them in O(dσ log(dσ) log n) bits. Bob reconstructs a forest
+    isomorphic to Alice's from the recovered encoding (§6's grouping
+    argument, {!Ssr_graphs.Forest.reconstruct}). *)
+
+type outcome = {
+  recovered : Ssr_graphs.Forest.t;  (** Isomorphic to Alice's forest. *)
+  stats : Ssr_setrecon.Comm.stats;
+}
+
+type error = [ `Decode_failure of Ssr_setrecon.Comm.stats ]
+
+val reconcile_known :
+  seed:int64 -> d:int -> sigma:int ->
+  alice:Ssr_graphs.Forest.t -> bob:Ssr_graphs.Forest.t -> unit ->
+  (outcome, error) result
+(** One round; [d] bounds the edge updates and [sigma] the maximum depth
+    (both forests). *)
+
+val reconcile_unknown :
+  seed:int64 ->
+  alice:Ssr_graphs.Forest.t -> bob:Ssr_graphs.Forest.t -> unit ->
+  (outcome, error) result
+(** Repeated doubling when no bound is known. *)

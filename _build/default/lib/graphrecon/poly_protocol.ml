@@ -1,0 +1,38 @@
+module Prng = Ssr_util.Prng
+module Gf61 = Ssr_field.Gf61
+module Poly = Ssr_field.Poly
+module Graph = Ssr_graphs.Graph
+module Iso = Ssr_graphs.Iso
+module Comm = Ssr_setrecon.Comm
+
+(* The canonical index as a polynomial: coefficient i is bit i of the
+   canonical adjacency code. *)
+let canonical_poly g =
+  let code = Iso.canonical_code g in
+  let bits = Iso.code_bits ~n:(Graph.n g) in
+  Poly.of_coeffs (Array.init (max 1 bits) (fun i -> (code lsr i) land 1))
+
+let shared_point ~seed = Gf61.random (Prng.create ~seed:(Prng.derive ~seed ~tag:0x9071))
+
+let isomorphism_check ~seed a b =
+  let comm = Comm.create () in
+  let r = shared_point ~seed in
+  let pa = Poly.eval (canonical_poly a) r in
+  Comm.send comm Comm.A_to_b ~label:"r+p_A(r)" ~bits:128;
+  let pb = Poly.eval (canonical_poly b) r in
+  (Gf61.equal pa pb, Comm.stats comm)
+
+type error = [ `No_candidate of Comm.stats ]
+
+let reconcile ~seed ~d ~alice ~bob () =
+  if Graph.n alice <> Graph.n bob then invalid_arg "Poly_protocol.reconcile: size mismatch";
+  let comm = Comm.create () in
+  let r = shared_point ~seed in
+  let target = Poly.eval (canonical_poly alice) r in
+  Comm.send comm Comm.A_to_b ~label:"r+p_A(r)" ~bits:128;
+  let candidates = Iso.graphs_within bob ~d in
+  match
+    List.find_opt (fun g -> Gf61.equal (Poly.eval (canonical_poly g) r) target) candidates
+  with
+  | Some g -> Ok (g, Comm.stats comm)
+  | None -> Error (`No_candidate (Comm.stats comm))

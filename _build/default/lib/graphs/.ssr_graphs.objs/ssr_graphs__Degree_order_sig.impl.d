@@ -1,0 +1,1 @@
+lib/graphs/degree_order_sig.ml: Array Graph Ssr_util

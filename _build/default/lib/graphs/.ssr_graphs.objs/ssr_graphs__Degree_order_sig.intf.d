@@ -1,0 +1,1 @@
+lib/graphs/degree_order_sig.mli: Graph Ssr_util

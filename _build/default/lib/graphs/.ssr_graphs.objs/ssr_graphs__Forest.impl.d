@@ -1,0 +1,1 @@
+lib/graphs/forest.ml: Array Hashtbl List Ssr_setrecon Ssr_util String

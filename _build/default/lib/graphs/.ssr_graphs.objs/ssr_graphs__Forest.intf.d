@@ -1,0 +1,1 @@
+lib/graphs/forest.mli: Ssr_setrecon Ssr_util

@@ -1,0 +1,1 @@
+lib/graphs/gnp.ml: Graph Ssr_util

@@ -1,0 +1,1 @@
+lib/graphs/gnp.mli: Graph Ssr_util

@@ -1,0 +1,1 @@
+lib/graphs/graph.ml: Array Format Hashtbl List Ssr_util

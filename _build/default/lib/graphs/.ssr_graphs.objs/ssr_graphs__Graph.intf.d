@@ -1,0 +1,1 @@
+lib/graphs/graph.mli: Format Ssr_util

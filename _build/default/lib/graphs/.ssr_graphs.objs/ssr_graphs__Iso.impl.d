@@ -1,0 +1,1 @@
+lib/graphs/iso.ml: Array Graph List

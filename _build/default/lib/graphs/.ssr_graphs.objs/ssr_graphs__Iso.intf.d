@@ -1,0 +1,1 @@
+lib/graphs/iso.mli: Graph

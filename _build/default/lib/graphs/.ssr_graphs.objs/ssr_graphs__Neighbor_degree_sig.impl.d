@@ -1,0 +1,1 @@
+lib/graphs/neighbor_degree_sig.ml: Array Graph Ssr_setrecon Ssr_util

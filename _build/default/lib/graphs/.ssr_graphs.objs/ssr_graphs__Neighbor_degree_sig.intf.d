@@ -1,0 +1,1 @@
+lib/graphs/neighbor_degree_sig.mli: Graph Ssr_setrecon

@@ -1,0 +1,1 @@
+lib/graphs/planted.ml: Degree_order_sig Gnp Graph List Ssr_util

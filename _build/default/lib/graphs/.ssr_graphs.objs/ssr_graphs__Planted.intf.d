@@ -1,0 +1,1 @@
+lib/graphs/planted.mli: Graph Ssr_util

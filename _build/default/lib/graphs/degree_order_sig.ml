@@ -1,0 +1,56 @@
+module Iset = Ssr_util.Iset
+
+type t = { h : int; top : int array; sigs : (int * Iset.t) array }
+
+let by_degree g =
+  let order = Array.init (Graph.n g) (fun v -> v) in
+  let deg = Graph.degrees g in
+  (* Decreasing degree, ties by vertex id for determinism. *)
+  Array.sort (fun a b -> if deg.(a) <> deg.(b) then compare deg.(b) deg.(a) else compare a b) order;
+  order
+
+let signature g ~top v =
+  let sig_bits = ref [] in
+  Array.iteri (fun i t -> if Graph.has_edge g v t then sig_bits := i :: !sig_bits) top;
+  Iset.of_list !sig_bits
+
+let compute g ~h =
+  if h < 0 || h > Graph.n g then invalid_arg "Degree_order_sig.compute: h out of range";
+  let order = by_degree g in
+  let top = Array.sub order 0 h in
+  let rest = Array.sub order h (Graph.n g - h) in
+  let sigs = Array.map (fun v -> (v, signature g ~top v)) rest in
+  Array.sort (fun (_, s1) (_, s2) -> Iset.compare s1 s2) sigs;
+  { h; top; sigs }
+
+let is_separated g ~h ~a ~b =
+  let order = by_degree g in
+  let deg = Graph.degrees g in
+  let gaps_ok = ref (h <= Graph.n g) in
+  for i = 0 to min (h - 2) (Graph.n g - 2) do
+    if deg.(order.(i)) - deg.(order.(i + 1)) < a then gaps_ok := false
+  done;
+  if not !gaps_ok then false
+  else begin
+    let { sigs; _ } = compute g ~h in
+    let m = Array.length sigs in
+    let ok = ref true in
+    for i = 0 to m - 1 do
+      for j = i + 1 to m - 1 do
+        if Iset.sym_diff_size (snd sigs.(i)) (snd sigs.(j)) < b then ok := false
+      done
+    done;
+    !ok
+  end
+
+let recommended_h ~n ~p ~d ~delta =
+  if n < 2 then 1
+  else begin
+    let fn = float_of_int n in
+    let raw =
+      0.25
+      *. ((delta /. float_of_int (d + 1)) ** (1.0 /. 3.0))
+      *. ((p *. (1.0 -. p) *. fn /. log fn) ** (1.0 /. 6.0))
+    in
+    max 1 (min (n - 1) (int_of_float raw))
+  end

@@ -1,0 +1,30 @@
+(** Degree-ordering vertex signatures (paper §5.1, after Babai–Erdős–Selkow).
+
+    Sort the vertices by degree. The h highest-degree vertices are
+    identified by their rank; every remaining vertex v gets the signature
+    sig(v) ⊆ [h] recording which of the top-h vertices it is adjacent to.
+    Definition 5.1's (h, a, b)-separation makes the scheme robust to up to
+    d edge changes when a = d+1 and b = 2d+1: the top-h ranks cannot
+    reorder, and distinct vertices' signatures stay ≥ b apart while a
+    vertex's own signature moves ≤ d. *)
+
+type t = {
+  h : int;
+  top : int array;  (** The top-h vertices in decreasing degree order. *)
+  sigs : (int * Ssr_util.Iset.t) array;
+      (** (vertex, signature ⊆ [h]) for each non-top vertex, in lexicographic
+          signature order — the labeling order of Theorem 5.2. *)
+}
+
+val compute : Graph.t -> h:int -> t
+(** Ties in the top-h ordering are broken by vertex id; a graph that is
+    (h, 1, _)-separated has no ties, so the result is label-invariant
+    exactly when the scheme is usable. *)
+
+val is_separated : Graph.t -> h:int -> a:int -> b:int -> bool
+(** Definition 5.1: top-h degree gaps all ≥ a, pairwise signature Hamming
+    distances among the rest all ≥ b. *)
+
+val recommended_h : n:int -> p:float -> d:int -> delta:float -> int
+(** Theorem 5.3's setting h = (1/4) (δ/(d+1))^{1/3} (p(1-p)n / log n)^{1/6},
+    clamped to [\[1, n-1\]]. *)

@@ -1,0 +1,31 @@
+module Prng = Ssr_util.Prng
+
+let sample rng ~n ~p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Gnp.sample: p out of range";
+  if n < 0 then invalid_arg "Gnp.sample: negative n";
+  if p = 0.0 then Graph.create ~n ~edges:[]
+  else begin
+    (* Enumerate pairs (a,b), a<b, in row-major order and jump between
+       successes geometrically. *)
+    let edges = ref [] in
+    let total = n * (n - 1) / 2 in
+    let pos = ref (Prng.geometric_skip rng p) in
+    while !pos < total do
+      (* Invert the row-major index to a pair. *)
+      let rec find_row a remaining =
+        let row = n - 1 - a in
+        if remaining < row then (a, a + 1 + remaining) else find_row (a + 1) (remaining - row)
+      in
+      let a, b = find_row 0 !pos in
+      edges := (a, b) :: !edges;
+      pos := !pos + 1 + Prng.geometric_skip rng p
+    done;
+    Graph.create ~n ~edges:!edges
+  end
+
+let perturbed_pair rng ~n ~p ~d =
+  if d < 0 then invalid_arg "Gnp.perturbed_pair: negative d";
+  let base = sample rng ~n ~p in
+  let alice = Graph.flip_random_edges rng base (d / 2) in
+  let bob = Graph.flip_random_edges rng base (d - (d / 2)) in
+  (alice, bob)

@@ -1,0 +1,12 @@
+(** Erdős–Rényi G(n, p) sampling and the paper's perturbation model (§5).
+
+    The base graph G is drawn from G(n, p); Alice and Bob each obtain a
+    graph by making at most d/2 edge changes to G, so the two are within d
+    edge changes of each other. *)
+
+val sample : Ssr_util.Prng.t -> n:int -> p:float -> Graph.t
+(** Geometric skipping over the C(n,2) pairs: O(p n^2 + n) expected time. *)
+
+val perturbed_pair : Ssr_util.Prng.t -> n:int -> p:float -> d:int -> Graph.t * Graph.t
+(** [(alice, bob)]: one base sample with [d/2] (resp. [d - d/2]) random edge
+    flips applied independently to each copy. *)

@@ -1,0 +1,62 @@
+let code_bits ~n = n * (n - 1) / 2
+
+let rec permutations_of = function
+  | [] -> [ [] ]
+  | xs ->
+    List.concat_map
+      (fun x -> List.map (fun rest -> x :: rest) (permutations_of (List.filter (( <> ) x) xs)))
+      xs
+
+let permutations n = List.map Array.of_list (permutations_of (List.init n (fun i -> i)))
+
+(* Upper-triangle adjacency bits of [relabel g perm], packed little-endian in
+   pair order (0,1),(0,2),...,(n-2,n-1). *)
+let code_under g perm =
+  let n = Graph.n g in
+  let code = ref 0 in
+  let bit = ref 0 in
+  (* inverse: position (a,b) of the relabeled graph has an edge iff
+     (perm^-1 a, perm^-1 b) is an edge of g. *)
+  let inv = Array.make n 0 in
+  Array.iteri (fun v img -> inv.(img) <- v) perm;
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      if Graph.has_edge g inv.(a) inv.(b) then code := !code lor (1 lsl !bit);
+      incr bit
+    done
+  done;
+  !code
+
+let canonical_code g =
+  let n = Graph.n g in
+  if code_bits ~n > 60 then invalid_arg "Iso.canonical_code: graph too large";
+  List.fold_left (fun acc perm -> min acc (code_under g perm)) max_int (permutations n)
+
+let is_isomorphic a b =
+  Graph.n a = Graph.n b && Graph.num_edges a = Graph.num_edges b && canonical_code a = canonical_code b
+
+let find_isomorphism a b =
+  if Graph.n a <> Graph.n b || Graph.num_edges a <> Graph.num_edges b then None
+  else
+    List.find_opt (fun perm -> Graph.equal (Graph.relabel a perm) b) (permutations (Graph.n a))
+
+let graphs_within g ~d =
+  let n = Graph.n g in
+  let pairs =
+    List.concat (List.init n (fun a -> List.init (n - a - 1) (fun k -> (a, a + k + 1))))
+  in
+  (* Choose up to d distinct pairs to flip; pairs are ordered to avoid
+     generating the same flip set twice. *)
+  let rec go remaining depth acc g_cur =
+    if depth = 0 then acc
+    else
+      List.concat
+        (List.mapi
+           (fun i (a, b) ->
+             let g' = Graph.toggle_edge g_cur a b in
+             let rest = List.filteri (fun j _ -> j > i) remaining in
+             g' :: go rest (depth - 1) [] g')
+           remaining)
+      @ acc
+  in
+  g :: go pairs d [] g

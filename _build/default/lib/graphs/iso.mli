@@ -1,0 +1,29 @@
+(** Graph isomorphism utilities for small graphs (paper §4).
+
+    The information-theoretic protocols of Section 4 need the canonical form
+    of a graph — "the first graph in increasing lexicographical order
+    isomorphic to hers" — which for an n-vertex graph is the minimum, over
+    all n! relabelings, of the upper-triangular adjacency bit string. These
+    brute-force routines are exactly what Theorem 4.1/4.3 charge their
+    (unbounded) computation for; they are practical here for n up to ~8. *)
+
+val canonical_code : Graph.t -> int
+(** The C(n,2)-bit canonical adjacency string packed into an int (so
+    [n <= 10]). Two graphs are isomorphic iff their codes are equal. *)
+
+val code_bits : n:int -> int
+(** Number of bits in the code: C(n,2). *)
+
+val is_isomorphic : Graph.t -> Graph.t -> bool
+(** Brute force over permutations via {!canonical_code}. *)
+
+val find_isomorphism : Graph.t -> Graph.t -> int array option
+(** A vertex bijection [perm] with [relabel a perm = b], if one exists. *)
+
+val permutations : int -> int array list
+(** All permutations of [0..n-1]; exposed for tests. *)
+
+val graphs_within : Graph.t -> d:int -> Graph.t list
+(** Every graph obtainable from [g] by at most [d] edge flips (including
+    [g] itself) — the O(n^{2d}) candidate set Bob enumerates in
+    Theorem 4.3. *)

@@ -1,0 +1,28 @@
+module Iset = Ssr_util.Iset
+module Multiset = Ssr_setrecon.Multiset
+
+let signature g ~cap v =
+  let deg = Graph.degrees g in
+  let ds = ref [] in
+  Iset.iter (fun w -> if deg.(w) <= cap then ds := deg.(w) :: !ds) (Graph.neighbors g v);
+  Multiset.of_list !ds
+
+let signatures g ~cap =
+  let deg = Graph.degrees g in
+  Array.init (Graph.n g) (fun v ->
+      let ds = ref [] in
+      Iset.iter (fun w -> if deg.(w) <= cap then ds := deg.(w) :: !ds) (Graph.neighbors g v);
+      Multiset.of_list !ds)
+
+let is_disjoint g ~cap ~k =
+  let sigs = signatures g ~cap in
+  let n = Array.length sigs in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if !ok && Multiset.sym_diff_size sigs.(i) sigs.(j) < k then ok := false
+    done
+  done;
+  !ok
+
+let default_cap ~n ~p = max 1 (int_of_float (ceil (p *. float_of_int n)))

@@ -1,0 +1,24 @@
+(** Degree-neighbourhood vertex signatures (paper §5.2, after
+    Czajka–Pandurangan).
+
+    A vertex's signature D_v is the multiset of the degrees of its
+    neighbours, keeping only degrees at most a cap m (the paper uses
+    m = pn). Definition 5.4's (m, k)-disjointness — every pair of vertices'
+    signatures differ in ≥ k elements — with k = 4d+1 makes the scheme
+    robust to d edge changes: an edge change moves any one signature by at
+    most two elements, so conforming vertices stay ≤ 2d apart and
+    non-conforming ones ≥ 2d+1. Works for much sparser graphs than the
+    degree-ordering scheme (p down to polylog(n)/n). *)
+
+val signature : Graph.t -> cap:int -> int -> Ssr_setrecon.Multiset.t
+(** [signature g ~cap v]: degrees (each ≤ cap) of v's neighbours. *)
+
+val signatures : Graph.t -> cap:int -> Ssr_setrecon.Multiset.t array
+(** All vertex signatures, indexed by vertex. *)
+
+val is_disjoint : Graph.t -> cap:int -> k:int -> bool
+(** Definition 5.4 over all vertex pairs: every two signatures differ by at
+    least [k] (multiset symmetric difference). O(n^2 · pn). *)
+
+val default_cap : n:int -> p:float -> int
+(** The paper's m = pn (rounded up, at least 1). *)

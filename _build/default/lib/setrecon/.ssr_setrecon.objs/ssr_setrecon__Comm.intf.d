@@ -1,0 +1,1 @@
+lib/setrecon/comm.mli: Format

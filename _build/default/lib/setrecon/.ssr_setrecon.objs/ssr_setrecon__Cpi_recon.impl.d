@@ -1,0 +1,1 @@
+lib/setrecon/cpi_recon.ml: Array Comm Hashtbl List Ssr_field Ssr_util

@@ -1,0 +1,1 @@
+lib/setrecon/cpi_recon.mli: Comm Ssr_field Ssr_util

@@ -1,0 +1,1 @@
+lib/setrecon/multi_party.ml: Array Comm Set_recon Ssr_sketch Ssr_util

@@ -1,0 +1,1 @@
+lib/setrecon/multi_party.mli: Comm Ssr_util

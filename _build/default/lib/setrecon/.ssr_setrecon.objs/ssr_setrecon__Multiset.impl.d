@@ -1,0 +1,1 @@
+lib/setrecon/multiset.ml: Array Bytes Format Hashtbl List Ssr_util

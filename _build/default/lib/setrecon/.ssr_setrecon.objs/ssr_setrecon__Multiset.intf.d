@@ -1,0 +1,1 @@
+lib/setrecon/multiset.mli: Bytes Format

@@ -1,0 +1,1 @@
+lib/setrecon/multiset_recon.ml: Comm List Multiset Ssr_sketch Ssr_util

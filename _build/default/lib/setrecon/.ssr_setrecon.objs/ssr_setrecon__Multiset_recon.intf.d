@@ -1,0 +1,1 @@
+lib/setrecon/multiset_recon.mli: Comm Multiset

@@ -1,0 +1,1 @@
+lib/setrecon/set_recon.ml: Comm Ssr_sketch Ssr_util

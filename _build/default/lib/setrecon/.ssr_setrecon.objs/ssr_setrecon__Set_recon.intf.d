@@ -1,0 +1,1 @@
+lib/setrecon/set_recon.mli: Comm Ssr_sketch Ssr_util

@@ -1,0 +1,1 @@
+lib/setrecon/two_way.ml: Comm Set_recon Ssr_sketch Ssr_util

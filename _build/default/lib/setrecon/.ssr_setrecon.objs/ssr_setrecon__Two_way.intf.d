@@ -1,0 +1,1 @@
+lib/setrecon/two_way.mli: Comm Ssr_sketch Ssr_util

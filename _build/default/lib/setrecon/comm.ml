@@ -1,0 +1,49 @@
+type direction = A_to_b | B_to_a
+
+type message = { round : int; direction : direction; label : string; bits : int }
+
+type t = { mutable log : message list (* newest first *) }
+
+type stats = {
+  rounds : int;
+  bits_total : int;
+  bits_a_to_b : int;
+  bits_b_to_a : int;
+  messages : message list;
+}
+
+let create () = { log = [] }
+
+let send t direction ~label ~bits =
+  if bits < 0 then invalid_arg "Comm.send: negative bits";
+  let round =
+    match t.log with
+    | [] -> 1
+    | last :: _ -> if last.direction = direction then last.round else last.round + 1
+  in
+  t.log <- { round; direction; label; bits } :: t.log
+
+let stats t =
+  let messages = List.rev t.log in
+  let rounds = match t.log with [] -> 0 | last :: _ -> last.round in
+  let bits_a_to_b, bits_b_to_a =
+    List.fold_left
+      (fun (ab, ba) m -> match m.direction with A_to_b -> (ab + m.bits, ba) | B_to_a -> (ab, ba + m.bits))
+      (0, 0) messages
+  in
+  { rounds; bits_total = bits_a_to_b + bits_b_to_a; bits_a_to_b; bits_b_to_a; messages }
+
+let merge_stats a b =
+  {
+    rounds = max a.rounds b.rounds;
+    bits_total = a.bits_total + b.bits_total;
+    bits_a_to_b = a.bits_a_to_b + b.bits_a_to_b;
+    bits_b_to_a = a.bits_b_to_a + b.bits_b_to_a;
+    messages = a.messages @ b.messages;
+  }
+
+let pp_stats fmt s =
+  Format.fprintf fmt "rounds=%d total=%d bits (A->B %d, B->A %d)" s.rounds s.bits_total s.bits_a_to_b
+    s.bits_b_to_a
+
+let show_stats s = Format.asprintf "%a" pp_stats s

@@ -1,0 +1,40 @@
+(** Communication accounting.
+
+    Every protocol in this library threads a recorder through its message
+    exchanges and reports honest costs: bits are the sizes of the actual
+    serialized messages, and a round is a maximal run of messages in one
+    direction (the paper counts "the number of total messages sent", e.g. a
+    one-round protocol is a single Alice-to-Bob transmission). The benchmark
+    tables (EXPERIMENTS.md) are produced from these numbers. *)
+
+type direction = A_to_b | B_to_a
+
+type message = { round : int; direction : direction; label : string; bits : int }
+
+type t
+(** A mutable transcript recorder. *)
+
+type stats = {
+  rounds : int;
+  bits_total : int;
+  bits_a_to_b : int;
+  bits_b_to_a : int;
+  messages : message list;  (** In transmission order. *)
+}
+
+val create : unit -> t
+
+val send : t -> direction -> label:string -> bits:int -> unit
+(** Record a message. Consecutive sends in the same direction share a round;
+    a direction switch starts a new one. *)
+
+val stats : t -> stats
+
+val merge_stats : stats -> stats -> stats
+(** Combine transcripts of sub-protocols that run in parallel (rounds take
+    the max, bits add). *)
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val show_stats : stats -> string
+(** [pp_stats] rendered to a string (for [Printf] users). *)

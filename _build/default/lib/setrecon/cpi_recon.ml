@@ -1,0 +1,209 @@
+module Iset = Ssr_util.Iset
+module Prng = Ssr_util.Prng
+module Gf61 = Ssr_field.Gf61
+module Poly = Ssr_field.Poly
+module Roots = Ssr_field.Roots
+module Linalg = Ssr_field.Linalg
+
+type outcome = {
+  recovered : Iset.t;
+  alice_minus_bob : Iset.t;
+  bob_minus_alice : Iset.t;
+  stats : Comm.stats;
+}
+
+type error = [ `Bound_too_small of Comm.stats ]
+
+(* Element x is the field value x + 1; evaluation point i sits at the top of
+   the field where no encoding can land. *)
+let encode x =
+  if x < 0 || x >= Gf61.p - 2 then invalid_arg "Cpi_recon: element out of field range";
+  x + 1
+
+let decode_root r = r - 1
+
+let eval_point i = Gf61.p - 1 - i
+
+let num_points ~d = d + 2
+
+let encode_multiset pairs =
+  List.concat_map
+    (fun (x, k) ->
+      if k <= 0 then invalid_arg "Cpi_recon: non-positive multiplicity";
+      List.init k (fun _ -> encode x))
+    pairs
+
+let evals_of_roots ~d roots =
+  let roots = Array.of_list roots in
+  Array.init (num_points ~d) (fun i -> Poly.eval_from_roots roots (eval_point i))
+
+let evaluations ~d s = evals_of_roots ~d (List.map encode (Iset.to_list s))
+
+(* Interpolate the reduced rational function P/Q (monic, deg P - deg Q =
+   delta, deg P + deg Q = dbar) from [dbar] of the shared evaluations, then
+   strip the common factor that an underdetermined solve may introduce. *)
+let interpolate ~dbar ~delta f =
+  let ma = (dbar + delta) / 2 in
+  let mb = (dbar - delta) / 2 in
+  let unknowns = ma + mb in
+  let row i =
+    let z = eval_point i in
+    let coeffs = Array.make unknowns 0 in
+    let zp = ref 1 in
+    for j = 0 to ma - 1 do
+      coeffs.(j) <- !zp;
+      zp := Gf61.mul !zp z
+    done;
+    let zq = ref 1 in
+    for j = 0 to mb - 1 do
+      coeffs.(ma + j) <- Gf61.neg (Gf61.mul f.(i) !zq);
+      zq := Gf61.mul !zq z
+    done;
+    let rhs = Gf61.sub (Gf61.mul f.(i) (Gf61.pow z mb)) (Gf61.pow z ma) in
+    (coeffs, rhs)
+  in
+  let rows = Array.init dbar row in
+  let matrix = Array.map fst rows in
+  let rhs = Array.map snd rows in
+  match Linalg.solve matrix rhs with
+  | Linalg.Inconsistent -> None
+  | Linalg.Unique x | Linalg.Underdetermined x ->
+    let pc = Array.append (Array.sub x 0 ma) [| 1 |] in
+    let qc = Array.append (Array.sub x ma mb) [| 1 |] in
+    let p = Poly.of_coeffs pc in
+    let q = Poly.of_coeffs qc in
+    let g = Poly.gcd p q in
+    let p', rp = Poly.divmod p g in
+    let q', rq = Poly.divmod q g in
+    assert (Poly.is_zero rp && Poly.is_zero rq);
+    Some (p', q')
+
+(* Shared decode: given Alice's evaluations and sizes, recover the two
+   difference multisets as (root, multiplicity) lists. *)
+let recover_diffs ~rng ~d ~size_a ~size_b bob_roots alice_evals =
+  let pts = num_points ~d in
+  let delta = size_a - size_b in
+  if abs delta > d + 1 then None
+  else begin
+    let dbar = if (d + 1 - abs delta) mod 2 = 0 then d + 1 else d in
+    let bob_arr = Array.of_list bob_roots in
+    let f =
+      Array.init pts (fun i ->
+          let denom = Poly.eval_from_roots bob_arr (eval_point i) in
+          Gf61.div alice_evals.(i) denom)
+    in
+    match interpolate ~dbar ~delta f with
+    | None -> None
+    | Some (p, q) -> (
+      (* Spare evaluation points double as a correctness check on the
+         interpolated rational function. *)
+      let consistent =
+        let rec check i =
+          if i >= pts then true
+          else
+            let z = eval_point i in
+            let qv = Poly.eval q z in
+            Gf61.equal (Poly.eval p z) (Gf61.mul f.(i) qv) && check (i + 1)
+        in
+        check dbar
+      in
+      if not consistent then None
+      else
+        match (Roots.splits_completely rng p, Roots.splits_completely rng q) with
+        | Some pr, Some qr -> Some (pr, qr)
+        | _ -> None)
+  end
+
+let num_evaluations ~d = num_points ~d
+
+let recover_set ~seed ~d ~size_a ~evals ~bob =
+  let rng = Prng.create ~seed:(Prng.derive ~seed ~tag:0xC93) in
+  if Array.length evals <> num_points ~d then invalid_arg "Cpi_recon.recover_set: wrong evaluation count";
+  let bob_roots = List.map encode (Iset.to_list bob) in
+  match recover_diffs ~rng ~d ~size_a ~size_b:(Iset.cardinal bob) bob_roots evals with
+  | None -> None
+  | Some (pr, qr) ->
+    if List.exists (fun (_, m) -> m <> 1) pr || List.exists (fun (_, m) -> m <> 1) qr then None
+    else begin
+      let a_minus_b = Iset.of_list (List.map (fun (r, _) -> decode_root r) pr) in
+      let b_minus_a = Iset.of_list (List.map (fun (r, _) -> decode_root r) qr) in
+      let valid =
+        Iset.fold (fun x ok -> ok && Iset.mem x bob) b_minus_a true
+        && Iset.fold (fun x ok -> ok && (not (Iset.mem x bob)) && x >= 0) a_minus_b true
+      in
+      if not valid then None
+      else begin
+        let recovered = Iset.apply_diff bob ~add:a_minus_b ~del:b_minus_a in
+        if Iset.cardinal recovered <> size_a then None else Some recovered
+      end
+    end
+
+let mk_stats ~d ~extra_bits =
+  let comm = Comm.create () in
+  Comm.send comm Comm.A_to_b ~label:"cpi-evals+size" ~bits:((64 * num_points ~d) + 64 + extra_bits);
+  Comm.stats comm
+
+let reconcile_known_d ~seed ~d ~alice ~bob () =
+  let rng = Prng.create ~seed:(Prng.derive ~seed ~tag:0xC91) in
+  let stats = mk_stats ~d ~extra_bits:0 in
+  let alice_evals = evaluations ~d alice in
+  let bob_roots = List.map encode (Iset.to_list bob) in
+  let fail () = Error (`Bound_too_small stats) in
+  match
+    recover_diffs ~rng ~d ~size_a:(Iset.cardinal alice) ~size_b:(Iset.cardinal bob) bob_roots alice_evals
+  with
+  | None -> fail ()
+  | Some (pr, qr) ->
+    (* Sets: all multiplicities must be 1, the negative side must come from
+       Bob's set, and the positive side must be new to it. *)
+    if List.exists (fun (_, m) -> m <> 1) pr || List.exists (fun (_, m) -> m <> 1) qr then fail ()
+    else begin
+      let a_minus_b = Iset.of_list (List.map (fun (r, _) -> decode_root r) pr) in
+      let b_minus_a = Iset.of_list (List.map (fun (r, _) -> decode_root r) qr) in
+      let valid =
+        Iset.fold (fun x ok -> ok && Iset.mem x bob) b_minus_a true
+        && Iset.fold (fun x ok -> ok && (not (Iset.mem x bob)) && x >= 0) a_minus_b true
+      in
+      if not valid then fail ()
+      else begin
+        let recovered = Iset.apply_diff bob ~add:a_minus_b ~del:b_minus_a in
+        if Iset.cardinal recovered <> Iset.cardinal alice then fail ()
+        else Ok { recovered; alice_minus_bob = a_minus_b; bob_minus_alice = b_minus_a; stats }
+      end
+    end
+
+let sorted_pairs tbl =
+  Hashtbl.fold (fun x k acc -> if k > 0 then (x, k) :: acc else acc) tbl []
+  |> List.sort compare
+
+let reconcile_multiset_known_d ~seed ~d ~alice ~bob () =
+  let rng = Prng.create ~seed:(Prng.derive ~seed ~tag:0xC92) in
+  let stats = mk_stats ~d ~extra_bits:0 in
+  let alice_roots = encode_multiset alice in
+  let bob_roots = encode_multiset bob in
+  let alice_evals = evals_of_roots ~d alice_roots in
+  let fail () = Error (`Bound_too_small stats) in
+  match
+    recover_diffs ~rng ~d ~size_a:(List.length alice_roots) ~size_b:(List.length bob_roots) bob_roots
+      alice_evals
+  with
+  | None -> fail ()
+  | Some (pr, qr) ->
+    let counts = Hashtbl.create 64 in
+    List.iter
+      (fun (x, k) -> Hashtbl.replace counts x (k + (try Hashtbl.find counts x with Not_found -> 0)))
+      bob;
+    let ok = ref true in
+    List.iter
+      (fun (r, m) ->
+        let x = decode_root r in
+        let cur = try Hashtbl.find counts x with Not_found -> 0 in
+        if cur < m || x < 0 then ok := false else Hashtbl.replace counts x (cur - m))
+      qr;
+    List.iter
+      (fun (r, m) ->
+        let x = decode_root r in
+        if x < 0 then ok := false
+        else Hashtbl.replace counts x (m + (try Hashtbl.find counts x with Not_found -> 0)))
+      pr;
+    if not !ok then fail () else Ok (sorted_pairs counts, stats)

@@ -1,0 +1,73 @@
+module Hashing = Ssr_util.Hashing
+module Prng = Ssr_util.Prng
+module Iblt = Ssr_sketch.Iblt
+
+type outcome = { recovered : Multiset.t; stats : Comm.stats }
+
+type error = [ `Decode_failure of Comm.stats ]
+
+let hash_tag = 0x3B5E
+
+let multiset_hash ~seed m =
+  Hashing.hash_bytes (Hashing.make ~seed ~tag:hash_tag) (Multiset.canonical_bytes m)
+
+let key_len = 16
+
+let run ~comm ~seed ~d ~k ~alice ~bob =
+  (* A multiset change alters at most two (element, count) pairs. *)
+  let prm : Iblt.params =
+    { cells = Iblt.recommended_cells ~k ~diff_bound:(2 * d); k; key_len; seed }
+  in
+  let table = Iblt.create prm in
+  List.iter (Iblt.insert table) (Multiset.pair_keys alice ~key_len);
+  let alice_hash = multiset_hash ~seed alice in
+  Comm.send comm Comm.A_to_b ~label:"multiset-iblt+hash" ~bits:(Iblt.size_bits table + 64);
+  let bob_table = Iblt.create prm in
+  List.iter (Iblt.insert bob_table) (Multiset.pair_keys bob ~key_len);
+  match Iblt.decode (Iblt.subtract table bob_table) with
+  | Error `Peel_stuck -> Error `Decode_failure
+  | Ok { positives; negatives } -> (
+    match
+      let to_remove = Multiset.of_pair_keys negatives in
+      let to_add = Multiset.of_pair_keys positives in
+      (to_remove, to_add)
+    with
+    | exception Invalid_argument _ -> Error `Decode_failure
+    | to_remove, to_add ->
+      (* Replace Bob's stale pairs by Alice's. *)
+      let stale = Multiset.to_pairs to_remove in
+      let without =
+        List.fold_left (fun acc (x, c) -> Multiset.remove ~count:c x acc) bob stale
+      in
+      let consistent =
+        List.for_all (fun (x, c) -> Multiset.multiplicity x bob = c) stale
+        && List.for_all (fun (x, _) -> Multiset.multiplicity x without = 0) (Multiset.to_pairs to_add)
+      in
+      if not consistent then Error `Decode_failure
+      else begin
+        let recovered =
+          List.fold_left (fun acc (x, c) -> Multiset.add ~count:c x acc) without
+            (Multiset.to_pairs to_add)
+        in
+        if multiset_hash ~seed recovered = alice_hash then Ok { recovered; stats = Comm.stats comm }
+        else Error `Decode_failure
+      end)
+
+let reconcile_known_d ~seed ~d ?(k = 4) ~alice ~bob () =
+  let comm = Comm.create () in
+  match run ~comm ~seed ~d ~k ~alice ~bob with
+  | Ok o -> Ok o
+  | Error `Decode_failure -> Error (`Decode_failure (Comm.stats comm))
+
+let reconcile_robust ~seed ?(k = 4) ?(initial_d = 4) ?(max_attempts = 16) ~alice ~bob () =
+  let comm = Comm.create () in
+  let rec attempt i d =
+    if i >= max_attempts then Error (`Decode_failure (Comm.stats comm))
+    else
+      match run ~comm ~seed:(Prng.derive ~seed ~tag:(200 + i)) ~d ~k ~alice ~bob with
+      | Ok o -> Ok o
+      | Error `Decode_failure ->
+        Comm.send comm Comm.B_to_a ~label:"retry" ~bits:8;
+        attempt (i + 1) (2 * d)
+  in
+  attempt 0 initial_d

@@ -1,0 +1,22 @@
+(** IBLT reconciliation of multisets (paper §3.4).
+
+    Each multiset becomes its set of (element, multiplicity) pairs; pair
+    sets are reconciled with 16-byte-key IBLTs. A single multiplicity
+    change touches at most two pairs, so a difference bound [d] on the
+    multisets translates to at most [2d] differing pairs. *)
+
+type outcome = { recovered : Multiset.t; stats : Comm.stats }
+
+type error = [ `Decode_failure of Comm.stats ]
+
+val reconcile_known_d :
+  seed:int64 -> d:int -> ?k:int -> alice:Multiset.t -> bob:Multiset.t -> unit ->
+  (outcome, error) result
+(** One round; succeeds with high probability when [d] bounds
+    [Multiset.sym_diff_size alice bob]. *)
+
+val reconcile_robust :
+  seed:int64 -> ?k:int -> ?initial_d:int -> ?max_attempts:int ->
+  alice:Multiset.t -> bob:Multiset.t -> unit ->
+  (outcome, error) result
+(** Repeated doubling until the whole-multiset hash verifies. *)

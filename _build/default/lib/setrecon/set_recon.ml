@@ -1,0 +1,82 @@
+module Iset = Ssr_util.Iset
+module Hashing = Ssr_util.Hashing
+module Prng = Ssr_util.Prng
+module Iblt = Ssr_sketch.Iblt
+module L0 = Ssr_sketch.L0_estimator
+
+type outcome = {
+  recovered : Iset.t;
+  alice_minus_bob : Iset.t;
+  bob_minus_alice : Iset.t;
+  stats : Comm.stats;
+}
+
+type error = [ `Decode_failure of Comm.stats ]
+
+let set_hash_tag = 0x5E7A
+
+let set_hash ~seed s =
+  Hashing.hash_bytes (Hashing.make ~seed ~tag:set_hash_tag) (Iset.canonical_bytes s)
+
+let iblt_params ~seed ~d ~k : Iblt.params =
+  { cells = Iblt.recommended_cells ~k ~diff_bound:d; k; key_len = 8; seed }
+
+(* Core one-message exchange; [comm] lets callers embed this in a larger
+   transcript (the unknown-d and doubling wrappers below, and the per-child
+   reconciliations of the multi-round set-of-sets protocol). *)
+let run_known_d ~comm ~seed ~d ~k ~alice ~bob =
+  let prm = iblt_params ~seed ~d ~k in
+  let table = Iblt.create prm in
+  Iset.iter (fun x -> Iblt.insert_int table x) alice;
+  let alice_hash = set_hash ~seed alice in
+  Comm.send comm Comm.A_to_b ~label:"iblt+hash" ~bits:(Iblt.size_bits table + 64);
+  (* Bob's side: delete his elements and peel. *)
+  let bob_table = Iblt.create prm in
+  Iset.iter (fun x -> Iblt.insert_int bob_table x) bob;
+  let diff = Iblt.subtract table bob_table in
+  match Iblt.decode_ints diff with
+  | Error `Peel_stuck -> Error `Decode_failure
+  | Ok (pos, neg) ->
+    let alice_minus_bob = Iset.of_list pos in
+    let bob_minus_alice = Iset.of_list neg in
+    let recovered = Iset.apply_diff bob ~add:alice_minus_bob ~del:bob_minus_alice in
+    if set_hash ~seed recovered = alice_hash then Ok { recovered; alice_minus_bob; bob_minus_alice; stats = Comm.stats comm }
+    else Error `Decode_failure
+
+let reconcile_known_d ~seed ~d ?(k = 4) ~alice ~bob () =
+  let comm = Comm.create () in
+  match run_known_d ~comm ~seed ~d ~k ~alice ~bob with
+  | Ok outcome -> Ok outcome
+  | Error `Decode_failure -> Error (`Decode_failure (Comm.stats comm))
+
+let reconcile_unknown_d ~seed ?(k = 4) ?estimator_shape ?(headroom = 2) ~alice ~bob () =
+  let comm = Comm.create () in
+  (* Round 1: Bob -> Alice, a difference estimator holding Bob's set. *)
+  let bob_est = L0.create ~seed ?shape:estimator_shape () in
+  Iset.iter (fun x -> L0.update bob_est L0.S1 x) bob;
+  Comm.send comm Comm.B_to_a ~label:"estimator" ~bits:(L0.size_bits bob_est);
+  let alice_est = L0.create ~seed ?shape:estimator_shape () in
+  Iset.iter (fun x -> L0.update alice_est L0.S2 x) alice;
+  let est = L0.query (L0.merge bob_est alice_est) in
+  let d = max 4 (headroom * est) in
+  (* Round 2: the known-d protocol under the estimated bound. *)
+  match run_known_d ~comm ~seed:(Prng.derive ~seed ~tag:1) ~d ~k ~alice ~bob with
+  | Ok outcome -> Ok outcome
+  | Error `Decode_failure -> Error (`Decode_failure (Comm.stats comm))
+
+let reconcile_robust ~seed ?(k = 4) ?(initial_d = 4) ?(max_attempts = 16) ~alice ~bob () =
+  let comm = Comm.create () in
+  let rec attempt i d =
+    if i >= max_attempts then Error (`Decode_failure (Comm.stats comm))
+    else begin
+      (* A fresh derived seed each attempt re-randomizes the hash functions,
+         so a peeling failure is not repeated deterministically. *)
+      match run_known_d ~comm ~seed:(Prng.derive ~seed ~tag:(100 + i)) ~d ~k ~alice ~bob with
+      | Ok outcome -> Ok outcome
+      | Error `Decode_failure ->
+        (* Bob asks for a bigger table: one tiny message back. *)
+        Comm.send comm Comm.B_to_a ~label:"retry" ~bits:8;
+        attempt (i + 1) (2 * d)
+    end
+  in
+  attempt 0 initial_d

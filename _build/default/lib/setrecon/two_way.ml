@@ -1,0 +1,63 @@
+module Iset = Ssr_util.Iset
+
+module Prng = Ssr_util.Prng
+module Iblt = Ssr_sketch.Iblt
+module L0 = Ssr_sketch.L0_estimator
+
+type outcome = {
+  union : Iset.t;
+  alice_minus_bob : Iset.t;
+  bob_minus_alice : Iset.t;
+  stats : Comm.stats;
+}
+
+type error = [ `Decode_failure of Comm.stats ]
+
+let run ~comm ~seed ~d ~k ~alice ~bob =
+  let prm : Iblt.params =
+    { cells = Iblt.recommended_cells ~k ~diff_bound:d; k; key_len = 8; seed }
+  in
+  let ta = Iblt.create prm in
+  Iset.iter (fun x -> Iblt.insert_int ta x) alice;
+  let alice_hash = Set_recon.set_hash ~seed alice in
+  Comm.send comm Comm.A_to_b ~label:"iblt+hash" ~bits:(Iblt.size_bits ta + 64);
+  let tb = Iblt.create prm in
+  Iset.iter (fun x -> Iblt.insert_int tb x) bob;
+  match Iblt.decode_ints (Iblt.subtract ta tb) with
+  | Error `Peel_stuck -> Error `Decode_failure
+  | Ok (pos, neg) ->
+    let alice_minus_bob = Iset.of_list pos in
+    let bob_minus_alice = Iset.of_list neg in
+    (* Bob checks he really peeled Alice's set before replying. *)
+    let alice_view = Iset.apply_diff bob ~add:alice_minus_bob ~del:bob_minus_alice in
+    if Set_recon.set_hash ~seed alice_view <> alice_hash then Error `Decode_failure
+    else begin
+      let union = Iset.union bob alice_minus_bob in
+      (* Return leg: B \ A as raw elements (exactly what Alice lacks). *)
+      let elt_bits = 64 in
+      Comm.send comm Comm.B_to_a ~label:"b-minus-a"
+        ~bits:((Iset.cardinal bob_minus_alice * elt_bits) + 64);
+      (* Alice's side: union = A ∪ (B \ A); must equal Bob's union. *)
+      let alice_union = Iset.union alice bob_minus_alice in
+      if not (Iset.equal alice_union union) then Error `Decode_failure
+      else Ok { union; alice_minus_bob; bob_minus_alice; stats = Comm.stats comm }
+    end
+
+let reconcile_known_d ~seed ~d ?(k = 4) ~alice ~bob () =
+  let comm = Comm.create () in
+  match run ~comm ~seed ~d ~k ~alice ~bob with
+  | Ok o -> Ok o
+  | Error `Decode_failure -> Error (`Decode_failure (Comm.stats comm))
+
+let reconcile_unknown_d ~seed ?(k = 4) ?estimator_shape ~alice ~bob () =
+  let comm = Comm.create () in
+  let bob_est = L0.create ~seed ?shape:estimator_shape () in
+  Iset.iter (fun x -> L0.update bob_est L0.S1 x) bob;
+  Comm.send comm Comm.B_to_a ~label:"estimator" ~bits:(L0.size_bits bob_est);
+  let alice_est = L0.create ~seed ?shape:estimator_shape () in
+  Iset.iter (fun x -> L0.update alice_est L0.S2 x) alice;
+  let est = L0.query (L0.merge bob_est alice_est) in
+  let d = max 4 (2 * est) in
+  match run ~comm ~seed:(Prng.derive ~seed ~tag:0x2A) ~d ~k ~alice ~bob with
+  | Ok o -> Ok o
+  | Error `Decode_failure -> Error (`Decode_failure (Comm.stats comm))

@@ -1,0 +1,1 @@
+lib/sketch/iblt.ml: Array Bytes Char Format Int32 Int64 List Queue Ssr_util

@@ -1,0 +1,1 @@
+lib/sketch/iblt.mli: Bytes Format

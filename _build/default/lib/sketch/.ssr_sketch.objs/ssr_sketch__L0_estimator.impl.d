@@ -1,0 +1,1 @@
+lib/sketch/l0_estimator.ml: Array Bytes Ssr_util

@@ -1,0 +1,1 @@
+lib/sketch/l0_estimator.mli: Bytes

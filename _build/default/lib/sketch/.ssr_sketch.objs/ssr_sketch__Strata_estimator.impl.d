@@ -1,0 +1,1 @@
+lib/sketch/strata_estimator.ml: Array Iblt List Ssr_util

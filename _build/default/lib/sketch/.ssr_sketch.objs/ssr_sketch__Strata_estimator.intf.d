@@ -1,0 +1,1 @@
+lib/sketch/strata_estimator.mli:

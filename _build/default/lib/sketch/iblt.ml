@@ -1,0 +1,176 @@
+module Hashing = Ssr_util.Hashing
+module Buf = Ssr_util.Buf
+module Bits = Ssr_util.Bits
+
+type params = { cells : int; k : int; key_len : int; seed : int64 }
+
+type t = {
+  prm : params;
+  per_part : int;
+  counts : int array;
+  keys : Bytes.t; (* cells * key_len, flattened *)
+  checks : int array;
+  pos_fns : Hashing.fn array;
+  check_fn : Hashing.fn;
+}
+
+let params t = t.prm
+
+let position_tag i = 0x1B17 + i
+let check_tag = 0xC5E4
+
+let normalize_params prm =
+  if prm.k < 2 then invalid_arg "Iblt: need at least 2 hash functions";
+  if prm.key_len < 1 then invalid_arg "Iblt: key_len must be positive";
+  let cells = max prm.k prm.cells in
+  let cells = Bits.ceil_div cells prm.k * prm.k in
+  { prm with cells }
+
+let create prm =
+  let prm = normalize_params prm in
+  {
+    prm;
+    per_part = prm.cells / prm.k;
+    counts = Array.make prm.cells 0;
+    keys = Bytes.make (prm.cells * prm.key_len) '\000';
+    checks = Array.make prm.cells 0;
+    pos_fns = Array.init prm.k (fun i -> Hashing.make ~seed:prm.seed ~tag:(position_tag i));
+    check_fn = Hashing.make ~seed:prm.seed ~tag:check_tag;
+  }
+
+let copy t =
+  {
+    t with
+    counts = Array.copy t.counts;
+    keys = Bytes.copy t.keys;
+    checks = Array.copy t.checks;
+  }
+
+let recommended_cells ~k ~diff_bound =
+  let base = max (2 * k) ((2 * diff_bound) + 12) in
+  Bits.ceil_div base k * k
+
+let checksum t key = Hashing.hash_bytes t.check_fn key
+
+let position t i key = (i * t.per_part) + Hashing.hash_bytes_to_range t.pos_fns.(i) t.per_part key
+
+(* Add [sign] copies of [key] (sign is +1 or -1). *)
+let apply t key sign =
+  if Bytes.length key <> t.prm.key_len then invalid_arg "Iblt: key length mismatch";
+  let cs = checksum t key in
+  for i = 0 to t.prm.k - 1 do
+    let c = position t i key in
+    t.counts.(c) <- t.counts.(c) + sign;
+    t.checks.(c) <- t.checks.(c) lxor cs;
+    let off = c * t.prm.key_len in
+    for j = 0 to t.prm.key_len - 1 do
+      Bytes.unsafe_set t.keys (off + j)
+        (Char.chr (Char.code (Bytes.unsafe_get t.keys (off + j)) lxor Char.code (Bytes.unsafe_get key j)))
+    done
+  done
+
+let insert t key = apply t key 1
+let delete t key = apply t key (-1)
+
+let int_key ~key_len x =
+  if key_len < 8 then invalid_arg "Iblt: integer keys need key_len >= 8";
+  let b = Bytes.make key_len '\000' in
+  Buf.set_int_le b 0 x;
+  b
+
+let insert_int t x = insert t (int_key ~key_len:t.prm.key_len x)
+let delete_int t x = delete t (int_key ~key_len:t.prm.key_len x)
+
+let subtract a b =
+  if a.prm <> b.prm then invalid_arg "Iblt.subtract: parameter mismatch";
+  let out = copy a in
+  for c = 0 to a.prm.cells - 1 do
+    out.counts.(c) <- a.counts.(c) - b.counts.(c);
+    out.checks.(c) <- a.checks.(c) lxor b.checks.(c)
+  done;
+  Buf.xor_into ~dst:out.keys b.keys;
+  out
+
+let is_empty t =
+  Array.for_all (( = ) 0) t.counts && Array.for_all (( = ) 0) t.checks && Buf.is_zero t.keys
+
+type decoded = { positives : Bytes.t list; negatives : Bytes.t list }
+
+let cell_key t c = Bytes.sub t.keys (c * t.prm.key_len) t.prm.key_len
+
+let decode t =
+  let t = copy t in
+  let positives = ref [] and negatives = ref [] in
+  let pending = Queue.create () in
+  for c = 0 to t.prm.cells - 1 do
+    Queue.add c pending
+  done;
+  while not (Queue.is_empty pending) do
+    let c = Queue.pop pending in
+    let count = t.counts.(c) in
+    if count = 1 || count = -1 then begin
+      let key = cell_key t c in
+      if t.checks.(c) = checksum t key then begin
+        if count = 1 then positives := key :: !positives else negatives := key :: !negatives;
+        apply t key (-count);
+        (* Removing the key changed its k cells; they may now be pure. *)
+        for i = 0 to t.prm.k - 1 do
+          Queue.add (position t i key) pending
+        done
+      end
+    end
+  done;
+  if is_empty t then Ok { positives = !positives; negatives = !negatives } else Error `Peel_stuck
+
+let decode_ints t =
+  match decode t with
+  | Error _ as e -> e
+  | Ok { positives; negatives } -> (
+    let to_int key =
+      let v = Buf.get_int_le key 0 in
+      if v < 0 then failwith "Iblt.decode_ints: negative key";
+      v
+    in
+    (* A peeled key that does not parse back to an integer means the table
+       was corrupted in transit (or suffered an undetected checksum
+       collision): report a detected failure instead of raising. *)
+    try Ok (List.map to_int positives, List.map to_int negatives)
+    with Failure _ -> Error `Peel_stuck)
+
+let body_length prm =
+  let prm = normalize_params prm in
+  prm.cells * (4 + prm.key_len + 8)
+
+let body_bytes t =
+  let cell_bytes = 4 + t.prm.key_len + 8 in
+  let out = Bytes.create (t.prm.cells * cell_bytes) in
+  for c = 0 to t.prm.cells - 1 do
+    let off = c * cell_bytes in
+    Bytes.set_int32_le out off (Int32.of_int t.counts.(c));
+    Bytes.blit t.keys (c * t.prm.key_len) out (off + 4) t.prm.key_len;
+    Buf.set_int_le out (off + 4 + t.prm.key_len) t.checks.(c)
+  done;
+  out
+
+let of_body_bytes prm body =
+  let t = create prm in
+  let cell_bytes = 4 + t.prm.key_len + 8 in
+  if Bytes.length body <> t.prm.cells * cell_bytes then
+    invalid_arg "Iblt.of_body_bytes: length mismatch";
+  for c = 0 to t.prm.cells - 1 do
+    let off = c * cell_bytes in
+    t.counts.(c) <- Int32.to_int (Bytes.get_int32_le body off);
+    Bytes.blit body (off + 4) t.keys (c * t.prm.key_len) t.prm.key_len;
+    (* Checksums are 62-bit values; masking keeps deserialization total on
+       corrupted transports (the damage then surfaces as a checksum mismatch
+       during peeling, i.e. a detected decode failure). *)
+    t.checks.(c) <-
+      Int64.to_int (Bytes.get_int64_le body (off + 4 + t.prm.key_len)) land ((1 lsl 62) - 1)
+  done;
+  t
+
+let size_bits t = 8 * body_length t.prm
+
+let pp fmt t =
+  Format.fprintf fmt "iblt(cells=%d,k=%d,key_len=%d,nonzero=%d)" t.prm.cells t.prm.k t.prm.key_len
+    (Array.fold_left (fun acc c -> if c <> 0 then acc + 1 else acc) 0 t.counts)

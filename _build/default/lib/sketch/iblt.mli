@@ -1,0 +1,88 @@
+(** Invertible Bloom Lookup Tables (Goodrich & Mitzenmacher; paper §2).
+
+    An IBLT with [k] hash functions and [m] cells stores a (possibly signed)
+    multiset of fixed-width keys. Each key is hashed into one cell of each of
+    the [k] equal partitions of the table; a cell keeps a signed count, the
+    XOR of the keys hashed to it, and the XOR of a checksum of those keys.
+    Inserting and deleting are the same operation with opposite count signs,
+    so subtracting Bob's table from Alice's leaves a table containing exactly
+    the set difference (positive keys = Alice only, negative = Bob only),
+    which the peeling decoder extracts (Theorem 2.1).
+
+    Keys are fixed-width byte strings so that one implementation serves
+    integer elements, the naive protocol's wide child-set encodings, and the
+    serialized child IBLTs of Algorithms 1 and 2.
+
+    Failure modes match the paper: peeling failures leave residue and are
+    always detected ([Error `Peel_stuck]); checksum failures are made
+    negligible by 62-bit checksums and are further guarded by whole-set
+    hashes at the protocol layer. *)
+
+type params = {
+  cells : int;  (** Total number of cells; rounded up to a multiple of [k]. *)
+  k : int;  (** Number of hash functions (3 or 4 in practice). *)
+  key_len : int;  (** Key width in bytes. *)
+  seed : int64;  (** Public-coin seed; both parties must use the same. *)
+}
+
+type t
+
+val params : t -> params
+
+val create : params -> t
+(** Fresh empty table. *)
+
+val copy : t -> t
+
+val recommended_cells : k:int -> diff_bound:int -> int
+(** Cell count giving high decode probability for up to [diff_bound] keys;
+    roughly [2 x diff_bound] plus slack, rounded to a multiple of [k].
+    Matches the O(d)-cells regime of Corollary 2.2. *)
+
+val insert : t -> Bytes.t -> unit
+(** Add a key. The key must be exactly [key_len] bytes. *)
+
+val delete : t -> Bytes.t -> unit
+(** Remove a key (counts may go negative; see §2's signed-count extension). *)
+
+val insert_int : t -> int -> unit
+(** Insert a non-negative integer key ([key_len] must be [>= 8]; the value is
+    stored little-endian, zero padded). *)
+
+val delete_int : t -> int -> unit
+
+val subtract : t -> t -> t
+(** [subtract a b] is the cell-wise difference: a table representing the
+    signed multiset [a - b]. Both tables must have identical parameters. *)
+
+val is_empty : t -> bool
+(** All counts, key sums and checksums are zero. *)
+
+type decoded = {
+  positives : Bytes.t list;  (** Keys with net count +1 (Alice-only side). *)
+  negatives : Bytes.t list;  (** Keys with net count -1 (Bob-only side). *)
+}
+
+val decode : t -> (decoded, [ `Peel_stuck ]) result
+(** Run the peeling process on a copy of the table. Succeeds iff the table
+    empties completely. *)
+
+val decode_ints : t -> ((int list * int list), [ `Peel_stuck ]) result
+(** {!decode} followed by little-endian integer decoding of each key. *)
+
+val body_bytes : t -> Bytes.t
+(** Serialize counts, key sums and checksums (not the parameters, which are
+    public coins). Fixed length for fixed [params]; this is both the unit of
+    communication accounting and the representation used when child IBLTs
+    become keys of an outer IBLT. *)
+
+val of_body_bytes : params -> Bytes.t -> t
+(** Inverse of {!body_bytes} given the shared parameters. *)
+
+val body_length : params -> int
+(** Length in bytes of {!body_bytes} for tables with these parameters. *)
+
+val size_bits : t -> int
+(** [8 * body_length (params t)]. *)
+
+val pp : Format.formatter -> t -> unit

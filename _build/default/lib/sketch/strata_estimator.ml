@@ -1,0 +1,41 @@
+module Hashing = Ssr_util.Hashing
+module Bits = Ssr_util.Bits
+
+type t = { strata : Iblt.t array; level_fn : Hashing.fn; seed : int64 }
+
+let level_tag = 0x57A7
+let table_tag = 0x57B0
+
+let create ~seed ?(strata = 32) ?(cells_per_stratum = 40) () =
+  if strata < 1 || strata > 60 then invalid_arg "Strata_estimator.create: strata out of range";
+  let prm level : Iblt.params =
+    { cells = cells_per_stratum; k = 3; key_len = 8; seed = Ssr_util.Prng.derive ~seed ~tag:(table_tag + level) }
+  in
+  {
+    strata = Array.init strata (fun level -> Iblt.create (prm level));
+    level_fn = Hashing.make ~seed ~tag:level_tag;
+    seed;
+  }
+
+let level t x =
+  let h = Hashing.hash_int t.level_fn x in
+  let max_level = Array.length t.strata - 1 in
+  if h = 0 then max_level else min (Bits.lsb_index h) max_level
+
+let add t x = Iblt.insert_int t.strata.(level t x) x
+
+let estimate ~local ~remote =
+  if Array.length local.strata <> Array.length remote.strata then
+    invalid_arg "Strata_estimator.estimate: shape mismatch";
+  let top = Array.length local.strata - 1 in
+  let rec walk i acc =
+    if i < 0 then acc (* every stratum decoded: the estimate is exact *)
+    else
+      let diff = Iblt.subtract local.strata.(i) remote.strata.(i) in
+      match Iblt.decode diff with
+      | Ok { positives; negatives } -> walk (i - 1) (acc + List.length positives + List.length negatives)
+      | Error `Peel_stuck -> (1 lsl (i + 1)) * max acc 1
+  in
+  walk top 0
+
+let size_bits t = Array.fold_left (fun acc s -> acc + Iblt.size_bits s) 0 t.strata

@@ -1,0 +1,1 @@
+lib/util/buf.ml: Bytes Char Int64 List

@@ -1,0 +1,1 @@
+lib/util/hashing.ml: Bytes Char Int64 Prng

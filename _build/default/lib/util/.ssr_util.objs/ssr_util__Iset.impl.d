@@ -1,0 +1,1 @@
+lib/util/iset.ml: Array Buf Bytes Format Hashtbl Prng

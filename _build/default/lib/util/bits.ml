@@ -1,0 +1,45 @@
+(* De Bruijn sequence B(2,6); the table maps (x * debruijn) >> 58 to the bit
+   index for x a power of two, per Brodnik's classic construction. *)
+let debruijn = 0x03F79D71B4CB0A89L
+
+let debruijn_table =
+  let table = Array.make 64 0 in
+  for i = 0 to 63 do
+    let x = Int64.shift_left 1L i in
+    let idx = Int64.to_int (Int64.shift_right_logical (Int64.mul x debruijn) 58) in
+    table.(idx) <- i
+  done;
+  table
+
+let lsb_index x =
+  if x = 0 then invalid_arg "Bits.lsb_index: zero";
+  let x64 = Int64.of_int x in
+  let isolated = Int64.logand x64 (Int64.neg x64) in
+  debruijn_table.(Int64.to_int (Int64.shift_right_logical (Int64.mul isolated debruijn) 58))
+
+let msb_index x =
+  if x <= 0 then invalid_arg "Bits.msb_index: non-positive";
+  let rec go x acc = if x = 1 then acc else go (x lsr 1) (acc + 1) in
+  go x 0
+
+let popcount x =
+  let x64 = Int64.of_int x in
+  let open Int64 in
+  let x64 = sub x64 (logand (shift_right_logical x64 1) 0x5555555555555555L) in
+  let x64 =
+    add (logand x64 0x3333333333333333L) (logand (shift_right_logical x64 2) 0x3333333333333333L)
+  in
+  let x64 = logand (add x64 (shift_right_logical x64 4)) 0x0F0F0F0F0F0F0F0FL in
+  to_int (shift_right_logical (mul x64 0x0101010101010101L) 56)
+
+let ceil_log2 n =
+  if n < 1 then invalid_arg "Bits.ceil_log2";
+  if n = 1 then 0 else msb_index (n - 1) + 1
+
+let ceil_pow2 n = 1 lsl ceil_log2 n
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let ceil_div a b = (a + b - 1) / b
+
+let bits_needed n = if n <= 2 then 1 else ceil_log2 n

@@ -1,0 +1,35 @@
+(** Word-RAM bit tricks.
+
+    The paper's Appendix A estimator relies on computing the least
+    significant set bit of a word in O(1) time (references [10, 15]); this
+    module provides that primitive via a De Bruijn multiplication, plus the
+    population count and small helpers used throughout the sketches. *)
+
+val lsb_index : int -> int
+(** [lsb_index x] is the index (0-based, from the least significant end) of
+    the lowest set bit of [x]. Requires [x <> 0]. Constant time via a
+    De Bruijn sequence. *)
+
+val msb_index : int -> int
+(** Index of the highest set bit. Requires [x > 0]. *)
+
+val popcount : int -> int
+(** Number of set bits, branch-free SWAR implementation. *)
+
+val ceil_log2 : int -> int
+(** [ceil_log2 n] is the least [k] with [2^k >= n]. Requires [n >= 1].
+    [ceil_log2 1 = 0]. *)
+
+val ceil_pow2 : int -> int
+(** Least power of two that is [>= n]. Requires [n >= 1]. *)
+
+val is_pow2 : int -> bool
+(** Whether [n] is a positive power of two. *)
+
+val ceil_div : int -> int -> int
+(** [ceil_div a b] is ceiling of [a / b] for non-negative [a], positive [b]. *)
+
+val bits_needed : int -> int
+(** [bits_needed n] is the number of bits required to represent values in
+    [\[0, n)]; that is [max 1 (ceil_log2 n)]. Used for communication
+    accounting of log-u and log-s sized fields. *)

@@ -1,0 +1,47 @@
+let set_int64_le b off v = Bytes.set_int64_le b off v
+
+let get_int64_le b off = Bytes.get_int64_le b off
+
+let set_int_le b off v = Bytes.set_int64_le b off (Int64.of_int v)
+
+let get_int_le b off =
+  let v = Bytes.get_int64_le b off in
+  let i = Int64.to_int v in
+  if Int64.of_int i <> v then failwith "Buf.get_int_le: value exceeds native int";
+  i
+
+let xor_into ~dst src =
+  let len = Bytes.length dst in
+  if Bytes.length src <> len then invalid_arg "Buf.xor_into: length mismatch";
+  let words = len / 8 in
+  for w = 0 to words - 1 do
+    let off = w * 8 in
+    Bytes.set_int64_le dst off (Int64.logxor (Bytes.get_int64_le dst off) (Bytes.get_int64_le src off))
+  done;
+  for i = words * 8 to len - 1 do
+    Bytes.unsafe_set dst i
+      (Char.chr (Char.code (Bytes.unsafe_get dst i) lxor Char.code (Bytes.unsafe_get src i)))
+  done
+
+let is_zero b =
+  let len = Bytes.length b in
+  let rec go i = i >= len || (Bytes.unsafe_get b i = '\000' && go (i + 1)) in
+  go 0
+
+let append_all parts =
+  let total = List.fold_left (fun acc b -> acc + Bytes.length b) 0 parts in
+  let out = Bytes.create total in
+  let off = ref 0 in
+  List.iter
+    (fun b ->
+      Bytes.blit b 0 out !off (Bytes.length b);
+      off := !off + Bytes.length b)
+    parts;
+  out
+
+let of_int_list xs =
+  let out = Bytes.create (8 * List.length xs) in
+  List.iteri (fun i x -> set_int_le out (i * 8) x) xs;
+  out
+
+let equal = Bytes.equal

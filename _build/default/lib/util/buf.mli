@@ -1,0 +1,35 @@
+(** Byte-buffer primitives for sketch serialization.
+
+    IBLT cells XOR fixed-width keys together; protocols serialize sketches to
+    count communication honestly. This module provides the little-endian
+    integer encodings and in-place XOR used for both. *)
+
+val set_int64_le : Bytes.t -> int -> int64 -> unit
+(** [set_int64_le b off v] writes [v] little-endian at offset [off]. *)
+
+val get_int64_le : Bytes.t -> int -> int64
+(** Read back what {!set_int64_le} wrote. *)
+
+val set_int_le : Bytes.t -> int -> int -> unit
+(** Write a native int (as a 64-bit little-endian word). *)
+
+val get_int_le : Bytes.t -> int -> int
+(** Read a native int written by {!set_int_le}. Raises [Failure] if the
+    stored value does not fit in a native 63-bit int. *)
+
+val xor_into : dst:Bytes.t -> Bytes.t -> unit
+(** [xor_into ~dst src] XORs [src] into [dst] in place. The buffers must
+    have equal length. *)
+
+val is_zero : Bytes.t -> bool
+(** Whether every byte is zero. *)
+
+val append_all : Bytes.t list -> Bytes.t
+(** Concatenate. *)
+
+val of_int_list : int list -> Bytes.t
+(** Fixed-width (8 bytes each) encoding of a list of ints; used to hash
+    canonical forms of sets. *)
+
+val equal : Bytes.t -> Bytes.t -> bool
+(** Content equality. *)

@@ -1,0 +1,33 @@
+type fn = { key : int64 }
+
+let make ~seed ~tag = { key = Prng.derive ~seed ~tag }
+
+let hash_int64 { key } x = Prng.mix64 (Int64.add (Prng.mix64 (Int64.logxor x key)) key)
+
+let hash_int f x = Int64.to_int (Int64.shift_right_logical (hash_int64 f (Int64.of_int x)) 2)
+
+let to_range f m x =
+  if m <= 0 then invalid_arg "Hashing.to_range: empty range";
+  hash_int f x mod m
+
+let hash_bytes f b =
+  let len = Bytes.length b in
+  let words = len / 8 in
+  let acc = ref (Int64.logxor f.key (Int64.of_int len)) in
+  for w = 0 to words - 1 do
+    acc := Prng.mix64 (Int64.logxor !acc (Bytes.get_int64_le b (w * 8)))
+  done;
+  let tail = ref 0L in
+  for i = words * 8 to len - 1 do
+    tail := Int64.logor (Int64.shift_left !tail 8) (Int64.of_int (Char.code (Bytes.unsafe_get b i)))
+  done;
+  if len mod 8 <> 0 then acc := Prng.mix64 (Int64.logxor !acc !tail);
+  Int64.to_int (Int64.shift_right_logical (Prng.mix64 (Int64.add !acc f.key)) 2)
+
+let hash_bytes_to_range f m b =
+  if m <= 0 then invalid_arg "Hashing.hash_bytes_to_range: empty range";
+  hash_bytes f b mod m
+
+let truncate_bits x ~bits =
+  if bits < 1 || bits > 62 then invalid_arg "Hashing.truncate_bits";
+  x land ((1 lsl bits) - 1)

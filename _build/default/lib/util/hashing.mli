@@ -1,0 +1,36 @@
+(** Seeded hash functions.
+
+    Every hash function in the protocols is derived from a (public-coin)
+    seed plus a role tag, so Alice and Bob compute identical tables without
+    exchanging anything — the paper's public-coin assumption. The functions
+    here are built on the SplitMix64 finalizer, which empirically behaves
+    far better than the minimal pairwise-independent families the proofs
+    assume, while being just as cheap. *)
+
+type fn
+(** A concrete seeded hash function over 63-bit non-negative integers. *)
+
+val make : seed:int64 -> tag:int -> fn
+(** Derive a hash function identified by [(seed, tag)]. *)
+
+val hash_int : fn -> int -> int
+(** Hash to a non-negative 62-bit integer. *)
+
+val hash_int64 : fn -> int64 -> int64
+(** Full 64-bit variant. *)
+
+val to_range : fn -> int -> int -> int
+(** [to_range f m x] hashes [x] into [\[0, m)]. Requires [m > 0]. *)
+
+val hash_bytes : fn -> Bytes.t -> int
+(** Hash a byte string to a non-negative 62-bit integer (a 64-bit chained
+    mix over 8-byte words). *)
+
+val hash_bytes_to_range : fn -> int -> Bytes.t -> int
+(** Compose {!hash_bytes} with reduction into [\[0, m)]. *)
+
+val truncate_bits : int -> bits:int -> int
+(** Keep only the low [bits] bits of a hash value; models the paper's
+    O(log s)-bit child hashes so that communication accounting (and hash
+    collision behaviour) matches the stated bit budgets. [bits] must be in
+    [\[1, 62\]]. *)

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Array Int64 List Printf QCheck QCheck_alcotest Ssr_apps Ssr_core Ssr_setrecon Ssr_util

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Bytes Format Int64 List Printf QCheck QCheck_alcotest Ssr_core Ssr_setrecon Ssr_sketch Ssr_util

@@ -1,0 +1,1 @@
+test/test_field.ml: Alcotest Array List QCheck QCheck_alcotest Ssr_field Ssr_util

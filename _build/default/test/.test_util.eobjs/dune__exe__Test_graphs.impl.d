@@ -1,0 +1,1 @@
+test/test_graphs.ml: Alcotest Array Int64 List Printf QCheck QCheck_alcotest Ssr_graphrecon Ssr_graphs Ssr_setrecon Ssr_util

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Bytes Format Int64 List QCheck QCheck_alcotest Ssr_core Ssr_field Ssr_graphs Ssr_setrecon Ssr_sketch Ssr_util

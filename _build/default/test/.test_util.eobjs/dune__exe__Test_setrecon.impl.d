@@ -1,0 +1,1 @@
+test/test_setrecon.ml: Alcotest Array Format List Printf QCheck QCheck_alcotest Ssr_setrecon Ssr_util

@@ -1,0 +1,1 @@
+test/test_sketch.ml: Alcotest Array Bytes Char List Printf QCheck QCheck_alcotest Ssr_sketch Ssr_util

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bytes Format Hashtbl Int64 List Printf QCheck QCheck_alcotest Ssr_util

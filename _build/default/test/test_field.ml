@@ -1,0 +1,346 @@
+(* Tests for GF(2^61-1), polynomials, root finding and linear algebra. *)
+
+module Prng = Ssr_util.Prng
+module Gf61 = Ssr_field.Gf61
+module Poly = Ssr_field.Poly
+module Roots = Ssr_field.Roots
+module Linalg = Ssr_field.Linalg
+
+let seed = 0x0F1E2D3C4B5A6978L
+
+(* Reference multiplication by repeated doubling: O(61) adds, obviously
+   correct, used to cross-check the limb-split fast path. *)
+let slow_mul a b =
+  let rec go a b acc =
+    if b = 0 then acc
+    else
+      let acc = if b land 1 = 1 then Gf61.add acc a else acc in
+      go (Gf61.add a a) (b lsr 1) acc
+  in
+  go a b 0
+
+let test_mul_against_slow () =
+  let rng = Prng.create ~seed in
+  for _ = 1 to 500 do
+    let a = Gf61.random rng and b = Gf61.random rng in
+    Alcotest.(check int) "fast = slow" (slow_mul a b) (Gf61.mul a b)
+  done;
+  (* Boundary values. *)
+  let edge = [ 0; 1; 2; Gf61.p - 1; Gf61.p - 2; (1 lsl 31) - 1; 1 lsl 31; (1 lsl 31) + 1 ] in
+  List.iter (fun a -> List.iter (fun b -> Alcotest.(check int) "edge" (slow_mul a b) (Gf61.mul a b)) edge) edge
+
+let test_field_axioms () =
+  let rng = Prng.create ~seed in
+  for _ = 1 to 200 do
+    let a = Gf61.random rng and b = Gf61.random rng and c = Gf61.random rng in
+    Alcotest.(check int) "mul assoc" (Gf61.mul a (Gf61.mul b c)) (Gf61.mul (Gf61.mul a b) c);
+    Alcotest.(check int) "mul comm" (Gf61.mul a b) (Gf61.mul b a);
+    Alcotest.(check int) "distributive" (Gf61.mul a (Gf61.add b c)) (Gf61.add (Gf61.mul a b) (Gf61.mul a c));
+    Alcotest.(check int) "add sub" a (Gf61.sub (Gf61.add a b) b);
+    Alcotest.(check int) "neg" 0 (Gf61.add a (Gf61.neg a))
+  done
+
+let test_inv () =
+  let rng = Prng.create ~seed in
+  for _ = 1 to 100 do
+    let a = Gf61.random_nonzero rng in
+    Alcotest.(check int) "a * a^-1 = 1" 1 (Gf61.mul a (Gf61.inv a))
+  done;
+  Alcotest.check_raises "inv 0" Division_by_zero (fun () -> ignore (Gf61.inv 0))
+
+let test_pow () =
+  Alcotest.(check int) "x^0" 1 (Gf61.pow 12345 0);
+  Alcotest.(check int) "x^1" 12345 (Gf61.pow 12345 1);
+  Alcotest.(check int) "2^61 mod p = 1" 1 (Gf61.pow 2 61);
+  Alcotest.(check int) "2^62 mod p = 2" 2 (Gf61.pow 2 62);
+  (* Fermat: a^(p-1) = 1 *)
+  let rng = Prng.create ~seed in
+  for _ = 1 to 20 do
+    let a = Gf61.random_nonzero rng in
+    Alcotest.(check int) "fermat" 1 (Gf61.pow a (Gf61.p - 1))
+  done
+
+let test_of_int () =
+  Alcotest.(check int) "reduce p" 0 (Gf61.of_int Gf61.p);
+  Alcotest.(check int) "reduce p+5" 5 (Gf61.of_int (Gf61.p + 5));
+  Alcotest.(check int) "small" 42 (Gf61.of_int 42)
+
+(* ---------- Poly ---------- *)
+
+let poly_of l = Poly.of_coeffs (Array.of_list l)
+
+let test_poly_normalize () =
+  Alcotest.(check int) "trailing zeros dropped" 1 (Poly.degree (poly_of [ 1; 2; 0; 0 ]));
+  Alcotest.(check bool) "zero poly" true (Poly.is_zero (poly_of [ 0; 0 ]));
+  Alcotest.(check int) "zero degree" (-1) (Poly.degree Poly.zero)
+
+let test_poly_eval () =
+  (* 3 + 2z + z^2 at z = 5 -> 3 + 10 + 25 = 38 *)
+  Alcotest.(check int) "horner" 38 (Poly.eval (poly_of [ 3; 2; 1 ]) 5)
+
+let test_poly_mul_divmod () =
+  let rng = Prng.create ~seed in
+  for _ = 1 to 100 do
+    let random_poly deg =
+      Poly.of_coeffs (Array.init (deg + 1) (fun i -> if i = deg then Gf61.random_nonzero rng else Gf61.random rng))
+    in
+    let a = random_poly (1 + Prng.int_below rng 8) in
+    let b = random_poly (1 + Prng.int_below rng 8) in
+    let q, r = Poly.divmod (Poly.mul a b) b in
+    Alcotest.(check bool) "exact division" true (Poly.equal q a && Poly.is_zero r);
+    (* General divmod invariant a = q*b + r, deg r < deg b *)
+    let c = random_poly (Prng.int_below rng 12) in
+    let q2, r2 = Poly.divmod c b in
+    Alcotest.(check bool) "a = qb + r" true (Poly.equal c (Poly.add (Poly.mul q2 b) r2));
+    Alcotest.(check bool) "deg r < deg b" true (Poly.degree r2 < Poly.degree b)
+  done
+
+let test_from_roots_eval () =
+  let roots = [| 3; 7; 7; 100 |] in
+  let f = Poly.from_roots roots in
+  Alcotest.(check int) "degree" 4 (Poly.degree f);
+  Array.iter (fun r -> Alcotest.(check int) "vanishes at roots" 0 (Poly.eval f r)) roots;
+  Alcotest.(check bool) "nonzero elsewhere" true (Poly.eval f 5 <> 0);
+  (* eval_from_roots agrees with explicit construction *)
+  for x = 0 to 20 do
+    Alcotest.(check int) "eval_from_roots" (Poly.eval f x) (Poly.eval_from_roots roots x)
+  done
+
+let test_poly_gcd () =
+  let a = Poly.from_roots [| 1; 2; 3 |] in
+  let b = Poly.from_roots [| 2; 3; 4 |] in
+  let g = Poly.gcd a b in
+  Alcotest.(check bool) "gcd = (z-2)(z-3)" true (Poly.equal g (Poly.from_roots [| 2; 3 |]));
+  Alcotest.(check bool) "gcd with zero" true (Poly.equal (Poly.gcd a Poly.zero) (Poly.monic a))
+
+let test_powmod () =
+  let modulus = Poly.from_roots [| 5; 9 |] in
+  let x = poly_of [ 0; 1 ] in
+  let r = Poly.powmod x 12 ~modulus in
+  (* x^12 mod modulus evaluated at the roots of the modulus equals root^12 *)
+  List.iter
+    (fun root -> Alcotest.(check int) "agrees at roots" (Gf61.pow root 12) (Poly.eval r root))
+    [ 5; 9 ]
+
+let test_derivative () =
+  (* d/dz (3 + 2z + 5z^2) = 2 + 10z *)
+  Alcotest.(check bool) "derivative" true (Poly.equal (Poly.derivative (poly_of [ 3; 2; 5 ])) (poly_of [ 2; 10 ]))
+
+(* ---------- Roots ---------- *)
+
+let test_distinct_roots () =
+  let rng = Prng.create ~seed in
+  for trial = 1 to 20 do
+    let k = 1 + (trial mod 8) in
+    let roots = List.init k (fun i -> ((trial * 1009) + (i * 31337)) mod 1_000_000) in
+    let roots = List.sort_uniq compare roots in
+    let f = Poly.from_roots (Array.of_list roots) in
+    let found = Roots.distinct_roots rng f in
+    Alcotest.(check (list int)) "recovers roots" roots found
+  done
+
+let test_roots_with_multiplicity () =
+  let rng = Prng.create ~seed in
+  let f = Poly.mul (Poly.from_roots [| 4; 4; 4 |]) (Poly.from_roots [| 11 |]) in
+  Alcotest.(check (list (pair int int))) "multiplicities" [ (4, 3); (11, 1) ]
+    (Roots.roots_with_multiplicity rng f)
+
+let test_no_roots () =
+  let rng = Prng.create ~seed in
+  (* z^2 + 1 has roots iff -1 is a QR; p = 2^61-1 ≡ 3 (mod 4) so it is not. *)
+  let f = poly_of [ 1; 0; 1 ] in
+  Alcotest.(check (list int)) "irreducible quadratic" [] (Roots.distinct_roots rng f);
+  Alcotest.(check bool) "does not split" true (Roots.splits_completely rng f = None)
+
+let test_splits_completely () =
+  let rng = Prng.create ~seed in
+  let f = Poly.from_roots [| 1; 2; 3; 4; 5 |] in
+  (match Roots.splits_completely rng f with
+  | Some factors -> Alcotest.(check (list (pair int int))) "splits" [ (1, 1); (2, 1); (3, 1); (4, 1); (5, 1) ] factors
+  | None -> Alcotest.fail "should split");
+  let g = Poly.mul f (poly_of [ 1; 0; 1 ]) in
+  Alcotest.(check bool) "partial split detected" true (Roots.splits_completely rng g = None)
+
+(* ---------- Linalg ---------- *)
+
+let test_solve_unique () =
+  (* 2x + y = 5; x + y = 3  ->  x = 2, y = 1 *)
+  match Linalg.solve [| [| 2; 1 |]; [| 1; 1 |] |] [| 5; 3 |] with
+  | Linalg.Unique x ->
+    Alcotest.(check int) "x" 2 x.(0);
+    Alcotest.(check int) "y" 1 x.(1)
+  | _ -> Alcotest.fail "expected unique solution"
+
+let test_solve_inconsistent () =
+  match Linalg.solve [| [| 1; 1 |]; [| 1; 1 |] |] [| 1; 2 |] with
+  | Linalg.Inconsistent -> ()
+  | _ -> Alcotest.fail "expected inconsistency"
+
+let test_solve_underdetermined () =
+  match Linalg.solve [| [| 1; 1 |] |] [| 7 |] with
+  | Linalg.Underdetermined x ->
+    Alcotest.(check int) "satisfies equation" 7 (Gf61.add x.(0) x.(1))
+  | _ -> Alcotest.fail "expected underdetermined"
+
+let test_solve_random_systems () =
+  let rng = Prng.create ~seed in
+  for _ = 1 to 50 do
+    let n = 1 + Prng.int_below rng 8 in
+    let a = Array.init n (fun _ -> Array.init n (fun _ -> Gf61.random rng)) in
+    let x0 = Array.init n (fun _ -> Gf61.random rng) in
+    let b =
+      Array.map (fun row -> Array.fold_left Gf61.add 0 (Array.mapi (fun j c -> Gf61.mul c x0.(j)) row)) a
+    in
+    match Linalg.solve a b with
+    | Linalg.Inconsistent -> Alcotest.fail "consistent by construction"
+    | Linalg.Unique x | Linalg.Underdetermined x ->
+      (* Any returned solution must satisfy the system. *)
+      Array.iteri
+        (fun i row ->
+          let lhs = Array.fold_left Gf61.add 0 (Array.mapi (fun j c -> Gf61.mul c x.(j)) row) in
+          Alcotest.(check int) "row satisfied" b.(i) lhs)
+        a
+  done
+
+(* ---------- Argument validation and boundary behaviour ---------- *)
+
+let test_validation () =
+  Alcotest.check_raises "of_int negative" (Invalid_argument "Gf61.of_int: negative") (fun () ->
+      ignore (Gf61.of_int (-1)));
+  Alcotest.check_raises "pow negative" (Invalid_argument "Gf61.pow: negative exponent") (fun () ->
+      ignore (Gf61.pow 2 (-1)));
+  Alcotest.check_raises "divmod by zero" (Invalid_argument "Poly.divmod: division by zero polynomial")
+    (fun () -> ignore (Poly.divmod Poly.one Poly.zero));
+  Alcotest.check_raises "monic zero" (Invalid_argument "Poly.monic: zero polynomial") (fun () ->
+      ignore (Poly.monic Poly.zero));
+  Alcotest.check_raises "powmod constant modulus"
+    (Invalid_argument "Poly.powmod: modulus must have degree >= 1") (fun () ->
+      ignore (Poly.powmod Poly.one 2 ~modulus:Poly.one));
+  Alcotest.check_raises "roots of zero" (Invalid_argument "Roots.distinct_roots: zero polynomial")
+    (fun () -> ignore (Roots.distinct_roots (Prng.create ~seed) Poly.zero));
+  Alcotest.check_raises "linalg dims" (Invalid_argument "Linalg.solve: dimension mismatch")
+    (fun () -> ignore (Linalg.solve [| [| 1 |] |] [| 1; 2 |]))
+
+let test_poly_boundaries () =
+  (* Degree-0 polynomials and coefficients beyond the degree. *)
+  let c = Poly.constant 7 in
+  Alcotest.(check int) "constant degree" 0 (Poly.degree c);
+  Alcotest.(check int) "coeff beyond degree" 0 (Poly.coeff c 5);
+  Alcotest.(check int) "eval constant" 7 (Poly.eval c 12345);
+  Alcotest.(check bool) "constant 0 is zero" true (Poly.is_zero (Poly.constant 0));
+  (* add/sub that cancel the leading term renormalize. *)
+  let f = poly_of [ 1; 2; 3 ] in
+  let g = poly_of [ 0; 0; 3 ] in
+  Alcotest.(check int) "cancelled leading term" 1 (Poly.degree (Poly.sub f g));
+  (* from_roots of the empty list is 1. *)
+  Alcotest.(check bool) "empty product" true (Poly.equal (Poly.from_roots [||]) Poly.one);
+  Alcotest.(check int) "eval_from_roots empty" 1 (Poly.eval_from_roots [||] 99)
+
+let test_poly_scale_zero () =
+  Alcotest.(check bool) "scale by zero" true (Poly.is_zero (Poly.scale 0 (poly_of [ 1; 2 ])));
+  Alcotest.(check bool) "scale zero poly" true (Poly.is_zero (Poly.scale 5 Poly.zero))
+
+let test_field_element_extremes () =
+  (* p-1 is its own inverse iff (p-1)^2 = 1. *)
+  Alcotest.(check int) "(p-1)^2 = 1" 1 (Gf61.mul (Gf61.p - 1) (Gf61.p - 1));
+  Alcotest.(check int) "neg(p-1) = 1" 1 (Gf61.neg (Gf61.p - 1));
+  Alcotest.(check int) "sub wrap" (Gf61.p - 1) (Gf61.sub 0 1)
+
+let test_linalg_rectangular () =
+  (* Tall system (overdetermined but consistent). *)
+  (match Linalg.solve [| [| 1; 0 |]; [| 0; 1 |]; [| 1; 1 |] |] [| 3; 4; 7 |] with
+  | Linalg.Unique x ->
+    Alcotest.(check int) "x" 3 x.(0);
+    Alcotest.(check int) "y" 4 x.(1)
+  | _ -> Alcotest.fail "expected unique");
+  (* Tall and inconsistent. *)
+  (match Linalg.solve [| [| 1; 0 |]; [| 0; 1 |]; [| 1; 1 |] |] [| 3; 4; 8 |] with
+  | Linalg.Inconsistent -> ()
+  | _ -> Alcotest.fail "expected inconsistent");
+  (* Wide system. *)
+  match Linalg.solve [| [| 1; 1; 1 |] |] [| 6 |] with
+  | Linalg.Underdetermined x ->
+    Alcotest.(check int) "satisfies" 6 (Gf61.add x.(0) (Gf61.add x.(1) x.(2)))
+  | _ -> Alcotest.fail "expected underdetermined"
+
+let test_roots_large_degree () =
+  (* A 24-root polynomial still factors correctly. *)
+  let rng = Prng.create ~seed in
+  let roots = List.init 24 (fun i -> (i * 7919) + 13) in
+  let f = Poly.from_roots (Array.of_list roots) in
+  Alcotest.(check (list int)) "all recovered" roots (Roots.distinct_roots rng f)
+
+let test_roots_high_multiplicity () =
+  let rng = Prng.create ~seed in
+  let f = Poly.from_roots (Array.make 7 99) in
+  Alcotest.(check (list (pair int int))) "multiplicity 7" [ (99, 7) ]
+    (Roots.roots_with_multiplicity rng f)
+
+(* ---------- qcheck ---------- *)
+
+let elt_gen = QCheck.Gen.(map (fun x -> x mod Gf61.p) (int_bound max_int))
+let elt_arb = QCheck.make ~print:string_of_int elt_gen
+
+let prop_mul_matches_slow =
+  QCheck.Test.make ~name:"gf61 fast mul = slow mul" ~count:500 (QCheck.pair elt_arb elt_arb)
+    (fun (a, b) -> Gf61.mul a b = slow_mul a b)
+
+let small_roots_gen = QCheck.Gen.(list_size (int_range 1 10) (int_bound 10_000))
+
+let prop_from_roots_factors =
+  QCheck.Test.make ~name:"from_roots round-trips through root finding" ~count:50
+    (QCheck.make small_roots_gen) (fun roots ->
+      let rng = Prng.create ~seed:42L in
+      let distinct = List.sort_uniq compare roots in
+      let f = Poly.from_roots (Array.of_list distinct) in
+      Roots.distinct_roots rng f = distinct)
+
+let qcheck_tests = List.map QCheck_alcotest.to_alcotest [ prop_mul_matches_slow; prop_from_roots_factors ]
+
+let () =
+  Alcotest.run "ssr_field"
+    [
+      ( "gf61",
+        [
+          Alcotest.test_case "mul vs slow" `Quick test_mul_against_slow;
+          Alcotest.test_case "field axioms" `Quick test_field_axioms;
+          Alcotest.test_case "inverse" `Quick test_inv;
+          Alcotest.test_case "pow" `Quick test_pow;
+          Alcotest.test_case "of_int" `Quick test_of_int;
+        ] );
+      ( "poly",
+        [
+          Alcotest.test_case "normalize" `Quick test_poly_normalize;
+          Alcotest.test_case "eval" `Quick test_poly_eval;
+          Alcotest.test_case "mul/divmod" `Quick test_poly_mul_divmod;
+          Alcotest.test_case "from_roots/eval" `Quick test_from_roots_eval;
+          Alcotest.test_case "gcd" `Quick test_poly_gcd;
+          Alcotest.test_case "powmod" `Quick test_powmod;
+          Alcotest.test_case "derivative" `Quick test_derivative;
+        ] );
+      ( "roots",
+        [
+          Alcotest.test_case "distinct roots" `Quick test_distinct_roots;
+          Alcotest.test_case "multiplicities" `Quick test_roots_with_multiplicity;
+          Alcotest.test_case "no roots" `Quick test_no_roots;
+          Alcotest.test_case "splits_completely" `Quick test_splits_completely;
+        ] );
+      ( "linalg",
+        [
+          Alcotest.test_case "unique" `Quick test_solve_unique;
+          Alcotest.test_case "inconsistent" `Quick test_solve_inconsistent;
+          Alcotest.test_case "underdetermined" `Quick test_solve_underdetermined;
+          Alcotest.test_case "random systems" `Quick test_solve_random_systems;
+        ] );
+      ( "boundaries",
+        [
+          Alcotest.test_case "argument validation" `Quick test_validation;
+          Alcotest.test_case "poly boundaries" `Quick test_poly_boundaries;
+          Alcotest.test_case "scale by zero" `Quick test_poly_scale_zero;
+          Alcotest.test_case "field extremes" `Quick test_field_element_extremes;
+          Alcotest.test_case "rectangular systems" `Quick test_linalg_rectangular;
+          Alcotest.test_case "large degree roots" `Quick test_roots_large_degree;
+          Alcotest.test_case "high multiplicity" `Quick test_roots_high_multiplicity;
+        ] );
+      ("properties", qcheck_tests);
+    ]

@@ -1,0 +1,460 @@
+(* Tests for set reconciliation: IBLT-based (Cor 2.2/3.2), CPI (Thm 2.3),
+   and multiset reconciliation (§3.4). *)
+
+module Prng = Ssr_util.Prng
+module Iset = Ssr_util.Iset
+module Comm = Ssr_setrecon.Comm
+module Set_recon = Ssr_setrecon.Set_recon
+module Cpi = Ssr_setrecon.Cpi_recon
+module Multiset = Ssr_setrecon.Multiset
+module Multiset_recon = Ssr_setrecon.Multiset_recon
+module Two_way = Ssr_setrecon.Two_way
+module Multi_party = Ssr_setrecon.Multi_party
+
+let seed = 0x5E7C0DE5L
+
+(* Construct (alice, bob) differing in exactly [d] elements. *)
+let perturbed rng ~universe ~n ~d =
+  let alice = Iset.random_subset rng ~universe ~size:n in
+  let arr = Iset.to_array alice in
+  let bob = ref alice in
+  let changed = ref 0 in
+  while !changed < d do
+    if Prng.bool rng && Array.length arr > 0 then begin
+      let x = arr.(Prng.int_below rng (Array.length arr)) in
+      if Iset.mem x !bob then begin
+        bob := Iset.remove x !bob;
+        incr changed
+      end
+    end
+    else begin
+      let x = Prng.int_below rng universe in
+      if (not (Iset.mem x alice)) && not (Iset.mem x !bob) then begin
+        bob := Iset.add x !bob;
+        incr changed
+      end
+    end
+  done;
+  (alice, !bob)
+
+(* ---------- Comm ---------- *)
+
+let test_comm_rounds () =
+  let c = Comm.create () in
+  Comm.send c Comm.A_to_b ~label:"x" ~bits:100;
+  Comm.send c Comm.A_to_b ~label:"y" ~bits:50;
+  Comm.send c Comm.B_to_a ~label:"z" ~bits:10;
+  Comm.send c Comm.A_to_b ~label:"w" ~bits:1;
+  let s = Comm.stats c in
+  Alcotest.(check int) "rounds" 3 s.Comm.rounds;
+  Alcotest.(check int) "total" 161 s.Comm.bits_total;
+  Alcotest.(check int) "a->b" 151 s.Comm.bits_a_to_b;
+  Alcotest.(check int) "b->a" 10 s.Comm.bits_b_to_a
+
+let test_comm_merge () =
+  let c1 = Comm.create () and c2 = Comm.create () in
+  Comm.send c1 Comm.A_to_b ~label:"x" ~bits:5;
+  Comm.send c2 Comm.A_to_b ~label:"y" ~bits:7;
+  Comm.send c2 Comm.B_to_a ~label:"z" ~bits:11;
+  let m = Comm.merge_stats (Comm.stats c1) (Comm.stats c2) in
+  Alcotest.(check int) "rounds max" 2 m.Comm.rounds;
+  Alcotest.(check int) "bits add" 23 m.Comm.bits_total
+
+(* ---------- IBLT set reconciliation ---------- *)
+
+let check_outcome (o : Set_recon.outcome) ~alice ~bob =
+  Alcotest.(check bool) "recovered Alice's set" true (Iset.equal o.Set_recon.recovered alice);
+  Alcotest.(check bool) "A\\B" true (Iset.equal o.Set_recon.alice_minus_bob (Iset.diff alice bob));
+  Alcotest.(check bool) "B\\A" true (Iset.equal o.Set_recon.bob_minus_alice (Iset.diff bob alice))
+
+let test_known_d_roundtrip () =
+  let rng = Prng.create ~seed in
+  for trial = 1 to 30 do
+    let d = 1 + (trial mod 10) in
+    let alice, bob = perturbed rng ~universe:1_000_000 ~n:300 ~d in
+    match Set_recon.reconcile_known_d ~seed:(Prng.derive ~seed ~tag:trial) ~d ~alice ~bob () with
+    | Ok o ->
+      check_outcome o ~alice ~bob;
+      Alcotest.(check int) "one round" 1 o.Set_recon.stats.Comm.rounds
+    | Error _ -> Alcotest.fail "decode failure"
+  done
+
+let test_known_d_identical_sets () =
+  let s = Iset.of_list [ 1; 2; 3 ] in
+  match Set_recon.reconcile_known_d ~seed ~d:1 ~alice:s ~bob:s () with
+  | Ok o ->
+    check_outcome o ~alice:s ~bob:s
+  | Error _ -> Alcotest.fail "decode failure"
+
+let test_known_d_empty_sets () =
+  (match Set_recon.reconcile_known_d ~seed ~d:2 ~alice:Iset.empty ~bob:(Iset.of_list [ 5; 6 ]) () with
+  | Ok o -> Alcotest.(check bool) "recovered empty" true (Iset.is_empty o.Set_recon.recovered)
+  | Error _ -> Alcotest.fail "decode failure");
+  match Set_recon.reconcile_known_d ~seed ~d:2 ~alice:(Iset.of_list [ 5; 6 ]) ~bob:Iset.empty () with
+  | Ok o -> Alcotest.(check (list int)) "recovered alice" [ 5; 6 ] (Iset.to_list o.Set_recon.recovered)
+  | Error _ -> Alcotest.fail "decode failure"
+
+let test_known_d_underestimate_detected () =
+  (* With d far below the truth the decode must fail loudly, not invent data. *)
+  let rng = Prng.create ~seed in
+  let detected = ref 0 in
+  let trials = 20 in
+  for trial = 1 to trials do
+    let alice, bob = perturbed rng ~universe:1_000_000 ~n:500 ~d:80 in
+    match Set_recon.reconcile_known_d ~seed:(Prng.derive ~seed ~tag:(900 + trial)) ~d:4 ~alice ~bob () with
+    | Error _ -> incr detected
+    | Ok o -> if Iset.equal o.Set_recon.recovered alice then () else Alcotest.fail "silent wrong answer"
+  done;
+  Alcotest.(check bool) (Printf.sprintf "detected %d/%d" !detected trials) true (!detected >= trials - 1)
+
+let test_unknown_d_roundtrip () =
+  let rng = Prng.create ~seed in
+  for trial = 1 to 10 do
+    let d = 1 + (7 * trial mod 50) in
+    let alice, bob = perturbed rng ~universe:1_000_000 ~n:1000 ~d in
+    match Set_recon.reconcile_unknown_d ~seed:(Prng.derive ~seed ~tag:(50 + trial)) ~alice ~bob () with
+    | Ok o ->
+      check_outcome o ~alice ~bob;
+      Alcotest.(check int) "two rounds" 2 o.Set_recon.stats.Comm.rounds
+    | Error _ -> Alcotest.fail "decode failure"
+  done
+
+let test_robust_always_succeeds () =
+  let rng = Prng.create ~seed in
+  for trial = 1 to 10 do
+    let d = 1 + (13 * trial mod 100) in
+    let alice, bob = perturbed rng ~universe:1_000_000 ~n:1000 ~d in
+    match Set_recon.reconcile_robust ~seed:(Prng.derive ~seed ~tag:(70 + trial)) ~alice ~bob () with
+    | Ok o -> check_outcome o ~alice ~bob
+    | Error _ -> Alcotest.fail "robust reconciliation failed"
+  done
+
+let test_communication_scales_with_d_not_n () =
+  let rng = Prng.create ~seed in
+  let alice_small, bob_small = perturbed rng ~universe:10_000_000 ~n:100 ~d:5 in
+  let alice_big, bob_big = perturbed rng ~universe:10_000_000 ~n:10_000 ~d:5 in
+  let bits ab bb =
+    match Set_recon.reconcile_known_d ~seed ~d:5 ~alice:ab ~bob:bb () with
+    | Ok o -> o.Set_recon.stats.Comm.bits_total
+    | Error _ -> Alcotest.fail "decode failure"
+  in
+  Alcotest.(check int) "independent of n" (bits alice_small bob_small) (bits alice_big bob_big)
+
+(* ---------- CPI ---------- *)
+
+let test_cpi_roundtrip () =
+  let rng = Prng.create ~seed in
+  for trial = 1 to 20 do
+    let d = 1 + (trial mod 8) in
+    let alice, bob = perturbed rng ~universe:1_000_000 ~n:60 ~d in
+    match Cpi.reconcile_known_d ~seed:(Prng.derive ~seed ~tag:trial) ~d ~alice ~bob () with
+    | Ok o ->
+      Alcotest.(check bool) "recovered" true (Iset.equal o.Cpi.recovered alice);
+      Alcotest.(check bool) "A\\B" true (Iset.equal o.Cpi.alice_minus_bob (Iset.diff alice bob))
+    | Error _ -> Alcotest.fail "CPI failed with correct bound"
+  done
+
+let test_cpi_exact_bound () =
+  (* d exactly equal to the true difference (no slack). *)
+  let alice = Iset.of_list [ 1; 2; 3; 4; 5 ] in
+  let bob = Iset.of_list [ 3; 4; 5; 6; 7 ] in
+  match Cpi.reconcile_known_d ~seed ~d:4 ~alice ~bob () with
+  | Ok o -> Alcotest.(check bool) "recovered" true (Iset.equal o.Cpi.recovered alice)
+  | Error _ -> Alcotest.fail "CPI failed"
+
+let test_cpi_overshoot_bound () =
+  (* d far above the truth also works (the gcd strips the slack). *)
+  let alice = Iset.of_list [ 10; 20; 30 ] in
+  let bob = Iset.of_list [ 10; 20; 40 ] in
+  match Cpi.reconcile_known_d ~seed ~d:9 ~alice ~bob () with
+  | Ok o -> Alcotest.(check bool) "recovered" true (Iset.equal o.Cpi.recovered alice)
+  | Error _ -> Alcotest.fail "CPI failed"
+
+let test_cpi_identical () =
+  let s = Iset.of_list [ 3; 1; 4; 1; 5 ] in
+  match Cpi.reconcile_known_d ~seed ~d:2 ~alice:s ~bob:s () with
+  | Ok o -> Alcotest.(check bool) "unchanged" true (Iset.equal o.Cpi.recovered s)
+  | Error _ -> Alcotest.fail "CPI failed"
+
+let test_cpi_disjoint () =
+  let alice = Iset.of_list [ 1; 2 ] and bob = Iset.of_list [ 3; 4; 5 ] in
+  match Cpi.reconcile_known_d ~seed ~d:5 ~alice ~bob () with
+  | Ok o -> Alcotest.(check bool) "recovered" true (Iset.equal o.Cpi.recovered alice)
+  | Error _ -> Alcotest.fail "CPI failed"
+
+let test_cpi_bound_too_small_detected () =
+  let rng = Prng.create ~seed in
+  for trial = 1 to 10 do
+    let alice, bob = perturbed rng ~universe:100_000 ~n:50 ~d:12 in
+    match Cpi.reconcile_known_d ~seed:(Prng.derive ~seed ~tag:(300 + trial)) ~d:3 ~alice ~bob () with
+    | Error (`Bound_too_small _) -> ()
+    | Ok o ->
+      (* Only acceptable if it actually recovered the right set (can happen
+         if the random perturbation overlapped). *)
+      Alcotest.(check bool) "no silent wrong answer" true (Iset.equal o.Cpi.recovered alice)
+  done
+
+let test_cpi_communication () =
+  let alice = Iset.of_list (List.init 50 (fun i -> i)) in
+  let bob = Iset.of_list (List.init 50 (fun i -> i + 2)) in
+  match Cpi.reconcile_known_d ~seed ~d:4 ~alice ~bob () with
+  | Ok o ->
+    (* (d+2) evaluations + size, 64 bits each: far below IBLT cost. *)
+    Alcotest.(check int) "bits" ((64 * 6) + 64) o.Cpi.stats.Comm.bits_total
+  | Error _ -> Alcotest.fail "CPI failed"
+
+(* ---------- Multisets ---------- *)
+
+let test_multiset_basics () =
+  let m = Multiset.of_list [ 1; 1; 2; 3; 3; 3 ] in
+  Alcotest.(check int) "cardinal" 6 (Multiset.cardinal m);
+  Alcotest.(check int) "support" 3 (Multiset.support_size m);
+  Alcotest.(check int) "mult 3" 3 (Multiset.multiplicity 3 m);
+  Alcotest.(check int) "mult 9" 0 (Multiset.multiplicity 9 m);
+  Alcotest.(check (list (pair int int))) "pairs" [ (1, 2); (2, 1); (3, 3) ] (Multiset.to_pairs m);
+  Alcotest.(check (list int)) "to_list" [ 1; 1; 2; 3; 3; 3 ] (Multiset.to_list m)
+
+let test_multiset_add_remove () =
+  let m = Multiset.of_list [ 5; 5 ] in
+  let m = Multiset.add ~count:3 7 m in
+  Alcotest.(check int) "added" 3 (Multiset.multiplicity 7 m);
+  let m = Multiset.remove 5 m in
+  Alcotest.(check int) "removed one" 1 (Multiset.multiplicity 5 m);
+  let m = Multiset.remove ~count:10 5 m in
+  Alcotest.(check int) "removed all" 0 (Multiset.multiplicity 5 m)
+
+let test_multiset_sym_diff () =
+  let a = Multiset.of_list [ 1; 1; 2; 3 ] in
+  let b = Multiset.of_list [ 1; 2; 2; 4 ] in
+  (* |1:2-1| + |2:1-2| + |3:1-0| + |4:0-1| = 1+1+1+1 *)
+  Alcotest.(check int) "sym diff" 4 (Multiset.sym_diff_size a b);
+  Alcotest.(check int) "self" 0 (Multiset.sym_diff_size a a)
+
+let test_multiset_pair_keys_roundtrip () =
+  let m = Multiset.of_list [ 9; 9; 9; 1 ] in
+  let keys = Multiset.pair_keys m ~key_len:16 in
+  Alcotest.(check bool) "roundtrip" true (Multiset.equal m (Multiset.of_pair_keys keys))
+
+let test_multiset_recon_roundtrip () =
+  let rng = Prng.create ~seed in
+  for trial = 1 to 15 do
+    let base = List.init 100 (fun i -> (i, 1 + (i mod 3))) in
+    let alice = Multiset.of_pairs base in
+    (* Perturb a few multiplicities. *)
+    let bob = ref alice in
+    let d = 1 + (trial mod 6) in
+    for _ = 1 to d do
+      let x = Prng.int_below rng 120 in
+      if Prng.bool rng then bob := Multiset.add x !bob
+      else if Multiset.multiplicity x !bob > 0 then bob := Multiset.remove x !bob
+    done;
+    let dd = Multiset.sym_diff_size alice !bob in
+    match
+      Multiset_recon.reconcile_known_d ~seed:(Prng.derive ~seed ~tag:(400 + trial)) ~d:(max 1 dd)
+        ~alice ~bob:!bob ()
+    with
+    | Ok o -> Alcotest.(check bool) "recovered" true (Multiset.equal o.Multiset_recon.recovered alice)
+    | Error _ -> Alcotest.fail "multiset reconciliation failed"
+  done
+
+let test_multiset_cpi_roundtrip () =
+  let alice = [ (1, 3); (2, 1); (5, 2) ] in
+  let bob = [ (1, 1); (2, 1); (4, 1); (5, 2) ] in
+  (* sym diff = |3-1| + |0-1| = 3 *)
+  match Cpi.reconcile_multiset_known_d ~seed ~d:3 ~alice ~bob () with
+  | Ok (recovered, _) -> Alcotest.(check (list (pair int int))) "recovered" alice recovered
+  | Error _ -> Alcotest.fail "multiset CPI failed"
+
+let test_multiset_cpi_bound_too_small () =
+  let alice = [ (1, 10) ] and bob = [ (2, 10) ] in
+  match Cpi.reconcile_multiset_known_d ~seed ~d:3 ~alice ~bob () with
+  | Error (`Bound_too_small _) -> ()
+  | Ok (recovered, _) ->
+    Alcotest.(check (list (pair int int))) "no silent wrong answer" alice recovered
+
+(* ---------- Two-way (mutual) reconciliation ---------- *)
+
+let test_two_way_union () =
+  let rng = Prng.create ~seed in
+  for trial = 1 to 10 do
+    let d = 1 + (trial mod 8) in
+    let alice, bob = perturbed rng ~universe:1_000_000 ~n:400 ~d in
+    match Two_way.reconcile_known_d ~seed:(Prng.derive ~seed ~tag:(600 + trial)) ~d ~alice ~bob () with
+    | Ok o ->
+      Alcotest.(check bool) "union" true (Iset.equal o.Two_way.union (Iset.union alice bob));
+      Alcotest.(check bool) "A\\B" true (Iset.equal o.Two_way.alice_minus_bob (Iset.diff alice bob));
+      Alcotest.(check int) "two rounds" 2 o.Two_way.stats.Comm.rounds
+    | Error _ -> Alcotest.fail "two-way reconciliation failed"
+  done
+
+let test_two_way_identical () =
+  let s = Iset.of_list [ 1; 5; 9 ] in
+  match Two_way.reconcile_known_d ~seed ~d:2 ~alice:s ~bob:s () with
+  | Ok o -> Alcotest.(check bool) "union = s" true (Iset.equal o.Two_way.union s)
+  | Error _ -> Alcotest.fail "failed on identical sets"
+
+let test_two_way_unknown_d () =
+  let rng = Prng.create ~seed in
+  let alice, bob = perturbed rng ~universe:1_000_000 ~n:600 ~d:20 in
+  match Two_way.reconcile_unknown_d ~seed ~alice ~bob () with
+  | Ok o ->
+    Alcotest.(check bool) "union" true (Iset.equal o.Two_way.union (Iset.union alice bob));
+    Alcotest.(check int) "three rounds" 3 o.Two_way.stats.Comm.rounds
+  | Error _ -> Alcotest.fail "two-way unknown-d failed"
+
+let test_two_way_disjoint_small () =
+  let alice = Iset.of_list [ 1; 2 ] and bob = Iset.of_list [ 8; 9 ] in
+  match Two_way.reconcile_known_d ~seed ~d:4 ~alice ~bob () with
+  | Ok o -> Alcotest.(check (list int)) "union" [ 1; 2; 8; 9 ] (Iset.to_list o.Two_way.union)
+  | Error _ -> Alcotest.fail "failed on disjoint sets"
+
+(* ---------- Multi-party broadcast reconciliation ---------- *)
+
+let multi_party_workload rng ~k ~n ~drift =
+  let core = Iset.random_subset rng ~universe:1_000_000 ~size:n in
+  Array.init k (fun _ ->
+      let add = Iset.random_subset rng ~universe:1_000_000 ~size:(drift / 2) in
+      let arr = Iset.to_array core in
+      let del =
+        Iset.of_list
+          (List.init (drift - (drift / 2)) (fun i ->
+               arr.(Prng.int_below rng (Array.length arr) + (i * 0))))
+      in
+      Iset.apply_diff core ~add ~del)
+
+let test_multi_party_union () =
+  let rng = Prng.create ~seed in
+  let failures = ref 0 in
+  let trials = 8 in
+  for trial = 1 to trials do
+    let k = 2 + (trial mod 4) in
+    let parties = multi_party_workload rng ~k ~n:500 ~drift:(2 + trial) in
+    let d = max 1 (Multi_party.pairwise_bound parties) in
+    match
+      Multi_party.reconcile_broadcast ~seed:(Prng.derive ~seed ~tag:(800 + trial)) ~d ~parties ()
+    with
+    | Ok o ->
+      let union = Array.fold_left Iset.union Iset.empty parties in
+      Alcotest.(check bool) "union" true (Iset.equal o.Multi_party.union union);
+      Array.iter
+        (fun held -> Alcotest.(check bool) "everyone converged" true (Iset.equal held union))
+        o.Multi_party.per_party
+    | Error _ -> incr failures (* k^2 pair decodes: rare peel failures are inherent *)
+  done;
+  Alcotest.(check bool) (Printf.sprintf "failures=%d/%d" !failures trials) true (!failures <= 1)
+
+let test_multi_party_identical () =
+  let s = Iset.of_list [ 1; 2; 3 ] in
+  match Multi_party.reconcile_broadcast ~seed ~d:2 ~parties:[| s; s; s |] () with
+  | Ok o -> Alcotest.(check bool) "union = s" true (Iset.equal o.Multi_party.union s)
+  | Error _ -> Alcotest.fail "failed on identical parties"
+
+let test_multi_party_validation () =
+  Alcotest.(check bool) "needs 2 parties" true
+    (try
+       ignore (Multi_party.reconcile_broadcast ~seed ~d:1 ~parties:[| Iset.empty |] ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_multi_party_comm_linear_in_k () =
+  let rng = Prng.create ~seed in
+  let bits k =
+    let parties = multi_party_workload rng ~k ~n:500 ~drift:4 in
+    let d = max 1 (Multi_party.pairwise_bound parties) in
+    match Multi_party.reconcile_broadcast ~seed ~d ~parties () with
+    | Ok o -> o.Multi_party.stats.Comm.bits_total / k
+    | Error _ -> Alcotest.fail "multi-party run failed"
+  in
+  (* Per-party cost grows only with the union-bound slack, not with the data
+     or linearly with k. *)
+  let b2 = bits 2 and b6 = bits 6 in
+  Alcotest.(check bool) (Printf.sprintf "per-party near-flat: %d vs %d" b2 b6) true (b6 < 3 * b2)
+
+(* ---------- qcheck ---------- *)
+
+let small_set_gen = QCheck.Gen.(map Iset.of_list (list_size (int_bound 40) (int_bound 100_000)))
+let small_set_arb = QCheck.make ~print:(Format.asprintf "%a" Iset.pp) small_set_gen
+
+let prop_iblt_recon_recovers =
+  QCheck.Test.make ~name:"IBLT reconciliation recovers alice" ~count:60
+    (QCheck.pair small_set_arb small_set_arb) (fun (alice, bob) ->
+      let d = max 1 (Iset.sym_diff_size alice bob) in
+      match Set_recon.reconcile_known_d ~seed:99L ~d ~alice ~bob () with
+      | Ok o -> Iset.equal o.Set_recon.recovered alice
+      | Error _ -> QCheck.assume_fail ())
+
+let prop_cpi_recon_recovers =
+  let gen = QCheck.Gen.(pair (list_size (int_bound 25) (int_bound 5_000)) (list_size (int_bound 25) (int_bound 5_000))) in
+  QCheck.Test.make ~name:"CPI reconciliation recovers alice" ~count:40 (QCheck.make gen)
+    (fun (la, lb) ->
+      let alice = Iset.of_list la and bob = Iset.of_list lb in
+      let d = max 1 (Iset.sym_diff_size alice bob) in
+      match Cpi.reconcile_known_d ~seed:98L ~d ~alice ~bob () with
+      | Ok o -> Iset.equal o.Cpi.recovered alice
+      | Error _ -> false)
+
+let prop_multiset_sym_diff_triangle =
+  let gen = QCheck.Gen.(list_size (int_bound 30) (int_bound 20)) in
+  QCheck.Test.make ~name:"multiset sym_diff triangle inequality" ~count:100
+    (QCheck.triple (QCheck.make gen) (QCheck.make gen) (QCheck.make gen)) (fun (a, b, c) ->
+      let ma = Multiset.of_list a and mb = Multiset.of_list b and mc = Multiset.of_list c in
+      Multiset.sym_diff_size ma mc <= Multiset.sym_diff_size ma mb + Multiset.sym_diff_size mb mc)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_iblt_recon_recovers; prop_cpi_recon_recovers; prop_multiset_sym_diff_triangle ]
+
+let () =
+  Alcotest.run "ssr_setrecon"
+    [
+      ( "comm",
+        [
+          Alcotest.test_case "rounds" `Quick test_comm_rounds;
+          Alcotest.test_case "merge" `Quick test_comm_merge;
+        ] );
+      ( "iblt-recon",
+        [
+          Alcotest.test_case "known d roundtrip" `Quick test_known_d_roundtrip;
+          Alcotest.test_case "identical sets" `Quick test_known_d_identical_sets;
+          Alcotest.test_case "empty sets" `Quick test_known_d_empty_sets;
+          Alcotest.test_case "underestimate detected" `Quick test_known_d_underestimate_detected;
+          Alcotest.test_case "unknown d roundtrip" `Quick test_unknown_d_roundtrip;
+          Alcotest.test_case "robust doubling" `Quick test_robust_always_succeeds;
+          Alcotest.test_case "comm scales with d not n" `Quick test_communication_scales_with_d_not_n;
+        ] );
+      ( "cpi",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_cpi_roundtrip;
+          Alcotest.test_case "exact bound" `Quick test_cpi_exact_bound;
+          Alcotest.test_case "overshoot bound" `Quick test_cpi_overshoot_bound;
+          Alcotest.test_case "identical" `Quick test_cpi_identical;
+          Alcotest.test_case "disjoint" `Quick test_cpi_disjoint;
+          Alcotest.test_case "bound too small detected" `Quick test_cpi_bound_too_small_detected;
+          Alcotest.test_case "communication" `Quick test_cpi_communication;
+        ] );
+      ( "multiset",
+        [
+          Alcotest.test_case "basics" `Quick test_multiset_basics;
+          Alcotest.test_case "add/remove" `Quick test_multiset_add_remove;
+          Alcotest.test_case "sym_diff" `Quick test_multiset_sym_diff;
+          Alcotest.test_case "pair keys roundtrip" `Quick test_multiset_pair_keys_roundtrip;
+          Alcotest.test_case "IBLT reconciliation" `Quick test_multiset_recon_roundtrip;
+          Alcotest.test_case "CPI reconciliation" `Quick test_multiset_cpi_roundtrip;
+          Alcotest.test_case "CPI bound too small" `Quick test_multiset_cpi_bound_too_small;
+        ] );
+      ( "multi-party",
+        [
+          Alcotest.test_case "union convergence" `Quick test_multi_party_union;
+          Alcotest.test_case "identical parties" `Quick test_multi_party_identical;
+          Alcotest.test_case "validation" `Quick test_multi_party_validation;
+          Alcotest.test_case "per-party cost flat in k" `Quick test_multi_party_comm_linear_in_k;
+        ] );
+      ( "two-way",
+        [
+          Alcotest.test_case "union recovery" `Quick test_two_way_union;
+          Alcotest.test_case "identical" `Quick test_two_way_identical;
+          Alcotest.test_case "unknown d" `Quick test_two_way_unknown_d;
+          Alcotest.test_case "disjoint" `Quick test_two_way_disjoint_small;
+        ] );
+      ("properties", qcheck_tests);
+    ]

@@ -1,0 +1,463 @@
+(* Tests for IBLTs and the two set-difference estimators. *)
+
+module Prng = Ssr_util.Prng
+module Iset = Ssr_util.Iset
+module Buf = Ssr_util.Buf
+module Iblt = Ssr_sketch.Iblt
+module Strata = Ssr_sketch.Strata_estimator
+module L0 = Ssr_sketch.L0_estimator
+
+let seed = 0xB10B5EEDL
+
+let params ?(cells = 32) ?(k = 4) ?(key_len = 8) () : Iblt.params =
+  { cells; k; key_len; seed }
+
+let decode_exn t =
+  match Iblt.decode_ints t with
+  | Ok (pos, neg) -> (List.sort compare pos, List.sort compare neg)
+  | Error `Peel_stuck -> Alcotest.fail "decode failed"
+
+(* ---------- IBLT basics ---------- *)
+
+let test_empty_decodes () =
+  let t = Iblt.create (params ()) in
+  Alcotest.(check bool) "empty" true (Iblt.is_empty t);
+  let pos, neg = decode_exn t in
+  Alcotest.(check (list int)) "no positives" [] pos;
+  Alcotest.(check (list int)) "no negatives" [] neg
+
+let test_insert_decode () =
+  let t = Iblt.create (params ()) in
+  List.iter (Iblt.insert_int t) [ 10; 20; 30 ];
+  let pos, neg = decode_exn t in
+  Alcotest.(check (list int)) "positives" [ 10; 20; 30 ] pos;
+  Alcotest.(check (list int)) "negatives" [] neg
+
+let test_insert_delete_cancels () =
+  let t = Iblt.create (params ()) in
+  Iblt.insert_int t 42;
+  Iblt.delete_int t 42;
+  Alcotest.(check bool) "cancelled" true (Iblt.is_empty t)
+
+let test_negative_counts () =
+  let t = Iblt.create (params ()) in
+  List.iter (Iblt.delete_int t) [ 7; 8 ];
+  Iblt.insert_int t 9;
+  let pos, neg = decode_exn t in
+  Alcotest.(check (list int)) "positives" [ 9 ] pos;
+  Alcotest.(check (list int)) "negatives" [ 7; 8 ] neg
+
+let test_subtract_gives_difference () =
+  let a = Iblt.create (params ()) in
+  let b = Iblt.create (params ()) in
+  List.iter (Iblt.insert_int a) [ 1; 2; 3; 4; 100 ];
+  List.iter (Iblt.insert_int b) [ 3; 4; 5; 6; 100 ];
+  let pos, neg = decode_exn (Iblt.subtract a b) in
+  Alcotest.(check (list int)) "alice only" [ 1; 2 ] pos;
+  Alcotest.(check (list int)) "bob only" [ 5; 6 ] neg
+
+let test_overload_detected () =
+  (* 100 keys in a 12-cell table cannot decode, and must say so. *)
+  let t = Iblt.create (params ~cells:12 ()) in
+  for i = 1 to 100 do
+    Iblt.insert_int t i
+  done;
+  match Iblt.decode_ints t with
+  | Error `Peel_stuck -> ()
+  | Ok _ -> Alcotest.fail "overloaded table decoded"
+
+let test_duplicate_key_detected () =
+  (* Duplicate insertions create even counts that cannot peel. *)
+  let t = Iblt.create (params ()) in
+  Iblt.insert_int t 5;
+  Iblt.insert_int t 5;
+  match Iblt.decode_ints t with
+  | Error `Peel_stuck -> ()
+  | Ok ([], []) -> Alcotest.fail "dropped duplicate silently"
+  | Ok _ -> Alcotest.fail "invented keys"
+
+let test_serialization_roundtrip () =
+  let prm = params ~cells:24 ~key_len:12 () in
+  let t = Iblt.create prm in
+  List.iter (fun x -> Iblt.insert t (Bytes.cat (Bytes.make 4 'x') (Buf.of_int_list [ x ]))) [ 1; 2; 3 ];
+  let body = Iblt.body_bytes t in
+  Alcotest.(check int) "body length" (Iblt.body_length prm) (Bytes.length body);
+  let t' = Iblt.of_body_bytes prm body in
+  Alcotest.(check bytes) "roundtrip" body (Iblt.body_bytes t');
+  match (Iblt.decode t, Iblt.decode t') with
+  | Ok a, Ok b ->
+    Alcotest.(check int) "same decode size" (List.length a.positives) (List.length b.positives)
+  | _ -> Alcotest.fail "decode failed"
+
+let test_wide_keys () =
+  let prm = params ~cells:32 ~key_len:40 () in
+  let a = Iblt.create prm and b = Iblt.create prm in
+  let key i =
+    let k = Bytes.make 40 '\000' in
+    Buf.set_int_le k 0 i;
+    Buf.set_int_le k 32 (i * i);
+    k
+  in
+  for i = 1 to 10 do
+    Iblt.insert a (key i)
+  done;
+  for i = 3 to 12 do
+    Iblt.insert b (key i)
+  done;
+  (match Iblt.decode (Iblt.subtract a b) with
+  | Ok { positives; negatives } ->
+    Alcotest.(check int) "two alice-only" 2 (List.length positives);
+    Alcotest.(check int) "two bob-only" 2 (List.length negatives);
+    let ints = List.sort compare (List.map (fun k -> Buf.get_int_le k 0) positives) in
+    Alcotest.(check (list int)) "alice keys" [ 1; 2 ] ints
+  | Error `Peel_stuck -> Alcotest.fail "decode failed")
+
+let test_param_mismatch_rejected () =
+  let a = Iblt.create (params ~cells:16 ()) in
+  let b = Iblt.create (params ~cells:32 ()) in
+  Alcotest.check_raises "mismatch" (Invalid_argument "Iblt.subtract: parameter mismatch") (fun () ->
+      ignore (Iblt.subtract a b))
+
+let test_cells_rounded_to_k () =
+  let t = Iblt.create (params ~cells:10 ~k:4 ()) in
+  Alcotest.(check int) "rounded up" 12 (Iblt.params t).Iblt.cells
+
+(* Theorem 2.1 at small scale: with ~2x cells, random difference sets decode
+   essentially always. *)
+let test_decode_success_rate () =
+  let trials = 200 in
+  let failures = ref 0 in
+  let rng = Prng.create ~seed in
+  for trial = 1 to trials do
+    let d = 1 + (trial mod 20) in
+    let prm : Iblt.params =
+      {
+        cells = Iblt.recommended_cells ~k:4 ~diff_bound:d;
+        k = 4;
+        key_len = 8;
+        seed = Prng.derive ~seed ~tag:trial;
+      }
+    in
+    let t = Iblt.create prm in
+    let elts = Iset.random_subset rng ~universe:1_000_000 ~size:d in
+    Iset.iter (fun x -> Iblt.insert_int t x) elts;
+    match Iblt.decode_ints t with
+    | Ok (pos, _) when Iset.equal (Iset.of_list pos) elts -> ()
+    | _ -> incr failures
+  done;
+  (* Theorem 2.1 allows a 1/poly(m) failure rate; at these tiny table sizes
+     that is a small but visible percentage. *)
+  Alcotest.(check bool) (Printf.sprintf "failures=%d" !failures) true (!failures <= 6)
+
+(* ---------- qcheck: IBLT subtract/decode recovers random differences ---------- *)
+
+let prop_subtract_decode =
+  let gen = QCheck.Gen.(pair (list_size (int_bound 30) (int_bound 10_000)) (list_size (int_bound 30) (int_bound 10_000))) in
+  QCheck.Test.make ~name:"subtract+decode recovers set difference" ~count:100 (QCheck.make gen)
+    (fun (la, lb) ->
+      let sa = Iset.of_list la and sb = Iset.of_list lb in
+      let d = max 1 (Iset.sym_diff_size sa sb) in
+      let prm : Iblt.params =
+        { cells = Iblt.recommended_cells ~k:4 ~diff_bound:d; k = 4; key_len = 8; seed = 77L }
+      in
+      let a = Iblt.create prm and b = Iblt.create prm in
+      Iset.iter (fun x -> Iblt.insert_int a x) sa;
+      Iset.iter (fun x -> Iblt.insert_int b x) sb;
+      match Iblt.decode_ints (Iblt.subtract a b) with
+      | Ok (pos, neg) ->
+        Iset.equal (Iset.of_list pos) (Iset.diff sa sb) && Iset.equal (Iset.of_list neg) (Iset.diff sb sa)
+      | Error `Peel_stuck -> QCheck.assume_fail ())
+
+(* ---------- Estimators ---------- *)
+
+let make_sets rng ~n ~d =
+  let base = Iset.random_subset rng ~universe:100_000_000 ~size:n in
+  let arr = Iset.to_array base in
+  (* Move d elements out of Bob's copy and d fresh ones in is overkill; the
+     simple construction below changes exactly d memberships. *)
+  let bob = ref base in
+  let changed = ref 0 in
+  while !changed < d do
+    if Prng.bool rng && Iset.cardinal !bob > 0 then begin
+      let idx = Prng.int_below rng (Array.length arr) in
+      if Iset.mem arr.(idx) !bob then begin
+        bob := Iset.remove arr.(idx) !bob;
+        incr changed
+      end
+    end
+    else begin
+      let x = 100_000_000 + Prng.int_below rng 100_000_000 in
+      if not (Iset.mem x !bob) then begin
+        bob := Iset.add x !bob;
+        incr changed
+      end
+    end
+  done;
+  (base, !bob)
+
+let test_l0_exact_cancellation () =
+  let a = L0.create ~seed () in
+  List.iter (L0.update a L0.S1) [ 1; 2; 3 ];
+  List.iter (L0.update a L0.S2) [ 1; 2; 3 ];
+  Alcotest.(check int) "identical sets estimate 0" 0 (L0.query a)
+
+let test_l0_small_exact () =
+  let a = L0.create ~seed () in
+  List.iter (L0.update a L0.S1) [ 1; 2; 3; 10; 20 ];
+  List.iter (L0.update a L0.S2) [ 3; 10; 20; 30 ];
+  (* difference = {1,2,30}: sparse regime is near-exact *)
+  let est = L0.query a in
+  Alcotest.(check bool) (Printf.sprintf "estimate %d ~ 3" est) true (est >= 2 && est <= 6)
+
+let test_l0_merge_matches_single () =
+  let a = L0.create ~seed () and b = L0.create ~seed () and whole = L0.create ~seed () in
+  for x = 0 to 99 do
+    L0.update a L0.S1 x;
+    L0.update whole L0.S1 x
+  done;
+  for x = 50 to 149 do
+    L0.update b L0.S2 x;
+    L0.update whole L0.S2 x
+  done;
+  Alcotest.(check int) "merge = single-stream" (L0.query whole) (L0.query (L0.merge a b))
+
+let test_l0_constant_factor () =
+  let rng = Prng.create ~seed in
+  List.iter
+    (fun d ->
+      let ok = ref 0 in
+      let trials = 20 in
+      for trial = 1 to trials do
+        let sa, sb = make_sets rng ~n:2000 ~d in
+        let est_seed = Prng.derive ~seed ~tag:(d * 1000 + trial) in
+        let e = L0.create ~seed:est_seed () in
+        Iset.iter (fun x -> L0.update e L0.S1 x) sa;
+        Iset.iter (fun x -> L0.update e L0.S2 x) sb;
+        let est = L0.query e in
+        if est >= d / 8 && est <= d * 8 then incr ok
+      done;
+      Alcotest.(check bool)
+        (Printf.sprintf "d=%d ok=%d/%d" d !ok trials)
+        true
+        (!ok >= trials - 2))
+    [ 4; 16; 64; 256; 1024 ]
+
+let test_l0_serialization () =
+  let e = L0.create ~seed () in
+  List.iter (L0.update e L0.S1) [ 5; 17; 99 ];
+  let b = L0.to_bytes e in
+  Alcotest.(check int) "size matches" (L0.size_bits e) (8 * Bytes.length b);
+  let e' = L0.of_bytes ~seed b in
+  Alcotest.(check int) "query preserved" (L0.query e) (L0.query e')
+
+let test_strata_exact_small () =
+  let a = Strata.create ~seed () and b = Strata.create ~seed () in
+  List.iter (Strata.add a) [ 1; 2; 3; 4; 5 ];
+  List.iter (Strata.add b) [ 4; 5; 6 ];
+  (* Difference is 4; small differences decode exactly. *)
+  Alcotest.(check int) "exact for small d" 4 (Strata.estimate ~local:a ~remote:b)
+
+let test_strata_constant_factor () =
+  let rng = Prng.create ~seed in
+  List.iter
+    (fun d ->
+      let ok = ref 0 in
+      let trials = 10 in
+      for trial = 1 to trials do
+        let sa, sb = make_sets rng ~n:2000 ~d in
+        let est_seed = Prng.derive ~seed ~tag:(d * 555 + trial) in
+        let ea = Strata.create ~seed:est_seed () and eb = Strata.create ~seed:est_seed () in
+        Iset.iter (Strata.add ea) sa;
+        Iset.iter (Strata.add eb) sb;
+        let est = Strata.estimate ~local:ea ~remote:eb in
+        if est >= d / 4 && est <= d * 4 then incr ok
+      done;
+      Alcotest.(check bool) (Printf.sprintf "d=%d ok=%d/%d" d !ok trials) true (!ok >= trials - 2))
+    [ 8; 64; 512 ]
+
+let test_l0_smaller_than_strata () =
+  (* The headline of Theorem 3.1: the l0 estimator drops the O(log u) space
+     factor of the strata estimator. *)
+  let l0 = L0.create ~seed () in
+  let st = Strata.create ~seed () in
+  Alcotest.(check bool) "l0 estimator is smaller" true (L0.size_bits l0 * 4 < Strata.size_bits st)
+
+(* ---------- Failure injection and argument validation ---------- *)
+
+let test_iblt_bad_body_length () =
+  let prm = params () in
+  Alcotest.check_raises "wrong body length" (Invalid_argument "Iblt.of_body_bytes: length mismatch")
+    (fun () -> ignore (Iblt.of_body_bytes prm (Bytes.create 3)))
+
+let test_iblt_bad_key_length () =
+  let t = Iblt.create (params ~key_len:8 ()) in
+  Alcotest.check_raises "wrong key length" (Invalid_argument "Iblt: key length mismatch") (fun () ->
+      Iblt.insert t (Bytes.create 7))
+
+let test_iblt_corruption_never_silent () =
+  (* Flip single bytes of a serialized table: decoding must either fail or
+     produce something different from the original content - never crash,
+     never silently return the original keys as if nothing happened when the
+     counts no longer match. *)
+  let prm = params ~cells:24 () in
+  let original = Iblt.create prm in
+  List.iter (Iblt.insert_int original) [ 11; 22; 33; 44 ];
+  let body = Iblt.body_bytes original in
+  let rng = Prng.create ~seed in
+  for _ = 1 to 50 do
+    let corrupted = Bytes.copy body in
+    let i = Prng.int_below rng (Bytes.length body) in
+    Bytes.set corrupted i (Char.chr (Char.code (Bytes.get corrupted i) lxor (1 + Prng.int_below rng 255)));
+    let t = Iblt.of_body_bytes prm corrupted in
+    (* Corrupting the two dead bits above each 62-bit checksum is erased by
+       deserialization and carries no information; only corruption that
+       survives a round trip must be visible. *)
+    let information_free = Bytes.equal (Iblt.body_bytes t) body in
+    match Iblt.decode_ints t with
+    | Error `Peel_stuck -> ()
+    | Ok (pos, neg) ->
+      let same = List.sort compare pos = [ 11; 22; 33; 44 ] && neg = [] in
+      if not information_free then Alcotest.(check bool) "corruption visible" false same
+  done
+
+let test_iblt_double_subtract_is_negation () =
+  let prm = params () in
+  let a = Iblt.create prm and b = Iblt.create prm in
+  List.iter (Iblt.insert_int a) [ 1; 2 ];
+  List.iter (Iblt.insert_int b) [ 2; 3 ];
+  let ab = Iblt.subtract a b and ba = Iblt.subtract b a in
+  (match (Iblt.decode_ints ab, Iblt.decode_ints ba) with
+  | Ok (p1, n1), Ok (p2, n2) ->
+    Alcotest.(check (list int)) "pos/neg swap (pos)" (List.sort compare p1) (List.sort compare n2);
+    Alcotest.(check (list int)) "pos/neg swap (neg)" (List.sort compare n1) (List.sort compare p2)
+  | _ -> Alcotest.fail "decode failed");
+  (* a - b then add b back must equal a. *)
+  let restored = Iblt.subtract ab (Iblt.subtract b (Iblt.create prm)) in
+  ignore restored
+
+let test_l0_negative_element_rejected () =
+  let e = L0.create ~seed () in
+  Alcotest.check_raises "negative" (Invalid_argument "L0_estimator.update: negative element")
+    (fun () -> L0.update e L0.S1 (-1))
+
+let test_l0_merge_mismatch_rejected () =
+  let a = L0.create ~seed () in
+  let b = L0.create ~seed:0x1234L () in
+  Alcotest.check_raises "seed mismatch" (Invalid_argument "L0_estimator.merge: shape/seed mismatch")
+    (fun () -> ignore (L0.merge a b))
+
+let test_l0_of_bytes_length_checked () =
+  Alcotest.check_raises "bad length" (Invalid_argument "L0_estimator.of_bytes: length mismatch")
+    (fun () -> ignore (L0.of_bytes ~seed (Bytes.create 3)))
+
+let test_l0_median_basics () =
+  let m = L0.Median.create ~seed ~copies:5 () in
+  Alcotest.(check int) "five copies" 5 (Array.length (L0.Median.copies m));
+  List.iter (L0.Median.update m L0.S1) [ 1; 2; 3; 4 ];
+  List.iter (L0.Median.update m L0.S2) [ 3; 4; 5 ];
+  (* difference = {1,2,5} *)
+  let est = L0.Median.query m in
+  Alcotest.(check bool) (Printf.sprintf "median est %d near 3" est) true (est >= 2 && est <= 6);
+  Alcotest.check_raises "copies >= 1" (Invalid_argument "L0_estimator.Median.create: copies must be positive")
+    (fun () -> ignore (L0.Median.create ~seed ~copies:0 ()))
+
+let test_l0_median_merge () =
+  let a = L0.Median.create ~seed ~copies:3 () and b = L0.Median.create ~seed ~copies:3 () in
+  let whole = L0.Median.create ~seed ~copies:3 () in
+  for x = 0 to 50 do
+    L0.Median.update a L0.S1 x;
+    L0.Median.update whole L0.S1 x
+  done;
+  for x = 40 to 90 do
+    L0.Median.update b L0.S2 x;
+    L0.Median.update whole L0.S2 x
+  done;
+  Alcotest.(check int) "merge = single stream" (L0.Median.query whole) (L0.Median.query (L0.Median.merge a b))
+
+let test_l0_median_amplifies () =
+  (* Across many trials the median-of-5 estimate should be inside [d/4, 4d]
+     at least as often as a single estimator. *)
+  let rng = Prng.create ~seed in
+  let trials = 30 in
+  let d = 64 in
+  let single_ok = ref 0 and median_ok = ref 0 in
+  for t = 1 to trials do
+    let sa, sb = make_sets rng ~n:1500 ~d in
+    let es = Prng.derive ~seed ~tag:(7777 + t) in
+    let single = L0.create ~seed:es () in
+    let med = L0.Median.create ~seed:es ~copies:5 () in
+    Iset.iter (fun x -> L0.update single L0.S1 x; L0.Median.update med L0.S1 x) sa;
+    Iset.iter (fun x -> L0.update single L0.S2 x; L0.Median.update med L0.S2 x) sb;
+    let within v = v >= d / 4 && v <= 4 * d in
+    if within (L0.query single) then incr single_ok;
+    if within (L0.Median.query med) then incr median_ok
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "median (%d) >= single (%d) - 2" !median_ok !single_ok)
+    true
+    (!median_ok >= !single_ok - 2 && !median_ok >= trials - 3)
+
+let test_strata_shape_mismatch () =
+  let a = Strata.create ~seed ~strata:16 () in
+  let b = Strata.create ~seed ~strata:32 () in
+  Alcotest.check_raises "shape mismatch" (Invalid_argument "Strata_estimator.estimate: shape mismatch")
+    (fun () -> ignore (Strata.estimate ~local:a ~remote:b))
+
+let test_strata_bad_params () =
+  Alcotest.check_raises "strata range" (Invalid_argument "Strata_estimator.create: strata out of range")
+    (fun () -> ignore (Strata.create ~seed ~strata:0 ()))
+
+let qcheck_tests = List.map QCheck_alcotest.to_alcotest [ prop_subtract_decode ]
+
+let () =
+  Alcotest.run "ssr_sketch"
+    [
+      ( "iblt",
+        [
+          Alcotest.test_case "empty decodes" `Quick test_empty_decodes;
+          Alcotest.test_case "insert/decode" `Quick test_insert_decode;
+          Alcotest.test_case "insert+delete cancels" `Quick test_insert_delete_cancels;
+          Alcotest.test_case "negative counts" `Quick test_negative_counts;
+          Alcotest.test_case "subtract difference" `Quick test_subtract_gives_difference;
+          Alcotest.test_case "overload detected" `Quick test_overload_detected;
+          Alcotest.test_case "duplicate keys detected" `Quick test_duplicate_key_detected;
+          Alcotest.test_case "serialization roundtrip" `Quick test_serialization_roundtrip;
+          Alcotest.test_case "wide keys" `Quick test_wide_keys;
+          Alcotest.test_case "param mismatch rejected" `Quick test_param_mismatch_rejected;
+          Alcotest.test_case "cells rounded to k" `Quick test_cells_rounded_to_k;
+          Alcotest.test_case "decode success rate" `Slow test_decode_success_rate;
+        ] );
+      ( "failure-injection",
+        [
+          Alcotest.test_case "bad body length" `Quick test_iblt_bad_body_length;
+          Alcotest.test_case "bad key length" `Quick test_iblt_bad_key_length;
+          Alcotest.test_case "corruption never silent" `Quick test_iblt_corruption_never_silent;
+          Alcotest.test_case "subtract symmetry" `Quick test_iblt_double_subtract_is_negation;
+          Alcotest.test_case "l0 negative element" `Quick test_l0_negative_element_rejected;
+          Alcotest.test_case "l0 merge mismatch" `Quick test_l0_merge_mismatch_rejected;
+          Alcotest.test_case "l0 of_bytes length" `Quick test_l0_of_bytes_length_checked;
+          Alcotest.test_case "strata shape mismatch" `Quick test_strata_shape_mismatch;
+          Alcotest.test_case "strata bad params" `Quick test_strata_bad_params;
+        ] );
+      ( "median-estimator",
+        [
+          Alcotest.test_case "basics" `Quick test_l0_median_basics;
+          Alcotest.test_case "merge" `Quick test_l0_median_merge;
+          Alcotest.test_case "amplification" `Slow test_l0_median_amplifies;
+        ] );
+      ( "l0-estimator",
+        [
+          Alcotest.test_case "exact cancellation" `Quick test_l0_exact_cancellation;
+          Alcotest.test_case "small sparse exact" `Quick test_l0_small_exact;
+          Alcotest.test_case "merge = single stream" `Quick test_l0_merge_matches_single;
+          Alcotest.test_case "constant factor" `Slow test_l0_constant_factor;
+          Alcotest.test_case "serialization" `Quick test_l0_serialization;
+        ] );
+      ( "strata-estimator",
+        [
+          Alcotest.test_case "exact small" `Quick test_strata_exact_small;
+          Alcotest.test_case "constant factor" `Slow test_strata_constant_factor;
+          Alcotest.test_case "l0 smaller than strata" `Quick test_l0_smaller_than_strata;
+        ] );
+      ("properties", qcheck_tests);
+    ]

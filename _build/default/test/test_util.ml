@@ -1,0 +1,404 @@
+(* Unit and property tests for the ssr_util substrate. *)
+
+module Prng = Ssr_util.Prng
+module Bits = Ssr_util.Bits
+module Buf = Ssr_util.Buf
+module Hashing = Ssr_util.Hashing
+module Iset = Ssr_util.Iset
+
+let seed = 0xDEADBEEFL
+
+(* ---------- Prng ---------- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed and b = Prng.create ~seed in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_int_below_range () =
+  let rng = Prng.create ~seed in
+  for _ = 1 to 1000 do
+    let x = Prng.int_below rng 17 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 17)
+  done
+
+let test_prng_int_below_uniformish () =
+  let rng = Prng.create ~seed in
+  let counts = Array.make 8 0 in
+  let n = 80_000 in
+  for _ = 1 to n do
+    let x = Prng.int_below rng 8 in
+    counts.(x) <- counts.(x) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let expected = n / 8 in
+      Alcotest.(check bool) "within 10% of uniform" true (abs (c - expected) < expected / 10))
+    counts
+
+let test_prng_float_range () =
+  let rng = Prng.create ~seed in
+  for _ = 1 to 1000 do
+    let f = Prng.float rng in
+    Alcotest.(check bool) "in [0,1)" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_prng_split_independent () =
+  let base = Prng.create ~seed in
+  let a = Prng.split base ~tag:1 and b = Prng.split base ~tag:2 in
+  let xa = Prng.next_int64 a and xb = Prng.next_int64 b in
+  Alcotest.(check bool) "different streams" true (xa <> xb)
+
+let test_prng_split_reproducible () =
+  let a = Prng.split (Prng.create ~seed) ~tag:7 in
+  let b = Prng.split (Prng.create ~seed) ~tag:7 in
+  Alcotest.(check int64) "same derived stream" (Prng.next_int64 a) (Prng.next_int64 b)
+
+let test_prng_geometric_mean () =
+  let rng = Prng.create ~seed in
+  let p = 0.2 in
+  let n = 50_000 in
+  let total = ref 0 in
+  for _ = 1 to n do
+    total := !total + Prng.geometric_skip rng p
+  done;
+  let mean = float_of_int !total /. float_of_int n in
+  let expected = (1.0 -. p) /. p in
+  Alcotest.(check bool)
+    (Printf.sprintf "geometric mean ~ %f got %f" expected mean)
+    true
+    (abs_float (mean -. expected) < 0.15)
+
+let test_mix64_bijective_sample () =
+  (* No collisions among many inputs (mix64 is a bijection). *)
+  let tbl = Hashtbl.create 1000 in
+  for i = 0 to 9999 do
+    let v = Prng.mix64 (Int64.of_int i) in
+    Alcotest.(check bool) "no collision" false (Hashtbl.mem tbl v);
+    Hashtbl.add tbl v ()
+  done
+
+(* ---------- Bits ---------- *)
+
+let test_lsb_index () =
+  for i = 0 to 61 do
+    Alcotest.(check int) "power of two" i (Bits.lsb_index (1 lsl i))
+  done;
+  Alcotest.(check int) "composite" 0 (Bits.lsb_index 7);
+  Alcotest.(check int) "shifted" 3 (Bits.lsb_index 0b11000);
+  Alcotest.check_raises "zero rejected" (Invalid_argument "Bits.lsb_index: zero") (fun () ->
+      ignore (Bits.lsb_index 0))
+
+let test_msb_index () =
+  Alcotest.(check int) "one" 0 (Bits.msb_index 1);
+  Alcotest.(check int) "seven" 2 (Bits.msb_index 7);
+  Alcotest.(check int) "eight" 3 (Bits.msb_index 8)
+
+let test_popcount () =
+  Alcotest.(check int) "zero" 0 (Bits.popcount 0);
+  Alcotest.(check int) "all small" 6 (Bits.popcount 0b111111);
+  Alcotest.(check int) "spread" 2 (Bits.popcount ((1 lsl 50) lor 1));
+  let rng = Prng.create ~seed in
+  for _ = 1 to 200 do
+    let x = Prng.next_int rng in
+    let slow = ref 0 and y = ref x in
+    while !y <> 0 do
+      slow := !slow + (!y land 1);
+      y := !y lsr 1
+    done;
+    Alcotest.(check int) "matches slow popcount" !slow (Bits.popcount x)
+  done
+
+let test_log_helpers () =
+  Alcotest.(check int) "ceil_log2 1" 0 (Bits.ceil_log2 1);
+  Alcotest.(check int) "ceil_log2 2" 1 (Bits.ceil_log2 2);
+  Alcotest.(check int) "ceil_log2 3" 2 (Bits.ceil_log2 3);
+  Alcotest.(check int) "ceil_log2 1024" 10 (Bits.ceil_log2 1024);
+  Alcotest.(check int) "ceil_log2 1025" 11 (Bits.ceil_log2 1025);
+  Alcotest.(check int) "ceil_pow2" 16 (Bits.ceil_pow2 9);
+  Alcotest.(check bool) "is_pow2 16" true (Bits.is_pow2 16);
+  Alcotest.(check bool) "is_pow2 12" false (Bits.is_pow2 12);
+  Alcotest.(check int) "ceil_div" 3 (Bits.ceil_div 7 3);
+  Alcotest.(check int) "ceil_div exact" 2 (Bits.ceil_div 6 3)
+
+(* ---------- Buf ---------- *)
+
+let test_buf_roundtrip () =
+  let b = Bytes.make 16 '\000' in
+  Buf.set_int_le b 0 123456789;
+  Buf.set_int_le b 8 max_int;
+  Alcotest.(check int) "first" 123456789 (Buf.get_int_le b 0);
+  Alcotest.(check int) "second" max_int (Buf.get_int_le b 8)
+
+let test_buf_xor () =
+  let a = Bytes.of_string "abcdefghij" in
+  let b = Bytes.of_string "1234567890" in
+  let acc = Bytes.copy a in
+  Buf.xor_into ~dst:acc b;
+  Buf.xor_into ~dst:acc b;
+  Alcotest.(check bytes) "xor twice is identity" a acc;
+  Buf.xor_into ~dst:acc a;
+  Alcotest.(check bool) "xor with self is zero" true (Buf.is_zero acc)
+
+let test_buf_append () =
+  let out = Buf.append_all [ Bytes.of_string "ab"; Bytes.of_string ""; Bytes.of_string "cd" ] in
+  Alcotest.(check string) "concat" "abcd" (Bytes.to_string out)
+
+(* ---------- Hashing ---------- *)
+
+let test_hash_deterministic () =
+  let f = Hashing.make ~seed ~tag:3 in
+  let g = Hashing.make ~seed ~tag:3 in
+  Alcotest.(check int) "same" (Hashing.hash_int f 42) (Hashing.hash_int g 42)
+
+let test_hash_tag_sensitivity () =
+  let f = Hashing.make ~seed ~tag:3 in
+  let g = Hashing.make ~seed ~tag:4 in
+  Alcotest.(check bool) "different tags differ" true (Hashing.hash_int f 42 <> Hashing.hash_int g 42)
+
+let test_hash_to_range () =
+  let f = Hashing.make ~seed ~tag:5 in
+  for x = 0 to 999 do
+    let h = Hashing.to_range f 13 x in
+    Alcotest.(check bool) "in range" true (h >= 0 && h < 13)
+  done
+
+let test_hash_bytes_collision_free_sample () =
+  let f = Hashing.make ~seed ~tag:6 in
+  let tbl = Hashtbl.create 1000 in
+  for i = 0 to 4999 do
+    let b = Bytes.create 12 in
+    Buf.set_int_le b 0 i;
+    let h = Hashing.hash_bytes f b in
+    Alcotest.(check bool) "bytes hash collision" false (Hashtbl.mem tbl h);
+    Hashtbl.add tbl h ()
+  done
+
+let test_hash_bytes_length_matters () =
+  let f = Hashing.make ~seed ~tag:7 in
+  let a = Bytes.make 8 '\000' in
+  let b = Bytes.make 9 '\000' in
+  Alcotest.(check bool) "zero-padded lengths differ" true (Hashing.hash_bytes f a <> Hashing.hash_bytes f b)
+
+let test_truncate_bits () =
+  Alcotest.(check int) "truncate" 0b101 (Hashing.truncate_bits 0b11101 ~bits:3)
+
+(* ---------- Iset ---------- *)
+
+let test_iset_of_list_dedup () =
+  let s = Iset.of_list [ 3; 1; 4; 1; 5; 9; 2; 6; 5; 3 ] in
+  Alcotest.(check (list int)) "sorted unique" [ 1; 2; 3; 4; 5; 6; 9 ] (Iset.to_list s)
+
+let test_iset_mem () =
+  let s = Iset.of_list [ 2; 4; 6; 8 ] in
+  Alcotest.(check bool) "mem 4" true (Iset.mem 4 s);
+  Alcotest.(check bool) "mem 5" false (Iset.mem 5 s);
+  Alcotest.(check bool) "mem empty" false (Iset.mem 5 Iset.empty)
+
+let test_iset_ops () =
+  let a = Iset.of_list [ 1; 2; 3; 4 ] and b = Iset.of_list [ 3; 4; 5; 6 ] in
+  Alcotest.(check (list int)) "union" [ 1; 2; 3; 4; 5; 6 ] (Iset.to_list (Iset.union a b));
+  Alcotest.(check (list int)) "inter" [ 3; 4 ] (Iset.to_list (Iset.inter a b));
+  Alcotest.(check (list int)) "diff" [ 1; 2 ] (Iset.to_list (Iset.diff a b));
+  Alcotest.(check (list int)) "sym_diff" [ 1; 2; 5; 6 ] (Iset.to_list (Iset.sym_diff a b));
+  Alcotest.(check int) "sym_diff_size" 4 (Iset.sym_diff_size a b)
+
+let test_iset_apply_diff () =
+  let bob = Iset.of_list [ 1; 2; 3 ] in
+  let alice = Iset.apply_diff bob ~add:(Iset.of_list [ 4; 5 ]) ~del:(Iset.of_list [ 2 ]) in
+  Alcotest.(check (list int)) "applied" [ 1; 3; 4; 5 ] (Iset.to_list alice)
+
+let test_iset_random_subset () =
+  let rng = Prng.create ~seed in
+  let s = Iset.random_subset rng ~universe:100 ~size:30 in
+  Alcotest.(check int) "size" 30 (Iset.cardinal s);
+  Iset.iter (fun x -> Alcotest.(check bool) "element in universe" true (x >= 0 && x < 100)) s;
+  let dense = Iset.random_subset rng ~universe:10 ~size:10 in
+  Alcotest.(check (list int)) "full universe" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] (Iset.to_list dense)
+
+let test_iset_min_max () =
+  let s = Iset.of_list [ 5; 1; 9 ] in
+  Alcotest.(check int) "min" 1 (Iset.min_elt s);
+  Alcotest.(check int) "max" 9 (Iset.max_elt s)
+
+(* ---------- Argument validation and edge cases ---------- *)
+
+let test_validation () =
+  let rng = Prng.create ~seed in
+  Alcotest.check_raises "int_below 0" (Invalid_argument "Prng.int_below: bound must be positive")
+    (fun () -> ignore (Prng.int_below rng 0));
+  Alcotest.check_raises "geometric p=0" (Invalid_argument "Prng.geometric_skip: p out of range")
+    (fun () -> ignore (Prng.geometric_skip rng 0.0));
+  Alcotest.check_raises "truncate bits 0" (Invalid_argument "Hashing.truncate_bits") (fun () ->
+      ignore (Hashing.truncate_bits 5 ~bits:0));
+  Alcotest.check_raises "to_range 0" (Invalid_argument "Hashing.to_range: empty range") (fun () ->
+      ignore (Hashing.to_range (Hashing.make ~seed ~tag:1) 0 5));
+  Alcotest.check_raises "xor length" (Invalid_argument "Buf.xor_into: length mismatch") (fun () ->
+      Buf.xor_into ~dst:(Bytes.create 4) (Bytes.create 5));
+  Alcotest.check_raises "random_subset too big"
+    (Invalid_argument "Iset.random_subset: size > universe") (fun () ->
+      ignore (Iset.random_subset rng ~universe:3 ~size:4))
+
+let test_geometric_p1 () =
+  let rng = Prng.create ~seed in
+  for _ = 1 to 20 do
+    Alcotest.(check int) "p=1 always 0" 0 (Prng.geometric_skip rng 1.0)
+  done
+
+let test_prng_copy_independent () =
+  let a = Prng.create ~seed in
+  ignore (Prng.next_int64 a);
+  let b = Prng.copy a in
+  let xa = Prng.next_int64 a and xb = Prng.next_int64 b in
+  Alcotest.(check int64) "copy continues identically" xa xb;
+  (* advancing one does not advance the other *)
+  ignore (Prng.next_int64 a);
+  let ya = Prng.next_int64 a and yb = Prng.next_int64 b in
+  Alcotest.(check bool) "streams diverge after skew" true (ya <> yb)
+
+let test_bernoulli_extremes () =
+  let rng = Prng.create ~seed in
+  for _ = 1 to 20 do
+    Alcotest.(check bool) "p=0 never" false (Prng.bernoulli rng 0.0)
+  done;
+  for _ = 1 to 20 do
+    Alcotest.(check bool) "p=1 always (float < 1)" true (Prng.bernoulli rng 1.0)
+  done
+
+let test_hash_empty_bytes () =
+  let f = Hashing.make ~seed ~tag:9 in
+  let h = Hashing.hash_bytes f Bytes.empty in
+  Alcotest.(check bool) "nonnegative" true (h >= 0);
+  Alcotest.(check int) "deterministic" h (Hashing.hash_bytes f Bytes.empty)
+
+let test_buf_get_int_overflow_detected () =
+  (* 0x7FFFFFFFFFFFFFFF needs 64 value bits: not representable as a native
+     63-bit int, so reading it back must fail loudly. *)
+  let b = Bytes.make 8 '\xFF' in
+  Bytes.set b 7 '\x7F';
+  Alcotest.(check bool) "failure raised" true
+    (try
+       ignore (Buf.get_int_le b 0);
+       false
+     with Failure _ -> true);
+  (* All-ones is -1, which IS representable; no failure expected. *)
+  Alcotest.(check int) "minus one roundtrips" (-1) (Buf.get_int_le (Bytes.make 8 '\xFF') 0)
+
+let test_iset_unchecked_constructor () =
+  let s = Iset.of_sorted_array_unchecked [| 1; 5; 9 |] in
+  Alcotest.(check int) "cardinal" 3 (Iset.cardinal s);
+  Alcotest.(check bool) "mem" true (Iset.mem 5 s)
+
+let test_iset_empty_ops () =
+  Alcotest.(check bool) "union with empty" true (Iset.equal (Iset.of_list [ 1 ]) (Iset.union Iset.empty (Iset.of_list [ 1 ])));
+  Alcotest.(check bool) "inter with empty" true (Iset.is_empty (Iset.inter Iset.empty (Iset.of_list [ 1 ])));
+  Alcotest.(check int) "sym_diff_size with empty" 1 (Iset.sym_diff_size Iset.empty (Iset.of_list [ 7 ]));
+  Alcotest.(check bool) "min_elt raises" true
+    (try
+       ignore (Iset.min_elt Iset.empty);
+       false
+     with Not_found -> true)
+
+let test_iset_add_remove_identity () =
+  let s = Iset.of_list [ 2; 4 ] in
+  Alcotest.(check bool) "add existing is identity" true (Iset.equal s (Iset.add 2 s));
+  Alcotest.(check bool) "remove missing is identity" true (Iset.equal s (Iset.remove 9 s))
+
+(* ---------- qcheck properties ---------- *)
+
+let iset_gen = QCheck.Gen.(map Iset.of_list (list_size (int_bound 60) (int_bound 200)))
+let iset_arb = QCheck.make ~print:(Format.asprintf "%a" Iset.pp) iset_gen
+
+let prop_sym_diff_commutes =
+  QCheck.Test.make ~name:"sym_diff commutes" ~count:200 (QCheck.pair iset_arb iset_arb)
+    (fun (a, b) -> Iset.equal (Iset.sym_diff a b) (Iset.sym_diff b a))
+
+let prop_sym_diff_size_consistent =
+  QCheck.Test.make ~name:"sym_diff_size = |sym_diff|" ~count:200 (QCheck.pair iset_arb iset_arb)
+    (fun (a, b) -> Iset.sym_diff_size a b = Iset.cardinal (Iset.sym_diff a b))
+
+let prop_union_inter_cardinality =
+  QCheck.Test.make ~name:"|A|+|B| = |A∪B|+|A∩B|" ~count:200 (QCheck.pair iset_arb iset_arb)
+    (fun (a, b) ->
+      Iset.cardinal a + Iset.cardinal b = Iset.cardinal (Iset.union a b) + Iset.cardinal (Iset.inter a b))
+
+let prop_apply_diff_recovers =
+  QCheck.Test.make ~name:"apply_diff bob (A\\B) (B\\A) = alice" ~count:200
+    (QCheck.pair iset_arb iset_arb) (fun (a, b) ->
+      Iset.equal a (Iset.apply_diff b ~add:(Iset.diff a b) ~del:(Iset.diff b a)))
+
+let prop_canonical_bytes_injective =
+  QCheck.Test.make ~name:"canonical_bytes injective on samples" ~count:200
+    (QCheck.pair iset_arb iset_arb) (fun (a, b) ->
+      Iset.equal a b = Bytes.equal (Iset.canonical_bytes a) (Iset.canonical_bytes b))
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_sym_diff_commutes;
+      prop_sym_diff_size_consistent;
+      prop_union_inter_cardinality;
+      prop_apply_diff_recovers;
+      prop_canonical_bytes_injective;
+    ]
+
+let () =
+  Alcotest.run "ssr_util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "int_below range" `Quick test_prng_int_below_range;
+          Alcotest.test_case "int_below uniform-ish" `Quick test_prng_int_below_uniformish;
+          Alcotest.test_case "float range" `Quick test_prng_float_range;
+          Alcotest.test_case "split independent" `Quick test_prng_split_independent;
+          Alcotest.test_case "split reproducible" `Quick test_prng_split_reproducible;
+          Alcotest.test_case "geometric mean" `Quick test_prng_geometric_mean;
+          Alcotest.test_case "mix64 injective sample" `Quick test_mix64_bijective_sample;
+        ] );
+      ( "bits",
+        [
+          Alcotest.test_case "lsb_index" `Quick test_lsb_index;
+          Alcotest.test_case "msb_index" `Quick test_msb_index;
+          Alcotest.test_case "popcount" `Quick test_popcount;
+          Alcotest.test_case "log helpers" `Quick test_log_helpers;
+        ] );
+      ( "buf",
+        [
+          Alcotest.test_case "int roundtrip" `Quick test_buf_roundtrip;
+          Alcotest.test_case "xor involution" `Quick test_buf_xor;
+          Alcotest.test_case "append" `Quick test_buf_append;
+        ] );
+      ( "hashing",
+        [
+          Alcotest.test_case "deterministic" `Quick test_hash_deterministic;
+          Alcotest.test_case "tag sensitivity" `Quick test_hash_tag_sensitivity;
+          Alcotest.test_case "to_range" `Quick test_hash_to_range;
+          Alcotest.test_case "bytes collision-free sample" `Quick test_hash_bytes_collision_free_sample;
+          Alcotest.test_case "bytes length matters" `Quick test_hash_bytes_length_matters;
+          Alcotest.test_case "truncate_bits" `Quick test_truncate_bits;
+        ] );
+      ( "iset",
+        [
+          Alcotest.test_case "of_list dedup" `Quick test_iset_of_list_dedup;
+          Alcotest.test_case "mem" `Quick test_iset_mem;
+          Alcotest.test_case "set ops" `Quick test_iset_ops;
+          Alcotest.test_case "apply_diff" `Quick test_iset_apply_diff;
+          Alcotest.test_case "random_subset" `Quick test_iset_random_subset;
+          Alcotest.test_case "min/max" `Quick test_iset_min_max;
+        ] );
+      ( "edge-cases",
+        [
+          Alcotest.test_case "argument validation" `Quick test_validation;
+          Alcotest.test_case "geometric p=1" `Quick test_geometric_p1;
+          Alcotest.test_case "prng copy" `Quick test_prng_copy_independent;
+          Alcotest.test_case "bernoulli extremes" `Quick test_bernoulli_extremes;
+          Alcotest.test_case "hash empty bytes" `Quick test_hash_empty_bytes;
+          Alcotest.test_case "buf overflow detected" `Quick test_buf_get_int_overflow_detected;
+          Alcotest.test_case "iset unchecked constructor" `Quick test_iset_unchecked_constructor;
+          Alcotest.test_case "iset empty ops" `Quick test_iset_empty_ops;
+          Alcotest.test_case "iset add/remove identity" `Quick test_iset_add_remove_identity;
+        ] );
+      ("iset-properties", qcheck_tests);
+    ]
