@@ -33,6 +33,8 @@ module Degree_order = Ssr_graphrecon.Degree_order
 module Degree_nbr = Ssr_graphrecon.Degree_nbr
 module Poly_protocol = Ssr_graphrecon.Poly_protocol
 module Forest_recon = Ssr_graphrecon.Forest_recon
+module Channel = Ssr_transport.Channel
+module Resilient = Ssr_transport.Resilient
 
 let seed = 0xBE4CC4FEL
 
@@ -824,6 +826,98 @@ let micro () =
     (List.sort compare rows)
 
 (* ------------------------------------------------------------------ *)
+(* R1. Faulty-channel sweep: the resilient driver never returns a      *)
+(* silently corrupted result, at any fault rate, under any protocol.   *)
+(* ------------------------------------------------------------------ *)
+
+let faults () =
+  header "R1. Faulty-channel sweep (transport layer, lib/transport)";
+  print_endline "Per cell: recovered/degraded/typed-failure counts over the trials;";
+  print_endline "a silently wrong result would print SILENT and fail the shape check.";
+  let rates = [ 0.0; 0.01; 0.05; 0.2 ] in
+  let trials = 13 in
+  let stacks =
+    [
+      ("set", `Set);
+      ("naive", `Sos Protocol.Naive);
+      ("iblt-of-iblts", `Sos Protocol.Iblt_of_iblts);
+      ("cascade", `Sos Protocol.Cascade);
+      ("multiround", `Sos Protocol.Multiround);
+    ]
+  in
+  let total_runs = ref 0 and silent = ref 0 and total_faults = ref 0 and total_degraded = ref 0 in
+  List.iteri
+    (fun si (sname, stack) ->
+      Printf.printf "\n[%s]\n" sname;
+      List.iteri
+        (fun di drop ->
+          List.iteri
+            (fun ci corrupt ->
+              let ok = ref 0 and degraded = ref 0 and tfail = ref 0 in
+              for t = 0 to trials - 1 do
+                incr total_runs;
+                let tag = (((si * 17) + di) * 31) + (ci * 7919) + (t * 104729) in
+                let wseed = Prng.derive ~seed ~tag in
+                let cseed = Prng.derive ~seed:wseed ~tag:0xC4A7 in
+                let channel =
+                  Channel.create (Channel.config_with ~drop ~corrupt ~seed:cseed ())
+                in
+                let rng = Prng.create ~seed:wseed in
+                let rep, verdict =
+                  match stack with
+                  | `Set -> (
+                    let universe = 1 lsl 28 in
+                    let bob = Iset.random_subset rng ~universe ~size:150 in
+                    let del =
+                      let arr = Iset.to_array bob in
+                      Iset.of_list (List.init 4 (fun i -> arr.(i * 11 mod Array.length arr)))
+                    in
+                    let alice =
+                      Iset.apply_diff bob ~add:(Iset.random_subset rng ~universe ~size:4) ~del
+                    in
+                    match Resilient.reconcile_set ~channel ~seed:wseed ~alice ~bob () with
+                    | Ok (recovered, rep) -> (rep, Some (Iset.equal recovered alice))
+                    | Error (`Transport_failure rep) -> (rep, None))
+                  | `Sos kind -> (
+                    let universe = 1 lsl 20 in
+                    let bob = Parent.random rng ~universe ~children:10 ~child_size:8 in
+                    let alice, _ = Parent.perturb rng ~universe ~edits:3 bob in
+                    let d = max 4 (Parent.relaxed_matching_cost alice bob) in
+                    let h = Parent.max_child_size alice + 3 in
+                    match
+                      Resilient.reconcile_sos ~channel ~kind ~seed:wseed ~u:universe ~h
+                        ~initial_d:d ~alice ~bob ()
+                    with
+                    | Ok (recovered, rep) -> (rep, Some (Parent.equal recovered alice))
+                    | Error (`Transport_failure rep) -> (rep, None))
+                in
+                total_faults := !total_faults + List.length rep.Resilient.faults;
+                match verdict with
+                | Some true ->
+                  incr ok;
+                  if rep.Resilient.degraded then begin
+                    incr degraded;
+                    incr total_degraded
+                  end
+                | Some false ->
+                  incr silent;
+                  Printf.printf "SILENT corruption: stack=%s drop=%.2f corrupt=%.2f trial=%d\n"
+                    sname drop corrupt t
+                | None -> incr tfail
+              done;
+              Printf.printf "  drop=%.2f corrupt=%.2f  ok=%2d degraded=%2d typed-fail=%2d\n" drop
+                corrupt !ok !degraded !tfail)
+            rates)
+        rates)
+    stacks;
+  Printf.printf "\ntotals: %d runs, %d faults injected, %d degraded transfers\n" !total_runs
+    !total_faults !total_degraded;
+  shape
+    (Printf.sprintf "faulty transport: zero silent corruptions over %d runs" !total_runs)
+    (!silent = 0);
+  shape "fault injection exercised (faults actually fired)" (!total_faults > 0)
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -845,6 +939,7 @@ let sections =
     ("multi_party", multi_party_bench);
     ("scale", scale);
     ("micro", micro);
+    ("faults", faults);
   ]
 
 let () =

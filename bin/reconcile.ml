@@ -265,6 +265,121 @@ let twoway_cmd =
   Cmd.v (Cmd.info "twoway" ~doc:"Mutual (two-way) set reconciliation (extension)")
     Term.(const run_twoway $ seed_term $ n $ d)
 
+(* ---- faulty ---- *)
+
+let run_faulty seed fault_seed drop corrupt truncate duplicate max_attempts runs target kind
+    unframed =
+  let module Channel = Ssr_transport.Channel in
+  let module R = Ssr_transport.Resilient in
+  let ok = ref 0 and degraded = ref 0 and tfail = ref 0 and silent = ref 0 in
+  let faults = ref 0 in
+  for r = 0 to runs - 1 do
+    (* Run 0 uses the given seeds verbatim, so a failure printed below can be
+       replayed exactly with [--runs 1] and the printed seed pair. *)
+    let wseed = if r = 0 then seed else Prng.derive ~seed ~tag:r in
+    let cseed = if r = 0 then fault_seed else Prng.derive ~seed:fault_seed ~tag:r in
+    let channel =
+      Channel.create
+        (Channel.config_with ~drop ~corrupt ~truncate ~duplicate ~seed:cseed ())
+    in
+    let framed = not unframed in
+    let rep, verdict =
+      match target with
+      | `Set -> (
+        let rng = Prng.create ~seed:wseed in
+        let universe = 1 lsl 30 in
+        let bob = Iset.random_subset rng ~universe ~size:400 in
+        let del =
+          let arr = Iset.to_array bob in
+          Iset.of_list (List.init 5 (fun i -> arr.(i * 13 mod Array.length arr)))
+        in
+        let alice = Iset.apply_diff bob ~add:(Iset.random_subset rng ~universe ~size:5) ~del in
+        match R.reconcile_set ~channel ~framed ~seed:wseed ~max_attempts ~alice ~bob () with
+        | Ok (recovered, rep) -> (rep, Some (Iset.equal recovered alice))
+        | Error (`Transport_failure rep) -> (rep, None))
+      | `Sos -> (
+        let rng = Prng.create ~seed:wseed in
+        let universe = 1 lsl 20 in
+        let bob = Parent.random rng ~universe ~children:12 ~child_size:10 in
+        let alice, _ = Parent.perturb rng ~universe ~edits:4 bob in
+        let d = max 4 (Parent.relaxed_matching_cost alice bob) in
+        let h = Parent.max_child_size alice + 4 in
+        match
+          R.reconcile_sos ~channel ~framed ~kind ~seed:wseed ~u:universe ~h ~initial_d:d
+            ~max_attempts ~alice ~bob ()
+        with
+        | Ok (recovered, rep) -> (rep, Some (Parent.equal recovered alice))
+        | Error (`Transport_failure rep) -> (rep, None))
+    in
+    faults := !faults + List.length rep.R.faults;
+    match verdict with
+    | Some true ->
+      incr ok;
+      if rep.R.degraded then incr degraded
+    | Some false ->
+      incr silent;
+      Printf.printf "SILENT CORRUPTION at run %d: replay with --seed=%Ld --fault-seed=%Ld --runs 1\n"
+        r wseed cseed
+    | None ->
+      incr tfail;
+      Printf.printf "typed transport failure at run %d (replay: --seed=%Ld --fault-seed=%Ld --runs 1)\n"
+        r wseed cseed
+  done;
+  Printf.printf "faulty %s: %d runs  drop=%.3f corrupt=%.3f truncate=%.3f duplicate=%.3f (%s)\n"
+    (match target with `Set -> "set" | `Sos -> Protocol.name kind)
+    runs drop corrupt truncate duplicate
+    (if unframed then "raw" else "framed");
+  Printf.printf "  recovered=%d (degraded=%d)  typed-failures=%d  faults-injected=%d  silent-corruptions=%d\n"
+    !ok !degraded !tfail !faults !silent;
+  if !silent = 0 then begin
+    print_endline "  invariant held: correct result or clean typed failure, never silent corruption";
+    0
+  end
+  else 2
+
+let faulty_cmd =
+  let fault_seed =
+    Arg.(value & opt int64 7L
+         & info [ "fault-seed" ]
+             ~doc:"Seed of the channel's fault PRNG; reusing a printed seed replays the identical fault sequence.")
+  in
+  let drop =
+    Arg.(value & opt float 0.05 & info [ "drop-rate" ] ~doc:"Per-message drop probability.")
+  in
+  let corrupt =
+    Arg.(value & opt float 0.05
+         & info [ "corrupt-rate" ] ~doc:"Per-message single-bit corruption probability.")
+  in
+  let truncate =
+    Arg.(value & opt float 0.0 & info [ "truncate-rate" ] ~doc:"Per-message truncation probability.")
+  in
+  let duplicate =
+    Arg.(value & opt float 0.0
+         & info [ "duplicate-rate" ] ~doc:"Per-message duplication probability.")
+  in
+  let max_attempts =
+    Arg.(value & opt int 5
+         & info [ "max-attempts" ]
+             ~doc:"Reconciliation attempts before degrading to direct transfer (and direct attempts after).")
+  in
+  let runs =
+    Arg.(value & opt int 100
+         & info [ "runs" ] ~doc:"Independent runs, each with a fresh workload and fault stream.")
+  in
+  let target =
+    Arg.(value & opt (enum [ ("set", `Set); ("sos", `Sos) ]) `Sos
+         & info [ "target" ] ~doc:"Reconcile plain sets or sets of sets.")
+  in
+  let unframed =
+    Arg.(value & flag
+         & info [ "unframed" ]
+             ~doc:"Skip CRC framing so damaged bytes reach the protocol parsers directly.")
+  in
+  Cmd.v
+    (Cmd.info "faulty" ~doc:"Reconciliation over a faulty channel (self-healing transport driver)")
+    Term.(const run_faulty $ seed_term $ fault_seed $ drop $ corrupt $ truncate $ duplicate
+          $ max_attempts $ runs $ target $ protocol_term $ unframed)
+
 (* ---- estimate ---- *)
 
 let run_estimate seed n d =
@@ -298,6 +413,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            sets_cmd; sos_cmd; db_cmd; graph_cmd; forest_cmd; estimate_cmd; sos3_cmd;
+            sets_cmd; sos_cmd; db_cmd; graph_cmd; forest_cmd; estimate_cmd; sos3_cmd; faulty_cmd;
             multiparty_cmd; twoway_cmd;
           ]))

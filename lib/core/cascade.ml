@@ -1,6 +1,8 @@
 module Iset = Ssr_util.Iset
 module Bits = Ssr_util.Bits
 module Prng = Ssr_util.Prng
+module Buf = Ssr_util.Buf
+module Codec = Ssr_util.Codec
 module Iblt = Ssr_sketch.Iblt
 module Comm = Ssr_setrecon.Comm
 
@@ -79,13 +81,44 @@ let run ~comm ~seed ~d ~d_hat ~s_bound ~u ~h ~k ~alice ~bob =
         table)
       star_prm
   in
-  let total_bits =
-    Array.fold_left (fun acc -> function None -> acc | Some tbl -> acc + Iblt.size_bits tbl) 0 alice_tables
-    + (match alice_star with None -> 0 | Some tbl -> Iblt.size_bits tbl)
-    + 64
-  in
   let alice_hash = Parent.hash ~seed alice in
-  Comm.send comm Comm.A_to_b ~label:"cascade-tables+hash" ~bits:total_bits;
+  let hash_bytes = Bytes.create 8 in
+  Buf.set_int_le hash_bytes 0 alice_hash;
+  let payload =
+    Buf.append_all
+      (Array.to_list
+         (Array.map (function None -> Bytes.empty | Some tbl -> Iblt.body_bytes tbl) alice_tables)
+      @ [ (match alice_star with None -> Bytes.empty | Some tbl -> Iblt.body_bytes tbl); hash_bytes ])
+  in
+  match Comm.xfer comm Comm.A_to_b ~label:"cascade-tables+hash" payload with
+  | Error `Lost -> Error `Decode_failure
+  | Ok delivered -> (
+  (* Bob re-slices the levels by their (public) parameters; a truncated or
+     resized transmission fails here, totally. *)
+  let r = Codec.reader delivered in
+  let parse_ok = ref true in
+  let parse_table = function
+    | None -> None
+    | Some prm -> (
+      match Codec.take r (Iblt.body_length prm) with
+      | None ->
+        parse_ok := false;
+        None
+      | Some body -> (
+        match Iblt.of_body_bytes_opt prm body with
+        | None ->
+          parse_ok := false;
+          None
+        | Some tbl -> Some tbl))
+  in
+  let alice_tables = Array.make (t + 1) None in
+  for i = 0 to t do
+    alice_tables.(i) <- parse_table outers.(i)
+  done;
+  let alice_star = parse_table star_prm in
+  let alice_hash = match Codec.int62 r with Some h when Codec.at_end r -> h | _ -> -1 in
+  if (not !parse_ok) || alice_hash < 0 then Error `Decode_failure
+  else begin
   (* ---- Bob. ---- *)
   let bob_children = Parent.children bob in
   let da = ref [] in
@@ -175,6 +208,7 @@ let run ~comm ~seed ~d ~d_hat ~s_bound ~u ~h ~k ~alice ~bob =
           }
       else Error `Decode_failure
     end)
+  end)
 
 let reconcile_known ~seed ~d ~u ~h ?d_hat ?s_bound ?(k = 3) ~alice ~bob () =
   let s_bound = match s_bound with Some s -> s | None -> max 2 (Parent.cardinal bob) in

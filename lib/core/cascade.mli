@@ -37,3 +37,10 @@ val reconcile_unknown :
   seed:int64 -> u:int -> h:int -> ?s_bound:int -> ?k:int -> ?max_d:int ->
   alice:Parent.t -> bob:Parent.t -> unit -> (outcome, error) result
 (** Corollary 3.8: repeated doubling on d; O(log d) rounds. *)
+
+val run :
+  comm:Ssr_setrecon.Comm.t -> seed:int64 -> d:int -> d_hat:int -> s_bound:int ->
+  u:int -> h:int -> k:int ->
+  alice:Parent.t -> bob:Parent.t -> (outcome, [ `Decode_failure ]) result
+(** One attempt threaded through a caller-supplied recorder (for retry
+    drivers and transports); the outcome's stats are cumulative for [comm]. *)

@@ -44,16 +44,29 @@ let encode cfg child =
   done;
   out
 
+let split_opt cfg key =
+  if Bytes.length key <> key_length cfg then None
+  else begin
+    let body_len = Iblt.body_length (child_params cfg) in
+    let body = Bytes.sub key 0 body_len in
+    let hl = hash_len cfg in
+    let h = ref 0 in
+    for i = hl - 1 downto 0 do
+      h := (!h lsl 8) lor Char.code (Bytes.get key (body_len + i))
+    done;
+    Some (body, !h)
+  end
+
 let split cfg key =
-  if Bytes.length key <> key_length cfg then invalid_arg "Encoding.decode: wrong key length";
-  let body_len = Iblt.body_length (child_params cfg) in
-  let body = Bytes.sub key 0 body_len in
-  let hl = hash_len cfg in
-  let h = ref 0 in
-  for i = hl - 1 downto 0 do
-    h := (!h lsl 8) lor Char.code (Bytes.get key (body_len + i))
-  done;
-  (body, !h)
+  match split_opt cfg key with
+  | Some r -> r
+  | None -> invalid_arg "Encoding.decode: wrong key length"
+
+let decode_opt cfg key =
+  match split_opt cfg key with
+  | None -> None
+  | Some (body, h) ->
+    Option.map (fun t -> (t, h)) (Iblt.of_body_bytes_opt (child_params cfg) body)
 
 let decode cfg key =
   let body, h = split cfg key in
@@ -62,7 +75,10 @@ let decode cfg key =
 let hash_of_key cfg key = snd (split cfg key)
 
 let try_recover cfg ~alice_key ~bob_child =
-  let alice_table, alice_hash = decode cfg alice_key in
+  (* Keys peeled out of an outer IBLT are untrusted bytes: parse totally. *)
+  match decode_opt cfg alice_key with
+  | None -> None
+  | Some (alice_table, alice_hash) ->
   let diff = Iblt.subtract alice_table (child_table cfg bob_child) in
   match Iblt.decode_ints diff with
   | Error `Peel_stuck -> None

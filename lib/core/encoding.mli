@@ -31,7 +31,13 @@ val encode : config -> Ssr_util.Iset.t -> Bytes.t
 
 val decode : config -> Bytes.t -> Ssr_sketch.Iblt.t * int
 (** Parse an encoding back into its table and hash. Raises
-    [Invalid_argument] on wrong-sized input. *)
+    [Invalid_argument] on wrong-sized input; use {!decode_opt} for bytes
+    that are not known to be well-formed. *)
+
+val decode_opt : config -> Bytes.t -> (Ssr_sketch.Iblt.t * int) option
+(** Non-raising {!decode}: [None] on wrong-sized input. This is the entry
+    point for untrusted bytes (keys peeled out of an outer table, payloads
+    off a channel). *)
 
 val hash_of_key : config -> Bytes.t -> int
 (** Just the hash field (cheaper than {!decode} when only matching). *)

@@ -1,6 +1,8 @@
 module Iset = Ssr_util.Iset
 module Bits = Ssr_util.Bits
 module Prng = Ssr_util.Prng
+module Buf = Ssr_util.Buf
+module Codec = Ssr_util.Codec
 module Iblt = Ssr_sketch.Iblt
 module Comm = Ssr_setrecon.Comm
 
@@ -28,11 +30,26 @@ let run ~comm ~seed ~d ~d_hat ~s_bound ~k ~alice ~bob =
       seed = Prng.derive ~seed ~tag:0x07E5;
     }
   in
-  (* Alice: encode every child and ship the outer table. *)
+  (* Alice: encode every child and ship the outer table as real bytes. *)
   let outer = Iblt.create outer_prm in
   List.iter (fun c -> Iblt.insert outer (Encoding.encode cfg c)) (Parent.children alice);
   let alice_hash = Parent.hash ~seed alice in
-  Comm.send comm Comm.A_to_b ~label:"outer-iblt+hash" ~bits:(Iblt.size_bits outer + 64);
+  let hash_bytes = Bytes.create 8 in
+  Buf.set_int_le hash_bytes 0 alice_hash;
+  let payload = Bytes.cat (Iblt.body_bytes outer) hash_bytes in
+  match Comm.xfer comm Comm.A_to_b ~label:"outer-iblt+hash" payload with
+  | Error `Lost -> Error `Decode_failure
+  | Ok delivered -> (
+  let r = Codec.reader delivered in
+  let parsed =
+    match (Codec.take r (Iblt.body_length outer_prm), Codec.int62 r) with
+    | Some body, Some h when Codec.at_end r ->
+      Option.map (fun t -> (t, h)) (Iblt.of_body_bytes_opt outer_prm body)
+    | _ -> None
+  in
+  match parsed with
+  | None -> Error `Decode_failure
+  | Some (outer, alice_hash) -> (
   (* Bob: delete his encodings and peel out the differing ones. *)
   let bob_encodings = List.map (fun c -> (Encoding.encode cfg c, c)) (Parent.children bob) in
   let bob_outer = Iblt.create outer_prm in
@@ -69,7 +86,7 @@ let run ~comm ~seed ~d ~d_hat ~s_bound ~k ~alice ~bob =
         if Parent.hash ~seed recovered = alice_hash then
           Ok { recovered; differing_pairs = List.length positives; stats = Comm.stats comm }
         else Error `Decode_failure
-    end)
+    end)))
 
 let reconcile_known ~seed ~d ?d_hat ?s_bound ?(k = 4) ~alice ~bob () =
   let s_bound = match s_bound with Some s -> s | None -> max 2 (Parent.cardinal bob) in

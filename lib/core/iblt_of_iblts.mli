@@ -30,3 +30,9 @@ val reconcile_unknown :
   alice:Parent.t -> bob:Parent.t -> unit -> (outcome, error) result
 (** Corollary 3.6: repeated doubling d = 1, 2, 4, ... until the transfer
     verifies; O(log d) rounds, asymptotically the same communication. *)
+
+val run :
+  comm:Ssr_setrecon.Comm.t -> seed:int64 -> d:int -> d_hat:int -> s_bound:int -> k:int ->
+  alice:Parent.t -> bob:Parent.t -> (outcome, [ `Decode_failure ]) result
+(** One attempt threaded through a caller-supplied recorder (for retry
+    drivers and transports); the outcome's stats are cumulative for [comm]. *)

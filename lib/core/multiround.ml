@@ -1,6 +1,9 @@
 module Iset = Ssr_util.Iset
 module Hashing = Ssr_util.Hashing
 module Prng = Ssr_util.Prng
+module Buf = Ssr_util.Buf
+module Codec = Ssr_util.Codec
+module Gf61 = Ssr_field.Gf61
 module Iblt = Ssr_sketch.Iblt
 module L0 = Ssr_sketch.L0_estimator
 module Comm = Ssr_setrecon.Comm
@@ -60,7 +63,24 @@ let run ~comm ~seed ~d ~d_hat ~k ~shape ~primitive ~alice ~bob =
     let ta = Iblt.create hash_prm in
     Hashtbl.iter (fun h _ -> Iblt.insert_int ta h) alice_by_hash;
     let alice_parent_hash = Parent.hash ~seed alice in
-    Comm.send comm Comm.A_to_b ~label:"hash-iblt+parent-hash" ~bits:(Iblt.size_bits ta + 64);
+    let hash_bytes = Bytes.create 8 in
+    Buf.set_int_le hash_bytes 0 alice_parent_hash;
+    match
+      Comm.xfer comm Comm.A_to_b ~label:"hash-iblt+parent-hash"
+        (Bytes.cat (Iblt.body_bytes ta) hash_bytes)
+    with
+    | Error `Lost -> Error `Decode_failure
+    | Ok delivered -> (
+    let rd = Codec.reader delivered in
+    let parsed =
+      match (Codec.take rd (Iblt.body_length hash_prm), Codec.int62 rd) with
+      | Some body, Some h when Codec.at_end rd ->
+        Option.map (fun t -> (t, h)) (Iblt.of_body_bytes_opt hash_prm body)
+      | _ -> None
+    in
+    match parsed with
+    | None -> Error `Decode_failure
+    | Some (ta, alice_parent_hash) -> (
     let tb = Iblt.create hash_prm in
     Hashtbl.iter (fun h _ -> Iblt.insert_int tb h) bob_by_hash;
     match Iblt.decode_ints (Iblt.subtract ta tb) with
@@ -88,10 +108,37 @@ let run ~comm ~seed ~d ~d_hat ~k ~shape ~primitive ~alice ~bob =
               e)
             bob_diff_arr
         in
-        let est_bits = Array.fold_left (fun acc e -> acc + L0.size_bits e) 0 bob_estimators in
-        Comm.send comm Comm.B_to_a ~label:"hash-iblt+child-estimators" ~bits:(Iblt.size_bits tb + est_bits);
+        let est_payload =
+          Buf.append_all
+            (Iblt.body_bytes tb :: Array.to_list (Array.map L0.to_bytes bob_estimators))
+        in
+        match Comm.xfer comm Comm.B_to_a ~label:"hash-iblt+child-estimators" est_payload with
+        | Error `Lost -> Error `Decode_failure
+        | Ok delivered -> (
         (* ---- Alice decodes the same hash difference and matches her
-           differing children against Bob's estimators. ---- *)
+           differing children against Bob's (delivered) estimators. ---- *)
+        let est_seed = Prng.derive ~seed ~tag:0xE57 in
+        let est_len = L0.size_bits (L0.create ~seed:est_seed ~shape ()) / 8 in
+        let bob_estimators =
+          let rd = Codec.reader delivered in
+          match Codec.take rd (Iblt.body_length hash_prm) with
+          | None -> None
+          | Some _tb_body ->
+            let n = Array.length bob_diff_arr in
+            let out = Array.make n None in
+            for j = 0 to n - 1 do
+              out.(j) <-
+                (match Codec.take rd est_len with
+                | None -> None
+                | Some b -> L0.of_bytes_opt ~seed:est_seed ~shape b)
+            done;
+            if Codec.at_end rd && Array.for_all Option.is_some out then
+              Some (Array.map Option.get out)
+            else None
+        in
+        match bob_estimators with
+        | None -> Error `Decode_failure
+        | Some bob_estimators -> (
         let matches =
           List.map
             (fun child ->
@@ -112,15 +159,12 @@ let run ~comm ~seed ~d ~d_hat ~k ~shape ~primitive ~alice ~bob =
         (* ---- Round 3 (A -> B): per-child payloads. ---- *)
         let d_total = max 1 d in
         let sqrt_d = int_of_float (Float.sqrt (float_of_int d_total)) in
-        let payload_bits = ref 0 in
         let cpi_count = ref 0 in
         let payloads =
           List.mapi
             (fun i (child, j, est) ->
               let bound = max 2 ((2 * est) + 2) in
               let chash = content_hash ~seed child in
-              (* match index + bound + content hash *)
-              payload_bits := !payload_bits + 32 + 32 + 64;
               let use_iblt =
                 match primitive with
                 | Auto -> est >= sqrt_d
@@ -139,27 +183,112 @@ let run ~comm ~seed ~d ~d_hat ~k ~shape ~primitive ~alice ~bob =
                 in
                 let table = Iblt.create prm in
                 Iset.iter (fun x -> Iblt.insert_int table x) child;
-                payload_bits := !payload_bits + Iblt.size_bits table;
-                `Iblt (j, bound, prm, table, chash, child)
+                `Iblt (j, bound, table, chash)
               end
               else begin
                 incr cpi_count;
                 let evals = Cpi.evaluations ~d:bound child in
-                payload_bits := !payload_bits + (64 * Cpi.num_evaluations ~d:bound) + 64;
-                `Cpi (j, bound, evals, Iset.cardinal child, chash, child)
+                `Cpi (j, bound, evals, Iset.cardinal child, chash)
               end)
             matches
         in
         if List.exists (fun p -> p = `Unmatchable) payloads && alice_diff <> [] then Error `Decode_failure
         else begin
-          Comm.send comm Comm.A_to_b ~label:"per-child-payloads" ~bits:!payload_bits;
-          (* ---- Bob repairs each differing child. ---- *)
-          let recover payload =
-            match payload with
-            | `Unmatchable -> None
-            | `Iblt (j, _bound, prm, alice_table, chash, _witness) ->
+          (* Wire codec, one entry per differing child, in match order:
+             kind byte (0 = IBLT, 1 = CPI) || match index (u32) || difference
+             bound (u32) || content hash (8B) || kind-specific body. Bob
+             re-derives the IBLT parameters from [bound] and the entry index,
+             so the bodies carry no self-describing sizes an attacker could
+             inflate. *)
+          let buf = Buffer.create 256 in
+          let add_u32 v =
+            let b = Bytes.create 4 in
+            Bytes.set_int32_le b 0 (Int32.of_int v);
+            Buffer.add_bytes buf b
+          in
+          let add_i64 v =
+            let b = Bytes.create 8 in
+            Buf.set_int_le b 0 v;
+            Buffer.add_bytes buf b
+          in
+          List.iter
+            (function
+              | `Unmatchable -> ()
+              | `Iblt (j, bound, table, chash) ->
+                Buffer.add_char buf '\000';
+                add_u32 j;
+                add_u32 bound;
+                add_i64 chash;
+                Buffer.add_bytes buf (Iblt.body_bytes table)
+              | `Cpi (j, bound, evals, size_a, chash) ->
+                Buffer.add_char buf '\001';
+                add_u32 j;
+                add_u32 bound;
+                add_i64 chash;
+                add_u32 size_a;
+                Array.iter add_i64 evals)
+            payloads;
+          match Comm.xfer comm Comm.A_to_b ~label:"per-child-payloads" (Buffer.to_bytes buf) with
+          | Error `Lost -> Error `Decode_failure
+          | Ok delivered -> (
+          (* ---- Bob repairs each differing child, working strictly from the
+             delivered bytes. Match indices, bounds and field elements are all
+             validated before use: after a faulty channel every field is
+             untrusted, and parsing must stay total and allocation-safe. ---- *)
+          let rd = Codec.reader delivered in
+          let num_bob = Array.length bob_diff_arr in
+          let parse_entry i =
+            match (Codec.u8 rd, Codec.u32 rd, Codec.u32 rd, Codec.int62 rd) with
+            | Some kind, Some j, Some bound, Some chash when j < num_bob && bound >= 2 -> (
+              match kind with
+              | 0 -> (
+                let prm : Iblt.params =
+                  {
+                    cells = Iblt.recommended_cells ~k ~diff_bound:bound;
+                    k;
+                    key_len = 8;
+                    seed = Prng.derive ~seed ~tag:(0x100 + i);
+                  }
+                in
+                match Codec.take rd (Iblt.body_length prm) with
+                | None -> None
+                | Some body ->
+                  Option.map (fun t -> `Iblt (j, t, chash)) (Iblt.of_body_bytes_opt prm body))
+              | 1 -> (
+                match Codec.u32 rd with
+                | Some size_a ->
+                  let nev = Cpi.num_evaluations ~d:bound in
+                  if 8 * nev > Codec.remaining rd then None
+                  else begin
+                    let evals = Array.make nev 0 in
+                    let ok = ref true in
+                    for e = 0 to nev - 1 do
+                      match Codec.int62 rd with
+                      | Some v when v < Gf61.p -> evals.(e) <- v
+                      | _ -> ok := false
+                    done;
+                    if !ok then Some (`Cpi (j, bound, evals, size_a, chash)) else None
+                  end
+                | None -> None)
+              | _ -> None)
+            | _ -> None
+          in
+          let n_entries = List.length alice_diff in
+          let rec parse_all i acc =
+            if i = n_entries then if Codec.at_end rd then Some (List.rev acc) else None
+            else
+              match parse_entry i with
+              | None -> None
+              | Some e -> parse_all (i + 1) (e :: acc)
+          in
+          match parse_all 0 [] with
+          | None -> Error `Decode_failure
+          | Some entries -> (
+          let recover entry =
+            match entry with
+            | `Iblt (j, alice_table, chash) ->
               let mine = bob_diff_arr.(j) in
-              let bob_table = Iblt.create prm in
+              let bob_table = Iblt.create (Iblt.params alice_table) in
               Iset.iter (fun x -> Iblt.insert_int bob_table x) mine;
               (match Iblt.decode_ints (Iblt.subtract alice_table bob_table) with
               | Error `Peel_stuck -> None
@@ -168,7 +297,7 @@ let run ~comm ~seed ~d ~d_hat ~k ~shape ~primitive ~alice ~bob =
                   Iset.apply_diff mine ~add:(Iset.of_list add) ~del:(Iset.of_list del)
                 in
                 if content_hash ~seed candidate = chash then Some candidate else None)
-            | `Cpi (j, bound, evals, size_a, chash, _witness) -> (
+            | `Cpi (j, bound, evals, size_a, chash) -> (
               let mine = bob_diff_arr.(j) in
               match Cpi.recover_set ~seed ~d:bound ~size_a ~evals ~bob:mine with
               | Some candidate when content_hash ~seed candidate = chash -> Some candidate
@@ -180,7 +309,7 @@ let run ~comm ~seed ~d ~d_hat ~k ~shape ~primitive ~alice ~bob =
             | p :: rest -> (
               match recover p with None -> None | Some c -> recover_all rest (c :: acc))
           in
-          match recover_all payloads [] with
+          match recover_all entries [] with
           | None -> Error `Decode_failure
           | Some da ->
             let remaining =
@@ -195,9 +324,9 @@ let run ~comm ~seed ~d ~d_hat ~k ~shape ~primitive ~alice ~bob =
                   cpi_children = !cpi_count;
                   stats = Comm.stats comm;
                 }
-            else Error `Decode_failure
-        end
-      end))
+            else Error `Decode_failure))
+        end))
+      end))))
 
 let reconcile_known ~seed ~d ?d_hat ?(k = 4) ?(primitive = Auto)
     ?(estimator_shape = default_child_shape) ~alice ~bob () =
@@ -214,17 +343,22 @@ let reconcile_unknown ~seed ?(k = 4) ?(estimator_shape = default_child_shape) ~a
   (* Round 0 (B -> A): estimator over Bob's child hashes sizes the exchange. *)
   let bob_est = L0.create ~seed ~shape:L0.default_shape () in
   List.iter (fun c -> L0.update bob_est L0.S1 (child_hash ~seed c)) (Parent.children bob);
-  Comm.send comm Comm.B_to_a ~label:"dhat-estimator" ~bits:(L0.size_bits bob_est);
-  let alice_est = L0.create ~seed ~shape:L0.default_shape () in
-  List.iter (fun c -> L0.update alice_est L0.S2 (child_hash ~seed c)) (Parent.children alice);
-  let est = L0.query (L0.merge bob_est alice_est) in
-  let d_hat = max 2 est in
-  (* The per-child estimators supply the element-level bounds, so d here
-     only gates the IBLT/CPI threshold; a generous surrogate suffices. *)
-  let d_surrogate = max 4 (d_hat * 4) in
-  match
-    run ~comm ~seed:(Prng.derive ~seed ~tag:0x4B) ~d:d_surrogate ~d_hat ~k ~shape:estimator_shape
-      ~primitive:Auto ~alice ~bob
-  with
-  | Ok o -> Ok o
-  | Error `Decode_failure -> Error (`Decode_failure (Comm.stats comm))
+  match Comm.xfer comm Comm.B_to_a ~label:"dhat-estimator" (L0.to_bytes bob_est) with
+  | Error `Lost -> Error (`Decode_failure (Comm.stats comm))
+  | Ok delivered -> (
+    match L0.of_bytes_opt ~seed ~shape:L0.default_shape delivered with
+    | None -> Error (`Decode_failure (Comm.stats comm))
+    | Some bob_est -> (
+      let alice_est = L0.create ~seed ~shape:L0.default_shape () in
+      List.iter (fun c -> L0.update alice_est L0.S2 (child_hash ~seed c)) (Parent.children alice);
+      let est = L0.query (L0.merge bob_est alice_est) in
+      let d_hat = max 2 est in
+      (* The per-child estimators supply the element-level bounds, so d here
+         only gates the IBLT/CPI threshold; a generous surrogate suffices. *)
+      let d_surrogate = max 4 (d_hat * 4) in
+      match
+        run ~comm ~seed:(Prng.derive ~seed ~tag:0x4B) ~d:d_surrogate ~d_hat ~k
+          ~shape:estimator_shape ~primitive:Auto ~alice ~bob
+      with
+      | Ok o -> Ok o
+      | Error `Decode_failure -> Error (`Decode_failure (Comm.stats comm))))

@@ -47,3 +47,13 @@ val reconcile_unknown :
   alice:Parent.t -> bob:Parent.t -> unit -> (outcome, error) result
 (** Theorem 3.10: 4 rounds; the extra leading round estimates the number of
     differing children. *)
+
+val default_child_shape : Ssr_sketch.L0_estimator.shape
+(** The default shape of the per-child estimators of round 2. *)
+
+val run :
+  comm:Ssr_setrecon.Comm.t -> seed:int64 -> d:int -> d_hat:int -> k:int ->
+  shape:Ssr_sketch.L0_estimator.shape -> primitive:primitive ->
+  alice:Parent.t -> bob:Parent.t -> (outcome, [ `Decode_failure ]) result
+(** One attempt threaded through a caller-supplied recorder (for retry
+    drivers and transports); the outcome's stats are cumulative for [comm]. *)

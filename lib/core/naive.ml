@@ -1,6 +1,8 @@
 module Iset = Ssr_util.Iset
 module Hashing = Ssr_util.Hashing
 module Prng = Ssr_util.Prng
+module Buf = Ssr_util.Buf
+module Codec = Ssr_util.Codec
 module Iblt = Ssr_sketch.Iblt
 module L0 = Ssr_sketch.L0_estimator
 module Comm = Ssr_setrecon.Comm
@@ -28,7 +30,22 @@ let run ~comm ~seed ~d_hat ~u ~h ~k ~alice ~bob =
   let table = Iblt.create prm in
   List.iter (fun c -> Iblt.insert table (Direct.encode cfg c)) (Parent.children alice);
   let alice_hash = Parent.hash ~seed alice in
-  Comm.send comm Comm.A_to_b ~label:"naive-iblt+hash" ~bits:(Iblt.size_bits table + 64);
+  let hash_bytes = Bytes.create 8 in
+  Buf.set_int_le hash_bytes 0 alice_hash;
+  let payload = Bytes.cat (Iblt.body_bytes table) hash_bytes in
+  match Comm.xfer comm Comm.A_to_b ~label:"naive-iblt+hash" payload with
+  | Error `Lost -> Error `Decode_failure
+  | Ok delivered -> (
+  let r = Codec.reader delivered in
+  let parsed =
+    match (Codec.take r (Iblt.body_length prm), Codec.int62 r) with
+    | Some body, Some h when Codec.at_end r ->
+      Option.map (fun t -> (t, h)) (Iblt.of_body_bytes_opt prm body)
+    | _ -> None
+  in
+  match parsed with
+  | None -> Error `Decode_failure
+  | Some (table, alice_hash) -> (
   let bob_table = Iblt.create prm in
   List.iter (fun c -> Iblt.insert bob_table (Direct.encode cfg c)) (Parent.children bob);
   match Iblt.decode (Iblt.subtract table bob_table) with
@@ -51,7 +68,7 @@ let run ~comm ~seed ~d_hat ~u ~h ~k ~alice ~bob =
       let recovered = Parent.of_children (alice_only @ remaining) in
       if Parent.hash ~seed recovered = alice_hash then Ok { recovered; stats = Comm.stats comm }
       else Error `Decode_failure
-    | _ -> Error `Decode_failure)
+    | _ -> Error `Decode_failure)))
 
 let reconcile_known ~seed ~d_hat ~u ~h ?(k = 4) ~alice ~bob () =
   let comm = Comm.create () in
@@ -63,11 +80,16 @@ let reconcile_unknown ~seed ~u ~h ?(k = 4) ?estimator_shape ~alice ~bob () =
   let comm = Comm.create () in
   let bob_est = L0.create ~seed ?shape:estimator_shape () in
   List.iter (fun c -> L0.update bob_est L0.S1 (child_id ~seed c)) (Parent.children bob);
-  Comm.send comm Comm.B_to_a ~label:"child-estimator" ~bits:(L0.size_bits bob_est);
-  let alice_est = L0.create ~seed ?shape:estimator_shape () in
-  List.iter (fun c -> L0.update alice_est L0.S2 (child_id ~seed c)) (Parent.children alice);
-  let est = L0.query (L0.merge bob_est alice_est) in
-  let d_hat = max 2 est in
-  match run ~comm ~seed:(Prng.derive ~seed ~tag:2) ~d_hat ~u ~h ~k ~alice ~bob with
-  | Ok o -> Ok o
-  | Error `Decode_failure -> Error (`Decode_failure (Comm.stats comm))
+  match Comm.xfer comm Comm.B_to_a ~label:"child-estimator" (L0.to_bytes bob_est) with
+  | Error `Lost -> Error (`Decode_failure (Comm.stats comm))
+  | Ok delivered -> (
+    match L0.of_bytes_opt ~seed ?shape:estimator_shape delivered with
+    | None -> Error (`Decode_failure (Comm.stats comm))
+    | Some bob_est -> (
+      let alice_est = L0.create ~seed ?shape:estimator_shape () in
+      List.iter (fun c -> L0.update alice_est L0.S2 (child_id ~seed c)) (Parent.children alice);
+      let est = L0.query (L0.merge bob_est alice_est) in
+      let d_hat = max 2 est in
+      match run ~comm ~seed:(Prng.derive ~seed ~tag:2) ~d_hat ~u ~h ~k ~alice ~bob with
+      | Ok o -> Ok o
+      | Error `Decode_failure -> Error (`Decode_failure (Comm.stats comm))))

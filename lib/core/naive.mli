@@ -23,3 +23,9 @@ val reconcile_unknown :
   alice:Parent.t -> bob:Parent.t -> unit -> (outcome, error) result
 (** Theorem 3.4: two rounds. Bob first sends a set-difference estimator over
     (hashes of) his child sets to bound the number of differing children. *)
+
+val run :
+  comm:Ssr_setrecon.Comm.t -> seed:int64 -> d_hat:int -> u:int -> h:int -> k:int ->
+  alice:Parent.t -> bob:Parent.t -> (outcome, [ `Decode_failure ]) result
+(** One attempt threaded through a caller-supplied recorder (for retry
+    drivers and transports); the outcome's stats are cumulative for [comm]. *)

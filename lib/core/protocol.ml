@@ -64,6 +64,30 @@ let reconcile_unknown kind ~seed ~u ~h ~alice ~bob () =
          (fun (o : Multiround.outcome) -> (o.Multiround.recovered, o.Multiround.stats))
          (Multiround.reconcile_unknown ~seed ~alice ~bob ()))
 
+let run_known kind ~comm ~seed ~d ~u ~h ~alice ~bob =
+  let s_bound = max 2 (Parent.cardinal bob) in
+  let d_hat = min d s_bound in
+  match kind with
+  | Naive ->
+    Result.map
+      (fun (o : Naive.outcome) -> { recovered = o.Naive.recovered; stats = o.Naive.stats })
+      (Naive.run ~comm ~seed ~d_hat ~u ~h ~k:4 ~alice ~bob)
+  | Iblt_of_iblts ->
+    Result.map
+      (fun (o : Iblt_of_iblts.outcome) ->
+        { recovered = o.Iblt_of_iblts.recovered; stats = o.Iblt_of_iblts.stats })
+      (Iblt_of_iblts.run ~comm ~seed ~d ~d_hat ~s_bound ~k:4 ~alice ~bob)
+  | Cascade ->
+    Result.map
+      (fun (o : Cascade.outcome) -> { recovered = o.Cascade.recovered; stats = o.Cascade.stats })
+      (Cascade.run ~comm ~seed ~d ~d_hat ~s_bound ~u ~h ~k:3 ~alice ~bob)
+  | Multiround ->
+    Result.map
+      (fun (o : Multiround.outcome) ->
+        { recovered = o.Multiround.recovered; stats = o.Multiround.stats })
+      (Multiround.run ~comm ~seed ~d ~d_hat ~k:4 ~shape:Multiround.default_child_shape
+         ~primitive:Multiround.Auto ~alice ~bob)
+
 let reconcile_amplified kind ~seed ~d ~u ~h ~replicas ~alice ~bob () =
   if replicas < 1 then invalid_arg "Protocol.reconcile_amplified: replicas must be positive";
   (* All replicas run in parallel, so all of their traffic is spent; rounds

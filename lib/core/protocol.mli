@@ -33,6 +33,14 @@ val reconcile_unknown :
 (** Run the unknown-d variant (estimator round or repeated doubling,
     whichever the protocol prescribes). *)
 
+val run_known :
+  kind -> comm:Ssr_setrecon.Comm.t -> seed:int64 -> d:int -> u:int -> h:int ->
+  alice:Parent.t -> bob:Parent.t -> (outcome, [ `Decode_failure ]) result
+(** One known-d attempt threaded through a caller-supplied recorder, with
+    each protocol's default tuning. The transport-aware driver
+    (lib/transport's Resilient) uses this to run several attempts over one
+    channel transcript; the outcome's stats are cumulative for [comm]. *)
+
 val reconcile_amplified :
   kind -> seed:int64 -> d:int -> u:int -> h:int -> replicas:int ->
   alice:Parent.t -> bob:Parent.t -> unit -> (outcome, error) result

@@ -2,7 +2,12 @@ type direction = A_to_b | B_to_a
 
 type message = { round : int; direction : direction; label : string; bits : int }
 
-type t = { mutable log : message list (* newest first *) }
+type transport = {
+  transmit : direction -> label:string -> Bytes.t -> Bytes.t option;
+  overhead_bits : int;
+}
+
+type t = { mutable log : message list (* newest first *); mutable transport : transport option }
 
 type stats = {
   rounds : int;
@@ -12,7 +17,9 @@ type stats = {
   messages : message list;
 }
 
-let create () = { log = [] }
+let create () = { log = []; transport = None }
+
+let set_transport t transport = t.transport <- Some transport
 
 let send t direction ~label ~bits =
   if bits < 0 then invalid_arg "Comm.send: negative bits";
@@ -22,6 +29,17 @@ let send t direction ~label ~bits =
     | last :: _ -> if last.direction = direction then last.round else last.round + 1
   in
   t.log <- { round; direction; label; bits } :: t.log
+
+let xfer t direction ~label payload =
+  match t.transport with
+  | None ->
+    send t direction ~label ~bits:(8 * Bytes.length payload);
+    Ok payload
+  | Some tr -> (
+    send t direction ~label ~bits:((8 * Bytes.length payload) + tr.overhead_bits);
+    match tr.transmit direction ~label payload with
+    | Some delivered -> Ok delivered
+    | None -> Error `Lost)
 
 let stats t =
   let messages = List.rev t.log in
@@ -33,13 +51,22 @@ let stats t =
   in
   { rounds; bits_total = bits_a_to_b + bits_b_to_a; bits_a_to_b; bits_b_to_a; messages }
 
+(* Transmission-order interleaving of two round-sorted transcripts: merge by
+   round number, ties keeping the first transcript's messages first. Both
+   inputs are nondecreasing in [round] (the [stats] invariant), so the output
+   is too. *)
+let rec interleave a b =
+  match (a, b) with
+  | [], ms | ms, [] -> ms
+  | x :: xs, y :: ys -> if x.round <= y.round then x :: interleave xs b else y :: interleave a ys
+
 let merge_stats a b =
   {
     rounds = max a.rounds b.rounds;
     bits_total = a.bits_total + b.bits_total;
     bits_a_to_b = a.bits_a_to_b + b.bits_a_to_b;
     bits_b_to_a = a.bits_b_to_a + b.bits_b_to_a;
-    messages = a.messages @ b.messages;
+    messages = interleave a.messages b.messages;
   }
 
 let pp_stats fmt s =

@@ -1,11 +1,21 @@
-(** Communication accounting.
+(** Communication accounting and the transport seam.
 
     Every protocol in this library threads a recorder through its message
     exchanges and reports honest costs: bits are the sizes of the actual
     serialized messages, and a round is a maximal run of messages in one
     direction (the paper counts "the number of total messages sent", e.g. a
     one-round protocol is a single Alice-to-Bob transmission). The benchmark
-    tables (EXPERIMENTS.md) are produced from these numbers. *)
+    tables (EXPERIMENTS.md) are produced from these numbers.
+
+    A recorder can additionally carry a {e transport}: a function that takes
+    the real serialized payload of a message and returns what the receiver
+    observes (possibly nothing, if the message was lost or rejected by the
+    framing checksum). Protocols route their payload-bearing messages through
+    {!xfer}; with no transport attached the payload is delivered verbatim and
+    only accounting happens, so the in-memory execution and the
+    over-a-channel execution share one code path. The transport layer lives
+    in [lib/transport]; this hook is a plain closure so the dependency points
+    only that way. *)
 
 type direction = A_to_b | B_to_a
 
@@ -19,20 +29,46 @@ type stats = {
   bits_total : int;
   bits_a_to_b : int;
   bits_b_to_a : int;
-  messages : message list;  (** In transmission order. *)
+  messages : message list;  (** In transmission order (nondecreasing rounds). *)
+}
+
+type transport = {
+  transmit : direction -> label:string -> Bytes.t -> Bytes.t option;
+      (** The payload the receiver observes intact, or [None] when the
+          message was dropped, truncated or rejected by the frame check. *)
+  overhead_bits : int;
+      (** Per-message framing overhead, added to the accounted payload
+          bits of every {!xfer} while this transport is attached. *)
 }
 
 val create : unit -> t
 
+val set_transport : t -> transport -> unit
+(** Attach a transport to the recorder; every subsequent {!xfer} goes
+    through it. *)
+
 val send : t -> direction -> label:string -> bits:int -> unit
-(** Record a message. Consecutive sends in the same direction share a round;
-    a direction switch starts a new one. *)
+(** Record a message by size only (no payload bytes exist for it). Bypasses
+    any attached transport: use {!xfer} for messages that must survive a
+    faulty channel. Consecutive sends in the same direction share a round; a
+    direction switch starts a new one. *)
+
+val xfer : t -> direction -> label:string -> Bytes.t -> (Bytes.t, [ `Lost ]) result
+(** Record and transmit a payload-bearing message. Accounts
+    [8 * length + overhead] bits, then hands the payload to the attached
+    transport; [Error `Lost] means the receiver observed nothing usable
+    (timeout/NACK in a real deployment). With no transport attached this is
+    [Ok payload]. *)
 
 val stats : t -> stats
 
 val merge_stats : stats -> stats -> stats
-(** Combine transcripts of sub-protocols that run in parallel (rounds take
-    the max, bits add). *)
+(** Combine transcripts of sub-protocols that run in parallel: bits add and
+    [rounds] is the max of the two (a parallel composition is as long as its
+    longest component). [messages] is a transmission-order interleaving —
+    the two transcripts merged by round number, ties keeping the first
+    operand's messages first — so a merged transcript still satisfies the
+    nondecreasing-round invariant of {!stats}. *)
 
 val pp_stats : Format.formatter -> stats -> unit
 

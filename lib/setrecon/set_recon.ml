@@ -1,6 +1,8 @@
 module Iset = Ssr_util.Iset
 module Hashing = Ssr_util.Hashing
 module Prng = Ssr_util.Prng
+module Buf = Ssr_util.Buf
+module Codec = Ssr_util.Codec
 module Iblt = Ssr_sketch.Iblt
 module L0 = Ssr_sketch.L0_estimator
 
@@ -21,27 +23,50 @@ let set_hash ~seed s =
 let iblt_params ~seed ~d ~k : Iblt.params =
   { cells = Iblt.recommended_cells ~k ~diff_bound:d; k; key_len = 8; seed }
 
+let int62_bytes v =
+  let b = Bytes.create 8 in
+  Buf.set_int_le b 0 v;
+  b
+
 (* Core one-message exchange; [comm] lets callers embed this in a larger
    transcript (the unknown-d and doubling wrappers below, and the per-child
-   reconciliations of the multi-round set-of-sets protocol). *)
+   reconciliations of the multi-round set-of-sets protocol). The message is
+   the real serialized payload [IBLT body || 64-bit whole-set hash]; Bob's
+   side is computed from the delivered bytes, so an attached transport
+   (lib/transport) carries — and can damage — exactly what a deployment
+   would put on the wire. *)
 let run_known_d ~comm ~seed ~d ~k ~alice ~bob =
   let prm = iblt_params ~seed ~d ~k in
   let table = Iblt.create prm in
   Iset.iter (fun x -> Iblt.insert_int table x) alice;
   let alice_hash = set_hash ~seed alice in
-  Comm.send comm Comm.A_to_b ~label:"iblt+hash" ~bits:(Iblt.size_bits table + 64);
-  (* Bob's side: delete his elements and peel. *)
-  let bob_table = Iblt.create prm in
-  Iset.iter (fun x -> Iblt.insert_int bob_table x) bob;
-  let diff = Iblt.subtract table bob_table in
-  match Iblt.decode_ints diff with
-  | Error `Peel_stuck -> Error `Decode_failure
-  | Ok (pos, neg) ->
-    let alice_minus_bob = Iset.of_list pos in
-    let bob_minus_alice = Iset.of_list neg in
-    let recovered = Iset.apply_diff bob ~add:alice_minus_bob ~del:bob_minus_alice in
-    if set_hash ~seed recovered = alice_hash then Ok { recovered; alice_minus_bob; bob_minus_alice; stats = Comm.stats comm }
-    else Error `Decode_failure
+  let payload = Bytes.cat (Iblt.body_bytes table) (int62_bytes alice_hash) in
+  match Comm.xfer comm Comm.A_to_b ~label:"iblt+hash" payload with
+  | Error `Lost -> Error `Decode_failure
+  | Ok delivered -> (
+    (* Bob's side: parse, delete his elements and peel. *)
+    let r = Codec.reader delivered in
+    let parsed =
+      match (Codec.take r (Iblt.body_length prm), Codec.int62 r) with
+      | Some body, Some h when Codec.at_end r ->
+        Option.map (fun t -> (t, h)) (Iblt.of_body_bytes_opt prm body)
+      | _ -> None
+    in
+    match parsed with
+    | None -> Error `Decode_failure
+    | Some (table, alice_hash) -> (
+      let bob_table = Iblt.create prm in
+      Iset.iter (fun x -> Iblt.insert_int bob_table x) bob;
+      let diff = Iblt.subtract table bob_table in
+      match Iblt.decode_ints diff with
+      | Error `Peel_stuck -> Error `Decode_failure
+      | Ok (pos, neg) ->
+        let alice_minus_bob = Iset.of_list pos in
+        let bob_minus_alice = Iset.of_list neg in
+        let recovered = Iset.apply_diff bob ~add:alice_minus_bob ~del:bob_minus_alice in
+        if set_hash ~seed recovered = alice_hash then
+          Ok { recovered; alice_minus_bob; bob_minus_alice; stats = Comm.stats comm }
+        else Error `Decode_failure))
 
 let reconcile_known_d ~seed ~d ?(k = 4) ~alice ~bob () =
   let comm = Comm.create () in
@@ -54,15 +79,20 @@ let reconcile_unknown_d ~seed ?(k = 4) ?estimator_shape ?(headroom = 2) ~alice ~
   (* Round 1: Bob -> Alice, a difference estimator holding Bob's set. *)
   let bob_est = L0.create ~seed ?shape:estimator_shape () in
   Iset.iter (fun x -> L0.update bob_est L0.S1 x) bob;
-  Comm.send comm Comm.B_to_a ~label:"estimator" ~bits:(L0.size_bits bob_est);
-  let alice_est = L0.create ~seed ?shape:estimator_shape () in
-  Iset.iter (fun x -> L0.update alice_est L0.S2 x) alice;
-  let est = L0.query (L0.merge bob_est alice_est) in
-  let d = max 4 (headroom * est) in
-  (* Round 2: the known-d protocol under the estimated bound. *)
-  match run_known_d ~comm ~seed:(Prng.derive ~seed ~tag:1) ~d ~k ~alice ~bob with
-  | Ok outcome -> Ok outcome
-  | Error `Decode_failure -> Error (`Decode_failure (Comm.stats comm))
+  match Comm.xfer comm Comm.B_to_a ~label:"estimator" (L0.to_bytes bob_est) with
+  | Error `Lost -> Error (`Decode_failure (Comm.stats comm))
+  | Ok delivered -> (
+    match L0.of_bytes_opt ~seed ?shape:estimator_shape delivered with
+    | None -> Error (`Decode_failure (Comm.stats comm))
+    | Some bob_est -> (
+      let alice_est = L0.create ~seed ?shape:estimator_shape () in
+      Iset.iter (fun x -> L0.update alice_est L0.S2 x) alice;
+      let est = L0.query (L0.merge bob_est alice_est) in
+      let d = max 4 (headroom * est) in
+      (* Round 2: the known-d protocol under the estimated bound. *)
+      match run_known_d ~comm ~seed:(Prng.derive ~seed ~tag:1) ~d ~k ~alice ~bob with
+      | Ok outcome -> Ok outcome
+      | Error `Decode_failure -> Error (`Decode_failure (Comm.stats comm))))
 
 let reconcile_robust ~seed ?(k = 4) ?(initial_d = 4) ?(max_attempts = 16) ~alice ~bob () =
   let comm = Comm.create () in

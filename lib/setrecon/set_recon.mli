@@ -41,6 +41,14 @@ val reconcile_robust :
     Corollary 3.6); each attempt adds a round. A convenience for
     applications that need an answer rather than a fixed round budget. *)
 
+val run_known_d :
+  comm:Comm.t -> seed:int64 -> d:int -> k:int ->
+  alice:Ssr_util.Iset.t -> bob:Ssr_util.Iset.t ->
+  (outcome, [ `Decode_failure ]) result
+(** One known-d exchange threaded through a caller-supplied recorder, for
+    drivers that embed it in a longer transcript (retry loops, transports).
+    The outcome's stats are cumulative for [comm]. *)
+
 val set_hash : seed:int64 -> Ssr_util.Iset.t -> int
 (** The whole-set verification hash used by the protocols (canonical
     serialization hashed to 62 bits). *)

@@ -152,22 +152,32 @@ let body_bytes t =
   done;
   out
 
+let of_body_bytes_opt prm body =
+  (* Length is validated against the (cheap, arithmetic-only) normalized
+     parameters before any cell storage is allocated, so an absurd
+     attacker-controlled size field cannot drive a huge allocation. *)
+  let nprm = normalize_params prm in
+  let cell_bytes = 4 + nprm.key_len + 8 in
+  if Bytes.length body <> nprm.cells * cell_bytes then None
+  else begin
+    let t = create prm in
+    for c = 0 to t.prm.cells - 1 do
+      let off = c * cell_bytes in
+      t.counts.(c) <- Int32.to_int (Bytes.get_int32_le body off);
+      Bytes.blit body (off + 4) t.keys (c * t.prm.key_len) t.prm.key_len;
+      (* Checksums are 62-bit values; masking keeps deserialization total on
+         corrupted transports (the damage then surfaces as a checksum mismatch
+         during peeling, i.e. a detected decode failure). *)
+      t.checks.(c) <-
+        Int64.to_int (Bytes.get_int64_le body (off + 4 + t.prm.key_len)) land ((1 lsl 62) - 1)
+    done;
+    Some t
+  end
+
 let of_body_bytes prm body =
-  let t = create prm in
-  let cell_bytes = 4 + t.prm.key_len + 8 in
-  if Bytes.length body <> t.prm.cells * cell_bytes then
-    invalid_arg "Iblt.of_body_bytes: length mismatch";
-  for c = 0 to t.prm.cells - 1 do
-    let off = c * cell_bytes in
-    t.counts.(c) <- Int32.to_int (Bytes.get_int32_le body off);
-    Bytes.blit body (off + 4) t.keys (c * t.prm.key_len) t.prm.key_len;
-    (* Checksums are 62-bit values; masking keeps deserialization total on
-       corrupted transports (the damage then surfaces as a checksum mismatch
-       during peeling, i.e. a detected decode failure). *)
-    t.checks.(c) <-
-      Int64.to_int (Bytes.get_int64_le body (off + 4 + t.prm.key_len)) land ((1 lsl 62) - 1)
-  done;
-  t
+  match of_body_bytes_opt prm body with
+  | Some t -> t
+  | None -> invalid_arg "Iblt.of_body_bytes: length mismatch"
 
 let size_bits t = 8 * body_length t.prm
 

@@ -77,7 +77,15 @@ val body_bytes : t -> Bytes.t
     become keys of an outer IBLT. *)
 
 val of_body_bytes : params -> Bytes.t -> t
-(** Inverse of {!body_bytes} given the shared parameters. *)
+(** Inverse of {!body_bytes} given the shared parameters. Raises
+    [Invalid_argument] on a length mismatch; use {!of_body_bytes_opt} for
+    bytes that arrived off a channel. *)
+
+val of_body_bytes_opt : params -> Bytes.t -> t option
+(** Non-raising {!of_body_bytes}: [None] when the length does not match the
+    parameters (a truncated or padded transmission). All other corruption is
+    representable and surfaces later as a detected peeling/checksum
+    failure. *)
 
 val body_length : params -> int
 (** Length in bytes of {!body_bytes} for tables with these parameters. *)

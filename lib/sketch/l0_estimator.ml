@@ -104,11 +104,24 @@ let to_bytes t =
   Array.iteri (fun i w -> Buf.set_int_le out (i * 8) w) t.words;
   out
 
-let of_bytes ~seed ?shape bytes =
+let of_bytes_opt ~seed ?shape bytes =
   let t = create ~seed ?shape () in
-  if Bytes.length bytes <> 8 * Array.length t.words then invalid_arg "L0_estimator.of_bytes: length mismatch";
-  Array.iteri (fun i _ -> t.words.(i) <- Buf.get_int_le bytes (i * 8)) t.words;
-  t
+  if Bytes.length bytes <> 8 * Array.length t.words then None
+  else begin
+    (* Masking to the data bits keeps deserialization total on corrupted
+       input (set padding bits would otherwise break the word-parallel
+       query); the damage then shows up only as a skewed estimate, which the
+       protocols' whole-set hash guard absorbs. *)
+    Array.iteri
+      (fun i _ -> t.words.(i) <- Int64.to_int (Bytes.get_int64_le bytes (i * 8)) land data_mask)
+      t.words;
+    Some t
+  end
+
+let of_bytes ~seed ?shape bytes =
+  match of_bytes_opt ~seed ?shape bytes with
+  | Some t -> t
+  | None -> invalid_arg "L0_estimator.of_bytes: length mismatch"
 
 let size_bits t = 64 * Array.length t.words
 

@@ -55,6 +55,12 @@ val size_bits : t -> int
 
 val to_bytes : t -> Bytes.t
 val of_bytes : seed:int64 -> ?shape:shape -> Bytes.t -> t
+(** Raises [Invalid_argument] on a length mismatch. *)
+
+val of_bytes_opt : seed:int64 -> ?shape:shape -> Bytes.t -> t option
+(** Non-raising {!of_bytes} for bytes off a channel: [None] on a length
+    mismatch; corrupted content is masked back into a well-formed (if
+    skewed) estimator rather than raising. *)
 
 (** Median amplification (the final step of Theorem 3.1): running
     O(log(1/delta)) independent copies and answering with the median query

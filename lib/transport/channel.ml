@@ -1,0 +1,104 @@
+module Prng = Ssr_util.Prng
+module Comm = Ssr_setrecon.Comm
+
+type fault =
+  | Dropped
+  | Corrupted of { bit : int }
+  | Truncated of { kept : int }
+  | Duplicated
+
+type event = {
+  index : int;
+  direction : Comm.direction;
+  label : string;
+  fault : fault;
+}
+
+type config = {
+  seed : int64;
+  drop_rate : float;
+  corrupt_rate : float;
+  truncate_rate : float;
+  duplicate_rate : float;
+}
+
+let perfect =
+  { seed = 0L; drop_rate = 0.; corrupt_rate = 0.; truncate_rate = 0.; duplicate_rate = 0. }
+
+let config_with ?(drop = 0.) ?(corrupt = 0.) ?(truncate = 0.) ?(duplicate = 0.) ~seed () =
+  { seed; drop_rate = drop; corrupt_rate = corrupt; truncate_rate = truncate; duplicate_rate = duplicate }
+
+type t = { cfg : config; mutable sent : int; mutable events : event list }
+
+let create cfg = { cfg; sent = 0; events = [] }
+let config t = t.cfg
+let messages_sent t = t.sent
+let events t = List.rev t.events
+
+let record t index direction label fault =
+  t.events <- { index; direction; label; fault } :: t.events
+
+(* Damage one delivery copy. Corruption and truncation are independent; the
+   PRNG draw order here is fixed, so a given (seed, message index, copy)
+   always produces the same damage — the replay-by-seed guarantee. *)
+let damage t rng index direction label bytes =
+  let bytes =
+    if Bytes.length bytes > 0 && Prng.bernoulli rng t.cfg.corrupt_rate then begin
+      let bit = Prng.int_below rng (8 * Bytes.length bytes) in
+      record t index direction label (Corrupted { bit });
+      let out = Bytes.copy bytes in
+      let byte = bit / 8 and mask = 1 lsl (bit mod 8) in
+      Bytes.set out byte (Char.chr (Char.code (Bytes.get out byte) lxor mask));
+      out
+    end
+    else Bytes.copy bytes
+  in
+  if Bytes.length bytes > 0 && Prng.bernoulli rng t.cfg.truncate_rate then begin
+    let kept = Prng.int_below rng (Bytes.length bytes) in
+    record t index direction label (Truncated { kept });
+    Bytes.sub bytes 0 kept
+  end
+  else bytes
+
+let transmit t direction ~label payload =
+  let index = t.sent in
+  t.sent <- t.sent + 1;
+  (* A per-message generator keyed by the message index makes the fault
+     sequence independent of payload contents and sizes: replaying a seed
+     against the same message sequence replays the same faults even if the
+     payload bytes differ. *)
+  let rng = Prng.create ~seed:(Prng.derive ~seed:t.cfg.seed ~tag:(0xFA17 + index)) in
+  if Prng.bernoulli rng t.cfg.drop_rate then begin
+    record t index direction label Dropped;
+    []
+  end
+  else begin
+    let copies =
+      if Prng.bernoulli rng t.cfg.duplicate_rate then begin
+        record t index direction label Duplicated;
+        2
+      end
+      else 1
+    in
+    List.init copies (fun _ -> damage t rng index direction label payload)
+  end
+
+let transport t : Comm.transport =
+  {
+    overhead_bits = 8 * Frame.overhead_bytes;
+    transmit =
+      (fun direction ~label payload ->
+        transmit t direction ~label (Frame.encode payload)
+        |> List.find_map (fun delivery ->
+               match Frame.decode delivery with Ok p -> Some p | Error _ -> None));
+  }
+
+let raw_transport t : Comm.transport =
+  {
+    overhead_bits = 0;
+    transmit =
+      (fun direction ~label payload ->
+        match transmit t direction ~label payload with
+        | [] -> None
+        | delivery :: _ -> Some delivery);
+  }

@@ -1,0 +1,67 @@
+(** Endpoint-pair channels: a perfect one, and one that injects faults.
+
+    A channel moves framed messages between the two reconciliation
+    endpoints. The faulty variant damages traffic with independent,
+    per-message probabilities of bit corruption, drop, truncation and
+    duplication, all driven by a deterministic PRNG: the fault sequence is a
+    pure function of the channel seed and the message sequence, every
+    injected fault is recorded, and re-running with the same seed replays
+    the identical faults — which is how a failing fuzz case is reproduced
+    from nothing but its seed.
+
+    {!transport} plugs a channel into a {!Ssr_setrecon.Comm.t} recorder:
+    payloads are framed ({!Frame}), damaged, and unframed, and a frame that
+    fails its checksum is reported to the protocol as a lost message.
+    {!raw_transport} skips the framing so that damaged bytes reach the
+    protocol parsers directly — that configuration exercises the parsers'
+    own totality and the whole-set hash backstop. *)
+
+type fault =
+  | Dropped  (** The message never arrives. *)
+  | Corrupted of { bit : int }  (** One bit, at this absolute index, flipped. *)
+  | Truncated of { kept : int }  (** Only the first [kept] bytes arrive. *)
+  | Duplicated  (** The message arrives twice (each copy damaged independently). *)
+
+type event = {
+  index : int;  (** Sequence number of the affected message on this channel. *)
+  direction : Ssr_setrecon.Comm.direction;
+  label : string;  (** The protocol's label for the message. *)
+  fault : fault;
+}
+
+type config = {
+  seed : int64;  (** Drives every fault decision; replaying a seed replays the faults. *)
+  drop_rate : float;
+  corrupt_rate : float;
+  truncate_rate : float;
+  duplicate_rate : float;
+}
+
+val perfect : config
+(** All rates zero: delivers every message verbatim. *)
+
+val config_with : ?drop:float -> ?corrupt:float -> ?truncate:float -> ?duplicate:float ->
+  seed:int64 -> unit -> config
+
+type t
+
+val create : config -> t
+val config : t -> config
+
+val messages_sent : t -> int
+
+val events : t -> event list
+(** Every fault injected so far, in occurrence order. *)
+
+val transmit : t -> Ssr_setrecon.Comm.direction -> label:string -> Bytes.t -> Bytes.t list
+(** Push raw bytes through the channel: the list of deliveries the receiver
+    observes — empty when dropped, two entries when duplicated, each entry
+    possibly corrupted or truncated. The input buffer is never mutated. *)
+
+val transport : t -> Ssr_setrecon.Comm.transport
+(** Framed transport: {!Frame.encode}, {!transmit}, then the first delivery
+    that passes {!Frame.decode} (or [None] when none does). *)
+
+val raw_transport : t -> Ssr_setrecon.Comm.transport
+(** Unframed transport: the first delivery's bytes, damage and all, go
+    straight to the protocol parser. Zero per-message overhead. *)

@@ -1,0 +1,50 @@
+module Crc32 = Ssr_util.Crc32
+
+let current_version = 1
+let header_bytes = 5
+let overhead_bytes = header_bytes + 4
+
+type error =
+  | Truncated of { expected : int; got : int }
+  | Bad_version of int
+  | Length_mismatch of { declared : int; available : int }
+  | Crc_mismatch of { expected : int32; got : int32 }
+
+let encode payload =
+  let n = Bytes.length payload in
+  let out = Bytes.create (overhead_bytes + n) in
+  Bytes.set out 0 (Char.chr current_version);
+  Bytes.set_int32_le out 1 (Int32.of_int n);
+  Bytes.blit payload 0 out header_bytes n;
+  let crc = Crc32.digest_sub out ~pos:0 ~len:(header_bytes + n) in
+  Bytes.set_int32_le out (header_bytes + n) crc;
+  out
+
+let decode frame =
+  let total = Bytes.length frame in
+  if total < overhead_bytes then Error (Truncated { expected = overhead_bytes; got = total })
+  else begin
+    let version = Char.code (Bytes.get frame 0) in
+    if version <> current_version then Error (Bad_version version)
+    else begin
+      (* The declared length is untrusted: compare it against what is
+         actually present before any allocation or checksum window. *)
+      let declared = Int32.to_int (Bytes.get_int32_le frame 1) land 0xFFFF_FFFF in
+      let available = total - overhead_bytes in
+      if declared <> available then Error (Length_mismatch { declared; available })
+      else begin
+        let expected = Crc32.digest_sub frame ~pos:0 ~len:(header_bytes + declared) in
+        let got = Bytes.get_int32_le frame (header_bytes + declared) in
+        if not (Int32.equal expected got) then Error (Crc_mismatch { expected; got })
+        else Ok (Bytes.sub frame header_bytes declared)
+      end
+    end
+  end
+
+let error_to_string = function
+  | Truncated { expected; got } -> Printf.sprintf "truncated frame: %d bytes, need >= %d" got expected
+  | Bad_version v -> Printf.sprintf "bad frame version %d" v
+  | Length_mismatch { declared; available } ->
+    Printf.sprintf "length mismatch: header declares %d payload bytes, %d present" declared available
+  | Crc_mismatch { expected; got } ->
+    Printf.sprintf "CRC mismatch: computed %08lx, frame carries %08lx" expected got

@@ -1,0 +1,183 @@
+module Iset = Ssr_util.Iset
+module Prng = Ssr_util.Prng
+module Buf = Ssr_util.Buf
+module Codec = Ssr_util.Codec
+module Comm = Ssr_setrecon.Comm
+module Set_recon = Ssr_setrecon.Set_recon
+module Protocol = Ssr_core.Protocol
+module Parent = Ssr_core.Parent
+
+type attempt = { number : int; d : int; direct : bool; ok : bool }
+
+type report = {
+  attempts : attempt list;
+  degraded : bool;
+  faults : Channel.event list;
+  stats : Comm.stats;
+}
+
+type error = [ `Transport_failure of report ]
+
+let attach comm channel framed =
+  Comm.set_transport comm
+    (if framed then Channel.transport channel else Channel.raw_transport channel)
+
+let mk_report ~attempts ~degraded ~channel ~comm =
+  { attempts = List.rev attempts; degraded; faults = Channel.events channel; stats = Comm.stats comm }
+
+let int62_bytes v =
+  let b = Bytes.create 8 in
+  Buf.set_int_le b 0 v;
+  b
+
+(* Elements of a canonical set serialization: strictly increasing 62-bit
+   values, so exactly the canonical form hashes back to the same value. *)
+let parse_elements r n =
+  let rec go i prev acc =
+    if i = n then Some (Iset.of_list (List.rev acc))
+    else
+      match Codec.int62 r with
+      | Some v when v > prev -> go (i + 1) v (v :: acc)
+      | _ -> None
+  in
+  go 0 (-1) []
+
+(* ---- Plain sets. ---- *)
+
+let parse_direct_set ~seed delivered =
+  let len = Bytes.length delivered in
+  if len < 8 || len mod 8 <> 0 then None
+  else begin
+    let r = Codec.reader delivered in
+    match parse_elements r ((len / 8) - 1) with
+    | None -> None
+    | Some s -> (
+      match Codec.int62 r with
+      | Some h when Codec.at_end r && Set_recon.set_hash ~seed s = h -> Some s
+      | _ -> None)
+  end
+
+let reconcile_set ~channel ?(framed = true) ~seed ?(initial_d = 4) ?(max_attempts = 5) ?(k = 4)
+    ~alice ~bob () =
+  let comm = Comm.create () in
+  attach comm channel framed;
+  let direct_payload =
+    lazy (Bytes.cat (Iset.canonical_bytes alice) (int62_bytes (Set_recon.set_hash ~seed alice)))
+  in
+  let rec direct number tries acc =
+    if tries >= max_attempts then
+      Error (`Transport_failure (mk_report ~attempts:acc ~degraded:true ~channel ~comm))
+    else begin
+      let delivered =
+        match Comm.xfer comm Comm.A_to_b ~label:"direct-transfer" (Lazy.force direct_payload) with
+        | Error `Lost -> None
+        | Ok bytes -> parse_direct_set ~seed bytes
+      in
+      match delivered with
+      | Some s ->
+        Ok (s, mk_report ~attempts:({ number; d = 0; direct = true; ok = true } :: acc)
+                  ~degraded:true ~channel ~comm)
+      | None ->
+        Comm.send comm Comm.B_to_a ~label:"retry" ~bits:8;
+        direct (number + 1) (tries + 1) ({ number; d = 0; direct = true; ok = false } :: acc)
+    end
+  in
+  let rec attempt number d acc =
+    if number >= max_attempts then direct number 0 acc
+    else
+      match
+        Set_recon.run_known_d ~comm ~seed:(Prng.derive ~seed ~tag:(0x5EED + number)) ~d ~k ~alice
+          ~bob
+      with
+      | Ok o ->
+        Ok (o.Set_recon.recovered,
+            mk_report ~attempts:({ number; d; direct = false; ok = true } :: acc)
+              ~degraded:false ~channel ~comm)
+      | Error `Decode_failure ->
+        Comm.send comm Comm.B_to_a ~label:"retry" ~bits:8;
+        attempt (number + 1) (2 * d) ({ number; d; direct = false; ok = false } :: acc)
+  in
+  attempt 0 (max 1 initial_d) []
+
+(* ---- Sets of sets. ---- *)
+
+let sos_direct_payload ~seed alice =
+  let children = Parent.children alice in
+  let buf = Buffer.create 256 in
+  let add_u32 v =
+    let b = Bytes.create 4 in
+    Bytes.set_int32_le b 0 (Int32.of_int v);
+    Buffer.add_bytes buf b
+  in
+  add_u32 (List.length children);
+  List.iter
+    (fun c ->
+      let b = Iset.canonical_bytes c in
+      add_u32 (Bytes.length b);
+      Buffer.add_bytes buf b)
+    children;
+  Buffer.add_bytes buf (int62_bytes (Parent.hash ~seed alice));
+  Buffer.to_bytes buf
+
+let parse_direct_sos ~seed delivered =
+  let r = Codec.reader delivered in
+  match Codec.u32 r with
+  | None -> None
+  | Some count ->
+    let rec go i acc =
+      if i = count then begin
+        match Codec.int62 r with
+        | Some h when Codec.at_end r ->
+          let p = Parent.of_children (List.rev acc) in
+          if Parent.hash ~seed p = h then Some p else None
+        | _ -> None
+      end
+      else
+        match Codec.u32 r with
+        | Some len when len mod 8 = 0 && len <= Codec.remaining r -> (
+          match parse_elements r (len / 8) with
+          | Some s -> go (i + 1) (s :: acc)
+          | None -> None)
+        | _ -> None
+    in
+    go 0 []
+
+let reconcile_sos ~channel ?(framed = true) ~kind ~seed ~u ~h ?(initial_d = 4) ?(max_attempts = 5)
+    ~alice ~bob () =
+  let comm = Comm.create () in
+  attach comm channel framed;
+  let direct_payload = lazy (sos_direct_payload ~seed alice) in
+  let rec direct number tries acc =
+    if tries >= max_attempts then
+      Error (`Transport_failure (mk_report ~attempts:acc ~degraded:true ~channel ~comm))
+    else begin
+      let delivered =
+        match Comm.xfer comm Comm.A_to_b ~label:"direct-transfer" (Lazy.force direct_payload) with
+        | Error `Lost -> None
+        | Ok bytes -> parse_direct_sos ~seed bytes
+      in
+      match delivered with
+      | Some p ->
+        Ok (p, mk_report ~attempts:({ number; d = 0; direct = true; ok = true } :: acc)
+                  ~degraded:true ~channel ~comm)
+      | None ->
+        Comm.send comm Comm.B_to_a ~label:"retry" ~bits:8;
+        direct (number + 1) (tries + 1) ({ number; d = 0; direct = true; ok = false } :: acc)
+    end
+  in
+  let rec attempt number d acc =
+    if number >= max_attempts then direct number 0 acc
+    else
+      match
+        Protocol.run_known kind ~comm ~seed:(Prng.derive ~seed ~tag:(0x5EED + number)) ~d ~u ~h
+          ~alice ~bob
+      with
+      | Ok (o : Protocol.outcome) ->
+        Ok (o.Protocol.recovered,
+            mk_report ~attempts:({ number; d; direct = false; ok = true } :: acc)
+              ~degraded:false ~channel ~comm)
+      | Error `Decode_failure ->
+        Comm.send comm Comm.B_to_a ~label:"retry" ~bits:8;
+        attempt (number + 1) (2 * d) ({ number; d; direct = false; ok = false } :: acc)
+  in
+  attempt 0 (max 1 initial_d) []

@@ -1,0 +1,58 @@
+(** Self-healing reconciliation over a faulty channel.
+
+    The driver runs a reconciliation protocol across a {!Channel.t} and
+    turns transport faults into bounded, structured recovery:
+
+    - {b detection} — the frame CRC rejects damaged messages before the
+      protocol sees them, and each protocol's whole-set hash rejects any
+      result assembled from damage the CRC missed (or, with an unframed
+      transport, from damaged bytes the parsers accepted);
+    - {b bounded retry} — a failed attempt triggers a retry with a doubled
+      IBLT difference bound and a fresh derived seed (fresh public coins, so
+      a deterministic peeling failure is not repeated);
+    - {b graceful degradation} — when the attempt budget is exhausted the
+      driver falls back to a direct full transfer of Alice's data, itself
+      hash-verified and retried within the same budget.
+
+    Every outcome carries a {!report} of the attempts made, the faults the
+    channel injected, and the cumulative transcript cost, so callers can see
+    exactly what the fault rate cost them. The driver never returns silently
+    corrupted data: the result is either verified-correct or a typed
+    failure. *)
+
+type attempt = {
+  number : int;  (** 0-based, across reconciliation and direct attempts. *)
+  d : int;  (** Difference bound of a reconciliation attempt; 0 when [direct]. *)
+  direct : bool;  (** A degraded full-transfer attempt rather than reconciliation. *)
+  ok : bool;
+}
+
+type report = {
+  attempts : attempt list;  (** In execution order. *)
+  degraded : bool;  (** Whether the driver fell back to direct transfer. *)
+  faults : Channel.event list;  (** Faults the channel injected during the run. *)
+  stats : Ssr_setrecon.Comm.stats;  (** Cumulative, including retries. *)
+}
+
+type error = [ `Transport_failure of report ]
+(** Attempt budget exhausted, including the direct-transfer fallback. *)
+
+val reconcile_set :
+  channel:Channel.t -> ?framed:bool -> seed:int64 -> ?initial_d:int ->
+  ?max_attempts:int -> ?k:int ->
+  alice:Ssr_util.Iset.t -> bob:Ssr_util.Iset.t -> unit ->
+  (Ssr_util.Iset.t * report, error) result
+(** Plain set reconciliation (Bob learns Alice's set) over the channel.
+    [framed] (default true) wraps every message in a {!Frame}; [false]
+    exposes the protocol parsers to raw channel damage. [initial_d]
+    (default 4) doubles on every retry; [max_attempts] (default 5) bounds
+    reconciliation attempts and direct-transfer attempts separately. *)
+
+val reconcile_sos :
+  channel:Channel.t -> ?framed:bool -> kind:Ssr_core.Protocol.kind -> seed:int64 ->
+  u:int -> h:int -> ?initial_d:int -> ?max_attempts:int ->
+  alice:Ssr_core.Parent.t -> bob:Ssr_core.Parent.t -> unit ->
+  (Ssr_core.Parent.t * report, error) result
+(** Set-of-sets reconciliation under any of the four protocols, same
+    recovery discipline. [u] and [h] size the direct encodings where the
+    protocol needs them; [initial_d] defaults to 4. *)

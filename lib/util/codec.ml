@@ -1,0 +1,45 @@
+type reader = { buf : Bytes.t; mutable pos : int }
+
+let reader buf = { buf; pos = 0 }
+
+let remaining r = Bytes.length r.buf - r.pos
+
+let at_end r = remaining r = 0
+
+let take r len =
+  if len < 0 || len > remaining r then None
+  else begin
+    let out = Bytes.sub r.buf r.pos len in
+    r.pos <- r.pos + len;
+    Some out
+  end
+
+let u8 r =
+  if remaining r < 1 then None
+  else begin
+    let v = Char.code (Bytes.get r.buf r.pos) in
+    r.pos <- r.pos + 1;
+    Some v
+  end
+
+let u32 r =
+  if remaining r < 4 then None
+  else begin
+    let v = Int32.to_int (Bytes.get_int32_le r.buf r.pos) land 0xFFFFFFFF in
+    r.pos <- r.pos + 4;
+    Some v
+  end
+
+let i64 r =
+  if remaining r < 8 then None
+  else begin
+    let v = Bytes.get_int64_le r.buf r.pos in
+    r.pos <- r.pos + 8;
+    Some v
+  end
+
+let int62 r =
+  match i64 r with
+  | None -> None
+  | Some v ->
+    if Int64.logand v 0xC000_0000_0000_0000L <> 0L then None else Some (Int64.to_int v)

@@ -1,0 +1,14 @@
+(** CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+
+    The frame-level integrity check of the transport layer. CRC-32 detects
+    every single-bit error, every 2-bit error within the usual distance
+    bounds, and all burst errors up to 32 bits; random multi-bit corruption
+    slips through with probability 2^-32, which is why the protocols keep
+    their whole-set hash as a second, independent guard. *)
+
+val digest : Bytes.t -> int32
+(** CRC-32 of the whole buffer (initial value 0xFFFFFFFF, final XOR). *)
+
+val digest_sub : Bytes.t -> pos:int -> len:int -> int32
+(** CRC-32 of [len] bytes starting at [pos]. Raises [Invalid_argument] if
+    the range is outside the buffer (programming error, not a data error). *)

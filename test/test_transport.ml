@@ -1,0 +1,540 @@
+(* Tests for the faulty-channel transport layer: framing, fault injection
+   with replay-by-seed, and the self-healing reconciliation driver. Also the
+   corruption properties of the satellite tasks: a flipped bit in any
+   transmitted payload either leaves the protocol result correct or produces
+   a detected failure — never a silently wrong answer. *)
+
+module Prng = Ssr_util.Prng
+module Iset = Ssr_util.Iset
+module Codec = Ssr_util.Codec
+module Crc32 = Ssr_util.Crc32
+module Iblt = Ssr_sketch.Iblt
+module L0 = Ssr_sketch.L0_estimator
+module Comm = Ssr_setrecon.Comm
+module Set_recon = Ssr_setrecon.Set_recon
+module Parent = Ssr_core.Parent
+module Protocol = Ssr_core.Protocol
+module Encoding = Ssr_core.Encoding
+module Frame = Ssr_transport.Frame
+module Channel = Ssr_transport.Channel
+module Resilient = Ssr_transport.Resilient
+
+let seed = 0x74A1590A7L
+
+let flip_bit bytes bit =
+  let out = Bytes.copy bytes in
+  let byte = bit / 8 and mask = 1 lsl (bit mod 8) in
+  Bytes.set out byte (Char.chr (Char.code (Bytes.get out byte) lxor mask));
+  out
+
+(* ---------- Frame ---------- *)
+
+let test_frame_roundtrip () =
+  let rng = Prng.create ~seed in
+  for _ = 1 to 50 do
+    let n = Prng.int_below rng 200 in
+    let payload = Bytes.init n (fun _ -> Char.chr (Prng.int_below rng 256)) in
+    match Frame.decode (Frame.encode payload) with
+    | Ok p -> Alcotest.(check bytes) "roundtrip" payload p
+    | Error e -> Alcotest.failf "frame rejected its own encoding: %s" (Frame.error_to_string e)
+  done
+
+let test_frame_single_bit_flips_detected () =
+  (* CRC-32 detects every single-bit error, so every flipped bit of a frame
+     must be rejected (a flip in the version or length fields is caught by
+     those checks instead; all paths are typed errors). *)
+  let payload = Bytes.of_string "reconciling graphs and sets of sets" in
+  let frame = Frame.encode payload in
+  for bit = 0 to (8 * Bytes.length frame) - 1 do
+    match Frame.decode (flip_bit frame bit) with
+    | Ok _ -> Alcotest.failf "bit %d flip went undetected" bit
+    | Error _ -> ()
+  done
+
+let test_frame_truncation_detected () =
+  let frame = Frame.encode (Bytes.of_string "payload bytes") in
+  for keep = 0 to Bytes.length frame - 1 do
+    match Frame.decode (Bytes.sub frame 0 keep) with
+    | Ok _ -> Alcotest.failf "truncation to %d bytes went undetected" keep
+    | Error _ -> ()
+  done;
+  (match Frame.decode (Bytes.cat frame (Bytes.make 1 'x')) with
+  | Ok _ -> Alcotest.fail "extension went undetected"
+  | Error _ -> ());
+  match Frame.decode Bytes.empty with
+  | Ok _ -> Alcotest.fail "empty input accepted"
+  | Error _ -> ()
+
+let test_frame_empty_payload () =
+  match Frame.decode (Frame.encode Bytes.empty) with
+  | Ok p -> Alcotest.(check int) "empty payload" 0 (Bytes.length p)
+  | Error e -> Alcotest.failf "empty payload rejected: %s" (Frame.error_to_string e)
+
+(* ---------- Channel ---------- *)
+
+let noisy_config cseed =
+  Channel.config_with ~drop:0.2 ~corrupt:0.3 ~truncate:0.1 ~duplicate:0.15 ~seed:cseed ()
+
+let drive channel =
+  (* A fixed message sequence pushed through a channel; returns deliveries. *)
+  let rng = Prng.create ~seed in
+  List.init 40 (fun i ->
+      let n = 1 + Prng.int_below rng 64 in
+      let payload = Bytes.init n (fun _ -> Char.chr (Prng.int_below rng 256)) in
+      let dir = if i mod 2 = 0 then Comm.A_to_b else Comm.B_to_a in
+      Channel.transmit channel dir ~label:(string_of_int i) payload)
+
+let test_channel_replay_determinism () =
+  let c1 = Channel.create (noisy_config 0xFA117L) in
+  let c2 = Channel.create (noisy_config 0xFA117L) in
+  let d1 = drive c1 and d2 = drive c2 in
+  Alcotest.(check int) "same number of faults" (List.length (Channel.events c1))
+    (List.length (Channel.events c2));
+  List.iter2
+    (fun (e1 : Channel.event) (e2 : Channel.event) ->
+      Alcotest.(check int) "fault index" e1.Channel.index e2.Channel.index;
+      Alcotest.(check string) "fault label" e1.Channel.label e2.Channel.label;
+      Alcotest.(check bool) "fault kind" true (e1.Channel.fault = e2.Channel.fault))
+    (Channel.events c1) (Channel.events c2);
+  List.iter2
+    (fun ds1 ds2 ->
+      Alcotest.(check int) "delivery count" (List.length ds1) (List.length ds2);
+      List.iter2 (fun b1 b2 -> Alcotest.(check bytes) "delivery bytes" b1 b2) ds1 ds2)
+    d1 d2;
+  (* A different seed produces a different fault sequence (overwhelmingly). *)
+  let c3 = Channel.create (noisy_config 0xFA118L) in
+  let d3 = drive c3 in
+  Alcotest.(check bool) "different seed differs" true (d1 <> d3 || Channel.events c1 <> Channel.events c3)
+
+let test_channel_perfect () =
+  let ch = Channel.create Channel.perfect in
+  let payload = Bytes.of_string "intact" in
+  (match Channel.transmit ch Comm.A_to_b ~label:"m" payload with
+  | [ delivered ] -> Alcotest.(check bytes) "verbatim" payload delivered
+  | _ -> Alcotest.fail "perfect channel must deliver exactly once");
+  Alcotest.(check int) "no faults" 0 (List.length (Channel.events ch))
+
+let test_channel_fault_recording () =
+  let ch = Channel.create (Channel.config_with ~drop:1.0 ~seed:1L ()) in
+  (match Channel.transmit ch Comm.A_to_b ~label:"gone" (Bytes.make 8 'x') with
+  | [] -> ()
+  | _ -> Alcotest.fail "drop-rate 1.0 must drop");
+  match Channel.events ch with
+  | [ { Channel.fault = Channel.Dropped; label = "gone"; index = 0; _ } ] -> ()
+  | _ -> Alcotest.fail "dropped fault must be recorded"
+
+let test_channel_transport_rejects_damage () =
+  (* Framed transport: anything the channel damaged is filtered out by the
+     CRC, so the protocol sees intact bytes or nothing. *)
+  let ch = Channel.create (Channel.config_with ~corrupt:0.9 ~seed:33L ()) in
+  let tr = Channel.transport ch in
+  let payload = Bytes.of_string "some protocol message body" in
+  let intact = ref 0 and lost = ref 0 in
+  for _ = 1 to 100 do
+    match tr.Comm.transmit Comm.A_to_b ~label:"m" payload with
+    | Some delivered ->
+      incr intact;
+      Alcotest.(check bytes) "framed transport never delivers damage" payload delivered
+    | None -> incr lost
+  done;
+  Alcotest.(check bool) "some messages damaged" true (!lost > 0);
+  Alcotest.(check bool) "some messages intact" true (!intact > 0)
+
+(* ---------- Comm.xfer and merge_stats ---------- *)
+
+let test_xfer_accounting () =
+  (* Without a transport, xfer accounts payload bits and delivers verbatim;
+     with one attached, the framing overhead is charged per message. *)
+  let c = Comm.create () in
+  let payload = Bytes.make 10 'p' in
+  (match Comm.xfer c Comm.A_to_b ~label:"m" payload with
+  | Ok p -> Alcotest.(check bytes) "identity without transport" payload p
+  | Error `Lost -> Alcotest.fail "no transport, nothing to lose");
+  Alcotest.(check int) "bits = 8 * bytes" 80 (Comm.stats c).Comm.bits_total;
+  let c2 = Comm.create () in
+  Comm.set_transport c2 (Channel.transport (Channel.create Channel.perfect));
+  (match Comm.xfer c2 Comm.B_to_a ~label:"m" payload with
+  | Ok p -> Alcotest.(check bytes) "perfect transport delivers" payload p
+  | Error `Lost -> Alcotest.fail "perfect transport lost a message");
+  Alcotest.(check int) "bits include framing overhead"
+    (80 + (8 * Frame.overhead_bytes))
+    (Comm.stats c2).Comm.bits_total
+
+let test_merge_stats_interleaving () =
+  let c1 = Comm.create () and c2 = Comm.create () in
+  Comm.send c1 Comm.A_to_b ~label:"a1" ~bits:1;
+  Comm.send c1 Comm.B_to_a ~label:"a2" ~bits:2;
+  Comm.send c2 Comm.A_to_b ~label:"b1" ~bits:4;
+  Comm.send c2 Comm.A_to_b ~label:"b2" ~bits:8;
+  Comm.send c2 Comm.B_to_a ~label:"b3" ~bits:16;
+  let m = Comm.merge_stats (Comm.stats c1) (Comm.stats c2) in
+  Alcotest.(check int) "bits add" 31 m.Comm.bits_total;
+  Alcotest.(check int) "rounds max" 2 m.Comm.rounds;
+  Alcotest.(check (list string)) "transmission-order interleaving, ties first"
+    [ "a1"; "b1"; "b2"; "a2"; "b3" ]
+    (List.map (fun (msg : Comm.message) -> msg.Comm.label) m.Comm.messages);
+  (* The nondecreasing-round invariant survives merging. *)
+  let rounds = List.map (fun (msg : Comm.message) -> msg.Comm.round) m.Comm.messages in
+  Alcotest.(check (list int)) "rounds nondecreasing" (List.sort compare rounds) rounds
+
+(* ---------- Non-raising byte decoders ---------- *)
+
+let test_iblt_of_body_bytes_opt () =
+  let prm : Iblt.params = { cells = 16; k = 4; key_len = 8; seed = 9L } in
+  let t = Iblt.create prm in
+  Iblt.insert_int t 12345;
+  let body = Iblt.body_bytes t in
+  (match Iblt.of_body_bytes_opt prm body with
+  | Some t' -> Alcotest.(check bytes) "roundtrip body" body (Iblt.body_bytes t')
+  | None -> Alcotest.fail "own body rejected");
+  Alcotest.(check bool) "short body rejected" true
+    (Iblt.of_body_bytes_opt prm (Bytes.sub body 0 (Bytes.length body - 1)) = None);
+  Alcotest.(check bool) "long body rejected" true
+    (Iblt.of_body_bytes_opt prm (Bytes.cat body (Bytes.make 1 'x')) = None);
+  (* Corrupted content is accepted structurally (the damage surfaces later
+     as a detected decode failure), and never raises. *)
+  for bit = 0 to (8 * Bytes.length body) - 1 do
+    ignore (Iblt.of_body_bytes_opt prm (flip_bit body bit))
+  done
+
+let test_l0_of_bytes_opt () =
+  let e = L0.create ~seed () in
+  L0.update e L0.S1 42;
+  let b = L0.to_bytes e in
+  Alcotest.(check bool) "roundtrip" true (L0.of_bytes_opt ~seed b <> None);
+  Alcotest.(check bool) "short rejected" true
+    (L0.of_bytes_opt ~seed (Bytes.sub b 0 (Bytes.length b - 1)) = None);
+  (* Any content parses without raising (counters are masked back into
+     range); a skewed estimate is acceptable, an exception is not. *)
+  for bit = 0 to min 511 ((8 * Bytes.length b) - 1) do
+    ignore (L0.of_bytes_opt ~seed (flip_bit b bit))
+  done
+
+let test_encoding_decode_opt () =
+  let cfg : Encoding.config = { child_cells = 12; child_k = 3; hash_bits = 30; seed = 5L } in
+  let child = Iset.of_list [ 3; 17; 99 ] in
+  let key = Encoding.encode cfg child in
+  Alcotest.(check bool) "own encoding decodes" true (Encoding.decode_opt cfg key <> None);
+  Alcotest.(check bool) "short key rejected" true
+    (Encoding.decode_opt cfg (Bytes.sub key 0 (Bytes.length key - 1)) = None);
+  for bit = 0 to (8 * Bytes.length key) - 1 do
+    ignore (Encoding.decode_opt cfg (flip_bit key bit))
+  done
+
+let test_codec_int62 () =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 0x4000_0000_0000_0000L;
+  Alcotest.(check bool) "bit 62 rejected" true (Codec.int62 (Codec.reader b) = None);
+  Bytes.set_int64_le b 0 (-1L);
+  Alcotest.(check bool) "negative rejected" true (Codec.int62 (Codec.reader b) = None);
+  Bytes.set_int64_le b 0 0x3FFF_FFFF_FFFF_FFFFL;
+  Alcotest.(check bool) "max 62-bit accepted" true
+    (Codec.int62 (Codec.reader b) = Some 0x3FFF_FFFF_FFFF_FFFF)
+
+(* ---------- Corruption never goes silent (protocol layer) ---------- *)
+
+(* A transport that flips exactly one chosen bit of one chosen message and
+   delivers everything else verbatim: the deterministic worst case, as
+   opposed to the channel's random faults. *)
+let surgical_transport ~message ~bit =
+  let count = ref 0 in
+  {
+    Comm.overhead_bits = 0;
+    transmit =
+      (fun _dir ~label:_ payload ->
+        let i = !count in
+        incr count;
+        if i = message && bit < 8 * Bytes.length payload then Some (flip_bit payload bit)
+        else Some (Bytes.copy payload));
+  }
+
+let small_sets rng =
+  let universe = 1 lsl 20 in
+  let bob = Iset.random_subset rng ~universe ~size:60 in
+  let arr = Iset.to_array bob in
+  let del = Iset.of_list [ arr.(0); arr.(7) ] in
+  let alice = Iset.apply_diff bob ~add:(Iset.random_subset rng ~universe ~size:2) ~del in
+  (alice, bob)
+
+let test_set_recon_single_bit_never_silent () =
+  (* Exhaustive: every single-bit flip of the one message of the known-d set
+     protocol either leaves the result correct (flip landed in slack bits)
+     or yields a detected failure. *)
+  let rng = Prng.create ~seed in
+  let alice, bob = small_sets rng in
+  let probe = Comm.create () in
+  let msg_bits =
+    match Set_recon.run_known_d ~comm:probe ~seed ~d:8 ~k:4 ~alice ~bob with
+    | Ok _ -> (Comm.stats probe).Comm.bits_total
+    | Error `Decode_failure -> Alcotest.fail "fault-free run must succeed"
+  in
+  let silent = ref 0 and detected = ref 0 and survived = ref 0 in
+  for bit = 0 to msg_bits - 1 do
+    let comm = Comm.create () in
+    Comm.set_transport comm (surgical_transport ~message:0 ~bit);
+    match Set_recon.run_known_d ~comm ~seed ~d:8 ~k:4 ~alice ~bob with
+    | Ok o ->
+      if Iset.equal o.Set_recon.recovered alice then incr survived
+      else begin
+        incr silent;
+        Printf.printf "silent corruption at bit %d\n" bit
+      end
+    | Error `Decode_failure -> incr detected
+  done;
+  Alcotest.(check int) "no silent corruptions" 0 !silent;
+  Alcotest.(check bool) "flips were detected" true (!detected > 0);
+  ignore !survived
+
+let small_parents rng =
+  let universe = 1 lsl 18 in
+  let bob = Parent.random rng ~universe ~children:8 ~child_size:6 in
+  let alice, _ = Parent.perturb rng ~universe ~edits:3 bob in
+  (alice, bob)
+
+let sos_args rng alice bob =
+  let d = max 4 (Parent.relaxed_matching_cost alice bob) in
+  let h = Parent.max_child_size alice + 3 in
+  ignore rng;
+  (d, h)
+
+let test_sos_corruption_never_silent () =
+  (* Random single-bit flips and random bursts, across all four protocols
+     and every message of each: correct or detected, never silently wrong. *)
+  let rng = Prng.create ~seed in
+  List.iter
+    (fun kind ->
+      let alice, bob = small_parents rng in
+      let d, h = sos_args rng alice bob in
+      let u = 1 lsl 18 in
+      let probe = Comm.create () in
+      (match Protocol.run_known kind ~comm:probe ~seed ~d ~u ~h ~alice ~bob with
+      | Ok _ -> ()
+      | Error `Decode_failure ->
+        Alcotest.failf "fault-free %s run must succeed" (Protocol.name kind));
+      let n_messages = List.length (Comm.stats probe).Comm.messages in
+      let silent = ref 0 and detected = ref 0 in
+      for trial = 1 to 120 do
+        let message = Prng.int_below rng (max 1 n_messages) in
+        let bit = Prng.int_below rng 200_000 in
+        let comm = Comm.create () in
+        Comm.set_transport comm (surgical_transport ~message ~bit);
+        (match Protocol.run_known kind ~comm ~seed ~d ~u ~h ~alice ~bob with
+        | Ok o -> if not (Parent.equal o.Protocol.recovered alice) then incr silent
+        | Error `Decode_failure -> incr detected);
+        ignore trial
+      done;
+      Alcotest.(check int)
+        (Printf.sprintf "%s: no silent corruptions" (Protocol.name kind))
+        0 !silent;
+      ignore !detected)
+    Protocol.all
+
+let burst_transport ~message ~start ~len rng_seed =
+  let count = ref 0 in
+  {
+    Comm.overhead_bits = 0;
+    transmit =
+      (fun _dir ~label:_ payload ->
+        let i = !count in
+        incr count;
+        if i <> message then Some (Bytes.copy payload)
+        else begin
+          let rng = Prng.create ~seed:rng_seed in
+          let out = Bytes.copy payload in
+          let total = 8 * Bytes.length out in
+          if total = 0 then Some out
+          else begin
+            for j = 0 to len - 1 do
+              let bit = (start + j) mod total in
+              let byte = bit / 8 and mask = 1 lsl (bit mod 8) in
+              if Prng.bool rng then
+                Bytes.set out byte (Char.chr (Char.code (Bytes.get out byte) lxor mask))
+            done;
+            Some out
+          end
+        end);
+  }
+
+let test_burst_corruption_never_silent () =
+  let rng = Prng.create ~seed in
+  List.iter
+    (fun kind ->
+      let alice, bob = small_parents rng in
+      let d, h = sos_args rng alice bob in
+      let u = 1 lsl 18 in
+      let silent = ref 0 in
+      for trial = 1 to 40 do
+        let comm = Comm.create () in
+        Comm.set_transport comm
+          (burst_transport ~message:(Prng.int_below rng 4) ~start:(Prng.int_below rng 100_000)
+             ~len:(1 + Prng.int_below rng 256)
+             (Int64.of_int (trial * 7919)));
+        match Protocol.run_known kind ~comm ~seed ~d ~u ~h ~alice ~bob with
+        | Ok o -> if not (Parent.equal o.Protocol.recovered alice) then incr silent
+        | Error `Decode_failure -> ()
+      done;
+      Alcotest.(check int)
+        (Printf.sprintf "%s: no silent burst corruptions" (Protocol.name kind))
+        0 !silent)
+    Protocol.all
+
+(* ---------- Resilient driver ---------- *)
+
+let test_resilient_set_perfect () =
+  let rng = Prng.create ~seed in
+  let alice, bob = small_sets rng in
+  let ch = Channel.create Channel.perfect in
+  match Resilient.reconcile_set ~channel:ch ~seed ~alice ~bob () with
+  | Ok (recovered, rep) ->
+    Alcotest.(check bool) "recovered" true (Iset.equal recovered alice);
+    Alcotest.(check bool) "not degraded" false rep.Resilient.degraded;
+    Alcotest.(check int) "one attempt" 1 (List.length rep.Resilient.attempts);
+    Alcotest.(check int) "no faults" 0 (List.length rep.Resilient.faults)
+  | Error (`Transport_failure _) -> Alcotest.fail "perfect channel must succeed"
+
+let test_resilient_retries_then_succeeds () =
+  (* A small initial d on a large difference forces doubling retries. *)
+  let rng = Prng.create ~seed in
+  let universe = 1 lsl 20 in
+  let bob = Iset.random_subset rng ~universe ~size:100 in
+  let alice = Iset.union bob (Iset.random_subset rng ~universe ~size:40) in
+  let ch = Channel.create Channel.perfect in
+  match Resilient.reconcile_set ~channel:ch ~seed ~initial_d:1 ~max_attempts:8 ~alice ~bob () with
+  | Ok (recovered, rep) ->
+    Alcotest.(check bool) "recovered" true (Iset.equal recovered alice);
+    Alcotest.(check bool) "took retries" true (List.length rep.Resilient.attempts > 1);
+    (* Bounds double monotonically across reconciliation attempts. *)
+    let ds =
+      List.filter_map
+        (fun (a : Resilient.attempt) -> if a.Resilient.direct then None else Some a.Resilient.d)
+        rep.Resilient.attempts
+    in
+    Alcotest.(check (list int)) "exponential doubling" (List.sort compare ds) ds
+  | Error (`Transport_failure _) -> Alcotest.fail "must eventually succeed"
+
+let test_resilient_degrades_to_direct () =
+  (* Attempt budget of 1 with a hopeless bound: the driver must fall back to
+     the verified direct transfer and still return the right answer. *)
+  let rng = Prng.create ~seed in
+  let universe = 1 lsl 20 in
+  let bob = Iset.random_subset rng ~universe ~size:80 in
+  let alice = Iset.union bob (Iset.random_subset rng ~universe ~size:50) in
+  let ch = Channel.create Channel.perfect in
+  match Resilient.reconcile_set ~channel:ch ~seed ~initial_d:1 ~max_attempts:1 ~alice ~bob () with
+  | Ok (recovered, rep) ->
+    Alcotest.(check bool) "recovered via direct" true (Iset.equal recovered alice);
+    Alcotest.(check bool) "degraded" true rep.Resilient.degraded
+  | Error (`Transport_failure _) -> Alcotest.fail "direct transfer over a perfect channel must work"
+
+let test_resilient_total_loss_is_typed () =
+  let rng = Prng.create ~seed in
+  let alice, bob = small_sets rng in
+  let ch = Channel.create (Channel.config_with ~drop:1.0 ~seed:3L ()) in
+  match Resilient.reconcile_set ~channel:ch ~seed ~max_attempts:3 ~alice ~bob () with
+  | Ok _ -> Alcotest.fail "nothing can get through a fully lossy channel"
+  | Error (`Transport_failure rep) ->
+    Alcotest.(check bool) "degraded on the way down" true rep.Resilient.degraded;
+    Alcotest.(check bool) "attempts recorded" true (List.length rep.Resilient.attempts = 6);
+    Alcotest.(check bool) "faults recorded" true (List.length rep.Resilient.faults > 0)
+
+let test_resilient_sos_sweep () =
+  (* All four protocols, a few seeds, moderate fault rates, framed and raw:
+     every outcome is correct or a typed failure. *)
+  let rng = Prng.create ~seed in
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun framed ->
+          for trial = 1 to 6 do
+            let wseed = Prng.derive ~seed ~tag:(trial * 131) in
+            let alice, bob = small_parents rng in
+            let d, h = sos_args rng alice bob in
+            let ch =
+              Channel.create
+                (Channel.config_with ~drop:0.1 ~corrupt:0.1 ~truncate:0.05
+                   ~seed:(Prng.derive ~seed:wseed ~tag:1) ())
+            in
+            match
+              Resilient.reconcile_sos ~channel:ch ~framed ~kind ~seed:wseed ~u:(1 lsl 18) ~h
+                ~initial_d:d ~alice ~bob ()
+            with
+            | Ok (recovered, _) ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s framed=%b correct" (Protocol.name kind) framed)
+                true (Parent.equal recovered alice)
+            | Error (`Transport_failure rep) ->
+              Alcotest.(check bool) "typed failure carries attempts" true
+                (List.length rep.Resilient.attempts > 0)
+          done)
+        [ true; false ])
+    Protocol.all
+
+let test_resilient_replay_by_seed () =
+  (* Re-running a faulty reconciliation with the same channel seed replays
+     the identical fault sequence — the debugging contract of the CLI's
+     --fault-seed flag. *)
+  let run () =
+    let rng = Prng.create ~seed in
+    let alice, bob = small_sets rng in
+    let ch = Channel.create (Channel.config_with ~drop:0.4 ~corrupt:0.7 ~seed:0xD15EA5EL ()) in
+    let result = Resilient.reconcile_set ~channel:ch ~seed ~alice ~bob () in
+    let faults =
+      match result with
+      | Ok (_, rep) -> rep.Resilient.faults
+      | Error (`Transport_failure rep) -> rep.Resilient.faults
+    in
+    List.map
+      (fun (e : Channel.event) -> (e.Channel.index, e.Channel.label, e.Channel.fault))
+      faults
+  in
+  let f1 = run () and f2 = run () in
+  Alcotest.(check bool) "same faults on replay" true (f1 = f2);
+  Alcotest.(check bool) "faults actually injected" true (f1 <> [])
+
+let () =
+  Alcotest.run "transport"
+    [
+      ( "frame",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_frame_roundtrip;
+          Alcotest.test_case "single-bit flips detected" `Quick test_frame_single_bit_flips_detected;
+          Alcotest.test_case "truncation detected" `Quick test_frame_truncation_detected;
+          Alcotest.test_case "empty payload" `Quick test_frame_empty_payload;
+        ] );
+      ( "channel",
+        [
+          Alcotest.test_case "replay determinism" `Quick test_channel_replay_determinism;
+          Alcotest.test_case "perfect channel" `Quick test_channel_perfect;
+          Alcotest.test_case "fault recording" `Quick test_channel_fault_recording;
+          Alcotest.test_case "framed transport rejects damage" `Quick
+            test_channel_transport_rejects_damage;
+        ] );
+      ( "comm",
+        [
+          Alcotest.test_case "xfer accounting" `Quick test_xfer_accounting;
+          Alcotest.test_case "merge_stats interleaving" `Quick test_merge_stats_interleaving;
+        ] );
+      ( "decoders",
+        [
+          Alcotest.test_case "iblt of_body_bytes_opt" `Quick test_iblt_of_body_bytes_opt;
+          Alcotest.test_case "l0 of_bytes_opt" `Quick test_l0_of_bytes_opt;
+          Alcotest.test_case "encoding decode_opt" `Quick test_encoding_decode_opt;
+          Alcotest.test_case "codec int62" `Quick test_codec_int62;
+        ] );
+      ( "corruption",
+        [
+          Alcotest.test_case "set recon: exhaustive single-bit" `Slow
+            test_set_recon_single_bit_never_silent;
+          Alcotest.test_case "sos: random single-bit" `Slow test_sos_corruption_never_silent;
+          Alcotest.test_case "sos: random bursts" `Slow test_burst_corruption_never_silent;
+        ] );
+      ( "resilient",
+        [
+          Alcotest.test_case "perfect channel" `Quick test_resilient_set_perfect;
+          Alcotest.test_case "retries with doubling" `Quick test_resilient_retries_then_succeeds;
+          Alcotest.test_case "degrades to direct" `Quick test_resilient_degrades_to_direct;
+          Alcotest.test_case "total loss is typed" `Quick test_resilient_total_loss_is_typed;
+          Alcotest.test_case "sos sweep" `Slow test_resilient_sos_sweep;
+          Alcotest.test_case "replay by seed" `Quick test_resilient_replay_by_seed;
+        ] );
+    ]
