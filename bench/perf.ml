@@ -1,0 +1,250 @@
+(* Machine-readable micro-benchmark subsystem.
+
+   Times the two hot paths every protocol in the paper bottoms out in —
+   IBLT construction/peeling and GF(2^61-1) polynomial kernels — plus the
+   end-to-end set-of-sets protocols, and emits the results as JSON
+   (BENCH_sketch.json / BENCH_field.json in the current directory) so perf
+   can be tracked across commits by machines, not eyeballs.
+
+   Method: monotonic wall clock (bechamel's CLOCK_MONOTONIC stub), a few
+   warmup batches, then repeated timed batches; the reported figure is the
+   median over batches of (elapsed / reps). Batch sizes are auto-calibrated
+   so one batch takes ~20ms, which puts clock resolution noise well below
+   1%. [--smoke] shrinks workloads and trial counts so CI can verify the
+   harness itself stays alive without paying the full measurement cost.
+
+   Run:   dune exec bench/main.exe -- perf           (full, ~1 min)
+          dune exec bench/main.exe -- perf --smoke   (CI, a few seconds)
+
+   JSON schema: see EXPERIMENTS.md ("Perf harness"). *)
+
+module Prng = Ssr_util.Prng
+module Iset = Ssr_util.Iset
+module Hashing = Ssr_util.Hashing
+module Iblt = Ssr_sketch.Iblt
+module Gf61 = Ssr_field.Gf61
+module Poly = Ssr_field.Poly
+module Roots = Ssr_field.Roots
+module Parent = Ssr_core.Parent
+module Protocol = Ssr_core.Protocol
+
+let seed = 0x9E4FBEA7L
+
+let now_ns () = Monotonic_clock.now ()
+
+let elapsed_ns t0 = Int64.to_float (Int64.sub (now_ns ()) t0)
+
+(* Median ns/op over [trials] batches of [reps] calls each. *)
+let measure_with ~trials ~reps f =
+  for _ = 1 to 2 do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  let samples =
+    Array.init trials (fun _ ->
+        let t0 = now_ns () in
+        for _ = 1 to reps do
+          ignore (Sys.opaque_identity (f ()))
+        done;
+        elapsed_ns t0 /. float_of_int reps)
+  in
+  Array.sort compare samples;
+  samples.(trials / 2)
+
+(* Auto-calibrate reps so a batch lasts ~[batch_ns], then measure. *)
+let measure ~trials ?(batch_ns = 2e7) f =
+  let t0 = now_ns () in
+  ignore (Sys.opaque_identity (f ()));
+  let once = Float.max 1.0 (elapsed_ns t0) in
+  let reps = max 1 (min 1_000_000 (int_of_float (batch_ns /. once))) in
+  measure_with ~trials ~reps f
+
+(* ------------------------------------------------------------------ *)
+(* JSON output (hand-rolled; no JSON dependency in the tree)           *)
+(* ------------------------------------------------------------------ *)
+
+type jfield = S of string | F of float | I of int | B of bool
+
+let jfield_to_string (k, v) =
+  let value =
+    match v with
+    | S s -> Printf.sprintf "%S" s
+    | F f -> if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
+    | I i -> string_of_int i
+    | B b -> if b then "true" else "false"
+  in
+  Printf.sprintf "%S: %s" k value
+
+let write_json ~path ~suite ~smoke results =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  %s,\n" (jfield_to_string ("schema", S "ssr-perf/1"));
+  Printf.fprintf oc "  %s,\n" (jfield_to_string ("suite", S suite));
+  Printf.fprintf oc "  %s,\n"
+    (jfield_to_string ("command", S "dune exec bench/main.exe -- perf"));
+  Printf.fprintf oc "  %s,\n" (jfield_to_string ("smoke", B smoke));
+  Printf.fprintf oc "  \"results\": [\n";
+  List.iteri
+    (fun i fields ->
+      Printf.fprintf oc "    {%s}%s\n"
+        (String.concat ", " (List.map jfield_to_string fields))
+        (if i = List.length results - 1 then "" else ","))
+    results;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s (%d results)\n%!" path (List.length results)
+
+let ops_fields name ~ns extra =
+  (("name", S name) :: extra)
+  @ [ ("ns_per_op", F ns); ("ops_per_sec", F (1e9 /. ns)) ]
+
+let latency_fields name ~ns extra =
+  (("name", S name) :: extra) @ [ ("ms_per_op", F (ns /. 1e6)) ]
+
+(* ------------------------------------------------------------------ *)
+(* Sketch suite                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let sketch_suite ~smoke ~trials =
+  let rng = Prng.create ~seed in
+  let results = ref [] in
+  let push r = results := r :: !results in
+
+  (* Hash throughput over the widths the protocols use: 8-byte integer
+     keys and the wide serialized-child keys of the nested protocols. *)
+  List.iter
+    (fun key_len ->
+      let fn = Hashing.make ~seed ~tag:0x7E57 in
+      let keys =
+        Array.init 256 (fun i ->
+            let b = Bytes.create key_len in
+            for j = 0 to key_len - 1 do
+              Bytes.set b j (Char.chr ((i + (j * 131)) land 0xFF))
+            done;
+            b)
+      in
+      let i = ref 0 in
+      let ns =
+        measure ~trials (fun () ->
+            incr i;
+            Hashing.hash_bytes fn keys.(!i land 255))
+      in
+      push
+        (ops_fields "hash_bytes" ~ns
+           [ ("key_len", I key_len); ("mb_per_sec", F (float_of_int key_len /. ns *. 953.674)) ]))
+    [ 8; 64 ];
+
+  (* IBLT insert throughput: cost per insert is independent of load, so we
+     hammer one preallocated table with a rotating key set. *)
+  let insert_cells = if smoke then [ 128; 1024 ] else [ 128; 1024; 8192 ] in
+  List.iter
+    (fun cells ->
+      let prm : Iblt.params = { cells; k = 4; key_len = 8; seed } in
+      let t = Iblt.create prm in
+      let i = ref 0 in
+      let ns =
+        measure ~trials (fun () ->
+            incr i;
+            Iblt.insert_int t ((!i * 0x9E3779B1) land max_int))
+      in
+      push (ops_fields "iblt_insert" ~ns [ ("cells", I cells); ("k", I 4); ("key_len", I 8) ]))
+    insert_cells;
+
+  (* Decode (peel) latency at the paper's ~2x cells-per-difference sizing. *)
+  let decode_ds = if smoke then [ 32; 128 ] else [ 32; 128; 512 ] in
+  List.iter
+    (fun d ->
+      let prm : Iblt.params =
+        { cells = Iblt.recommended_cells ~k:4 ~diff_bound:d; k = 4; key_len = 8; seed }
+      in
+      let t = Iblt.create prm in
+      Iset.iter (fun x -> Iblt.insert_int t x)
+        (Iset.random_subset rng ~universe:(1 lsl 40) ~size:d);
+      (match Iblt.decode t with
+      | Ok _ -> ()
+      | Error `Peel_stuck -> Printf.printf "  (warning: decode d=%d stuck; timing failure path)\n" d);
+      let ns = measure ~trials (fun () -> Iblt.decode t) in
+      push
+        (ops_fields "iblt_decode" ~ns
+           [ ("cells", I (Iblt.params t).Iblt.cells); ("d", I d); ("k", I 4); ("key_len", I 8) ]))
+    decode_ds;
+
+  (* End-to-end: the four set-of-sets protocols on one fixed workload. *)
+  let u = 1 lsl 16 in
+  let s = if smoke then 16 else 32 in
+  let child_size = if smoke then 24 else 48 in
+  let edits = 6 in
+  let wl_rng = Prng.create ~seed:(Prng.derive ~seed ~tag:0x50F) in
+  let bob = Parent.random wl_rng ~universe:u ~children:s ~child_size in
+  let alice, _ = Parent.perturb wl_rng ~universe:u ~edits bob in
+  let d = max edits (Parent.relaxed_matching_cost alice bob) in
+  let h = child_size + edits in
+  List.iter
+    (fun kind ->
+      let ns =
+        measure ~trials ~batch_ns:5e7 (fun () ->
+            Protocol.reconcile_known kind ~seed:(Prng.derive ~seed ~tag:0xE2E) ~d ~u ~h ~alice
+              ~bob ())
+      in
+      push
+        (latency_fields "sos_protocol" ~ns
+           [ ("protocol", S (Protocol.name kind)); ("children", I s); ("child_size", I child_size);
+             ("edits", I edits) ]))
+    Protocol.all;
+  List.rev !results
+
+(* ------------------------------------------------------------------ *)
+(* Field suite                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let field_suite ~smoke ~trials =
+  let rng = Prng.create ~seed:(Prng.derive ~seed ~tag:0xF1E1D) in
+  let results = ref [] in
+  let push r = results := r :: !results in
+
+  (* Scalar multiply: the bottom of every field loop. *)
+  let xs = Array.init 256 (fun _ -> Gf61.random rng) in
+  let i = ref 0 in
+  let ns =
+    measure ~trials (fun () ->
+        incr i;
+        Gf61.mul xs.(!i land 255) xs.((!i + 1) land 255))
+  in
+  push (ops_fields "gf61_mul" ~ns []);
+
+  let degrees = if smoke then [ 16; 64 ] else [ 16; 64; 256 ] in
+
+  (* Distinct roots for a degree-D polynomial that splits completely: the
+     paper's characteristic-polynomial decode (Thm 2.3), whose cost is
+     dominated by powmod with exponent ~2^61 inside linear_part. *)
+  List.iter
+    (fun deg ->
+      let roots =
+        Array.init deg (fun j -> 1 + (j * 7_919) + ((j * j) land 0xFFF))
+      in
+      let f = Poly.from_roots roots in
+      let x = Poly.of_coeffs [| 0; 1 |] in
+      let pm_ns =
+        measure ~trials ~batch_ns:5e7 (fun () -> Poly.powmod x Gf61.p ~modulus:f)
+      in
+      push (latency_fields "powmod" ~ns:pm_ns [ ("degree", I deg); ("exponent_bits", I 61) ]);
+      let root_rng = Prng.create ~seed:(Prng.derive ~seed ~tag:(0x1007 + deg)) in
+      let dr_ns =
+        measure ~trials ~batch_ns:5e7 (fun () -> Roots.distinct_roots root_rng f)
+      in
+      push (latency_fields "distinct_roots" ~ns:dr_ns [ ("degree", I deg) ]))
+    degrees;
+  List.rev !results
+
+(* ------------------------------------------------------------------ *)
+
+let run ~smoke =
+  let trials = if smoke then 3 else 9 in
+  Printf.printf "perf: %s mode, %d trials per point, monotonic clock\n%!"
+    (if smoke then "smoke" else "full")
+    trials;
+  let t0 = now_ns () in
+  let sketch = sketch_suite ~smoke ~trials in
+  write_json ~path:"BENCH_sketch.json" ~suite:"sketch" ~smoke sketch;
+  let field = field_suite ~smoke ~trials in
+  write_json ~path:"BENCH_field.json" ~suite:"field" ~smoke field;
+  Printf.printf "perf: done in %.1f s\n" (elapsed_ns t0 /. 1e9)

@@ -42,8 +42,19 @@ let protocol_term =
   let doc = "Set-of-sets protocol: naive, iblt-of-iblts, cascade or multiround." in
   Arg.(value & opt (enum kinds) Protocol.Cascade & info [ "protocol" ] ~doc)
 
+(* Wall time of the protocol run proper (workload generation excluded):
+   each subcommand calls [start_wall] once its inputs are built, and
+   [report] reads the elapsed monotonic time. *)
+let wall_t0 = ref 0L
+
+let start_wall () = wall_t0 := Monotonic_clock.now ()
+
+let wall_ms () = Int64.to_float (Int64.sub (Monotonic_clock.now ()) !wall_t0) /. 1e6
+
 let report ~label ~ok stats =
-  Printf.printf "%s: %s  %s\n" label (if ok then "RECOVERED" else "FAILED") (Comm.show_stats stats);
+  Printf.printf "%s: %s  %s  wall=%.2f ms\n" label
+    (if ok then "RECOVERED" else "FAILED")
+    (Comm.show_stats stats) (wall_ms ());
   if ok then 0 else 1
 
 (* ---- sets ---- *)
@@ -61,6 +72,7 @@ let run_sets seed n d method_ =
   in
   let dd = Iset.sym_diff_size alice bob in
   Printf.printf "sets: |A|=%d |B|=%d  true diff=%d\n" (Iset.cardinal alice) (Iset.cardinal bob) dd;
+  start_wall ();
   match method_ with
   | `Iblt -> (
     match Set_recon.reconcile_known_d ~seed ~d:dd ~alice ~bob () with
@@ -96,6 +108,7 @@ let run_sos seed children child_size universe edits unknown kind =
   let h = Parent.max_child_size alice + edits in
   Printf.printf "sos: s=%d children, n=%d elements, %d edits (d bound %d), protocol %s\n" children
     (Parent.total_elements bob) edits d (Protocol.name kind);
+  start_wall ();
   let result =
     if unknown then Protocol.reconcile_unknown kind ~seed ~u:universe ~h ~alice ~bob ()
     else Protocol.reconcile_known kind ~seed ~d ~u:universe ~h ~alice ~bob ()
@@ -123,6 +136,7 @@ let run_db seed columns rows flips kind =
   in
   let alice = Bindb.flip_random_bits rng bob flips in
   Printf.printf "db: %d x %d, %d bit flips, protocol %s\n" rows columns flips (Protocol.name kind);
+  start_wall ();
   match Bindb.reconcile kind ~seed ~d:(2 * flips) ~alice ~bob () with
   | Ok (recovered, stats) -> report ~label:"db" ~ok:(Bindb.equal recovered alice) stats
   | Error (`Decode_failure st) -> report ~label:"db" ~ok:false st
@@ -144,6 +158,7 @@ let run_graph seed scheme n d =
     let base = Planted.separated_instance rng ~n:(max n (10 * h)) ~h ~d () in
     let alice, bob = Planted.perturbed_pair rng ~base ~d in
     Printf.printf "graph(order): planted n=%d h=%d d=%d\n" (Graph.n base) h d;
+    start_wall ();
     match Degree_order.reconcile ~seed ~d ~h ~alice ~bob () with
     | Ok o ->
       let ok =
@@ -158,6 +173,7 @@ let run_graph seed scheme n d =
     let alice, bob = Gnp.perturbed_pair rng ~n ~p ~d in
     let cap = Nsig.default_cap ~n ~p in
     Printf.printf "graph(nbr): G(%d, %.2f) d=%d cap=%d\n" n p d cap;
+    start_wall ();
     match Degree_nbr.reconcile ~seed ~d ~cap ~alice ~bob () with
     | Ok o ->
       let ok =
@@ -186,6 +202,7 @@ let run_forest seed n sigma d =
   let bob = Forest.random rng ~n ~max_depth:sigma () in
   let alice = Forest.random_updates rng ~max_depth:sigma bob d in
   Printf.printf "forest: n=%d sigma<=%d d=%d\n" n sigma d;
+  start_wall ();
   match Forest_recon.reconcile_unknown ~seed ~alice ~bob () with
   | Ok o -> report ~label:"forest" ~ok:(Forest.isomorphic o.Forest_recon.recovered alice) o.Forest_recon.stats
   | Error (`Decode_failure st) -> report ~label:"forest" ~ok:false st
@@ -208,6 +225,7 @@ let run_sos3 seed parents children child_size edits =
   let d3, d2, d1 = S3.diff_bounds alice bob in
   Printf.printf "sos3: %d parents x %d children x %d elements; %d edits (d3=%d d2=%d d=%d)\n"
     parents children child_size edits d3 d2 d1;
+  start_wall ();
   match
     S3.reconcile_known ~seed ~d:(max 1 d1) ~d2:(max 1 d2) ~d3:(max 1 d3) ~alice ~bob ()
   with
@@ -233,6 +251,7 @@ let run_multiparty seed k n drift =
   in
   let d = max 1 (MP.pairwise_bound parties) in
   Printf.printf "multiparty: %d parties, %d-element core, max pairwise diff %d\n" k n d;
+  start_wall ();
   match MP.reconcile_broadcast ~seed ~d ~parties () with
   | Ok o ->
     let union = Array.fold_left Iset.union Iset.empty parties in
@@ -255,6 +274,7 @@ let run_twoway seed n d =
   let bob = Iset.union alice (Iset.random_subset rng ~universe:(1 lsl 41) ~size:d) in
   let dd = max 1 (Iset.sym_diff_size alice bob) in
   Printf.printf "twoway: |A|=%d |B|=%d diff=%d\n" (Iset.cardinal alice) (Iset.cardinal bob) dd;
+  start_wall ();
   match TW.reconcile_known_d ~seed ~d:dd ~alice ~bob () with
   | Ok o -> report ~label:"twoway" ~ok:(Iset.equal o.TW.union (Iset.union alice bob)) o.TW.stats
   | Error (`Decode_failure st) -> report ~label:"twoway" ~ok:false st
@@ -273,6 +293,7 @@ let run_faulty seed fault_seed drop corrupt truncate duplicate max_attempts runs
   let module R = Ssr_transport.Resilient in
   let ok = ref 0 and degraded = ref 0 and tfail = ref 0 and silent = ref 0 in
   let faults = ref 0 in
+  start_wall ();
   for r = 0 to runs - 1 do
     (* Run 0 uses the given seeds verbatim, so a failure printed below can be
        replayed exactly with [--runs 1] and the printed seed pair. *)
@@ -329,8 +350,8 @@ let run_faulty seed fault_seed drop corrupt truncate duplicate max_attempts runs
     (match target with `Set -> "set" | `Sos -> Protocol.name kind)
     runs drop corrupt truncate duplicate
     (if unframed then "raw" else "framed");
-  Printf.printf "  recovered=%d (degraded=%d)  typed-failures=%d  faults-injected=%d  silent-corruptions=%d\n"
-    !ok !degraded !tfail !faults !silent;
+  Printf.printf "  recovered=%d (degraded=%d)  typed-failures=%d  faults-injected=%d  silent-corruptions=%d  wall=%.1f ms\n"
+    !ok !degraded !tfail !faults !silent (wall_ms ());
   if !silent = 0 then begin
     print_endline "  invariant held: correct result or clean typed failure, never silent corruption";
     0

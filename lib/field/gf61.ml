@@ -37,6 +37,14 @@ let mul a b =
   let ll = reduce62 (a0 * b0) in
   reduce_once (reduce_once (hh + mid) + ll)
 
+(* Fused multiply-accumulate for polynomial inner loops: [acc] and the
+   product are both canonical (< p), so one conditional subtraction
+   re-canonicalizes the sum — cheaper than a separate add/sub call and
+   friendlier to the branch predictor than re-deriving limbs. *)
+let mul_add acc a b = reduce_once (acc + mul a b)
+
+let mul_sub acc a b = reduce_once (acc - mul a b + p)
+
 let pow x k =
   if k < 0 then invalid_arg "Gf61.pow: negative exponent";
   let rec go base k acc =

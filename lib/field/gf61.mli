@@ -28,6 +28,14 @@ val sub : t -> t -> t
 val neg : t -> t
 val mul : t -> t -> t
 
+val mul_add : t -> t -> t -> t
+(** [mul_add acc a b = acc + a*b], fused for the polynomial kernels'
+    inner loops. *)
+
+val mul_sub : t -> t -> t -> t
+(** [mul_sub acc a b = acc - a*b], the reduction-step companion of
+    {!mul_add}. *)
+
 val pow : t -> int -> t
 (** [pow x k] for [k >= 0], by square-and-multiply. *)
 

@@ -33,15 +33,52 @@ let eval t x =
   done;
   !acc
 
+(* Results below are built directly at their final length where possible;
+   only a same-length sum/difference can cancel leading terms, so the
+   normalize scan is paid exactly when it can matter. *)
+
+let top_len arr n =
+  let rec go i = if i >= 0 && arr.(i) = 0 then go (i - 1) else i + 1 in
+  go (n - 1)
+
 let add a b =
   let la = Array.length a and lb = Array.length b in
-  let n = max la lb in
-  normalize (Array.init n (fun i -> Gf61.add (coeff a i) (coeff b i)))
+  if la = 0 then b
+  else if lb = 0 then a
+  else begin
+    let n = max la lb in
+    let out = Array.make n 0 in
+    Array.blit (if la >= lb then a else b) 0 out 0 n;
+    for i = 0 to min la lb - 1 do
+      out.(i) <- Gf61.add a.(i) b.(i)
+    done;
+    if la <> lb then out
+    else
+      let len = top_len out n in
+      if len = n then out else Array.sub out 0 len
+  end
 
 let sub a b =
   let la = Array.length a and lb = Array.length b in
-  let n = max la lb in
-  normalize (Array.init n (fun i -> Gf61.sub (coeff a i) (coeff b i)))
+  if lb = 0 then a
+  else begin
+    let n = max la lb in
+    let out = Array.make n 0 in
+    let m = min la lb in
+    for i = 0 to m - 1 do
+      out.(i) <- Gf61.sub a.(i) b.(i)
+    done;
+    for i = m to la - 1 do
+      out.(i) <- a.(i)
+    done;
+    for i = m to lb - 1 do
+      out.(i) <- Gf61.neg b.(i)
+    done;
+    if la <> lb then out
+    else
+      let len = top_len out n in
+      if len = n then out else Array.sub out 0 len
+  end
 
 let mul a b =
   if is_zero a || is_zero b then zero
@@ -51,7 +88,7 @@ let mul a b =
     for i = 0 to la - 1 do
       if a.(i) <> 0 then
         for j = 0 to lb - 1 do
-          out.(i + j) <- Gf61.add out.(i + j) (Gf61.mul a.(i) b.(j))
+          out.(i + j) <- Gf61.mul_add out.(i + j) a.(i) b.(j)
         done
     done;
     out
@@ -78,17 +115,111 @@ let divmod a b =
       q.(i) <- c;
       if c <> 0 then
         for j = 0 to db do
-          rem.(i + j) <- Gf61.sub rem.(i + j) (Gf61.mul c b.(j))
+          rem.(i + j) <- Gf61.mul_sub rem.(i + j) c b.(j)
         done
     done;
     (normalize q, normalize rem)
   end
 
-let rec gcd a b =
-  if is_zero b then if is_zero a then zero else monic a
-  else
-    let _, r = divmod a b in
-    gcd b r
+(* ---- In-place kernels -------------------------------------------------
+
+   The modular-arithmetic working set (powmod, mulmod, gcd) operates on
+   raw int arrays viewed as the prefix [0, len): callers thread explicit
+   lengths instead of re-normalizing, and every routine only ever reads
+   below the length it is given, so stale cells beyond a prefix are
+   harmless. This removes the fresh allocation per squaring/division that
+   the naive mul-then-divmod composition pays — the old powmod allocated
+   four arrays per exponent bit, with exponents of 61 bits. *)
+
+(* prod[0, la+lb-1) <- a[0, la) * b[0, lb); returns the product length.
+   [prod] must not alias the inputs. *)
+let mul_into prod a la b lb =
+  if la = 0 || lb = 0 then 0
+  else begin
+    Array.fill prod 0 (la + lb - 1) 0;
+    for i = 0 to la - 1 do
+      let ai = a.(i) in
+      if ai <> 0 then
+        for j = 0 to lb - 1 do
+          prod.(i + j) <- Gf61.mul_add prod.(i + j) ai b.(j)
+        done
+    done;
+    la + lb - 1
+  end
+
+(* prod <- a^2, exploiting symmetry: each off-diagonal product a_i*a_j is
+   computed once and added twice, halving the multiplies of [mul_into]. *)
+let sqr_into prod a la =
+  if la = 0 then 0
+  else begin
+    Array.fill prod 0 ((2 * la) - 1) 0;
+    for i = 0 to la - 1 do
+      let ai = a.(i) in
+      if ai <> 0 then begin
+        prod.(2 * i) <- Gf61.mul_add prod.(2 * i) ai ai;
+        for j = i + 1 to la - 1 do
+          let x = Gf61.mul ai a.(j) in
+          prod.(i + j) <- Gf61.add (Gf61.add prod.(i + j) x) x
+        done
+      end
+    done;
+    (2 * la) - 1
+  end
+
+(* Reduce the prefix [0, len) of [buf] modulo [m] (degree [dm], leading
+   inverse [lead_inv]) in place; returns the remainder length (<= dm,
+   <= len). Positions [max rlen dm, len) are left zero. *)
+let reduce_in_place buf len m dm lead_inv =
+  for i = len - 1 downto dm do
+    let c = Gf61.mul buf.(i) lead_inv in
+    buf.(i) <- 0;
+    if c <> 0 then begin
+      let base = i - dm in
+      for j = 0 to dm - 1 do
+        buf.(base + j) <- Gf61.mul_sub buf.(base + j) c m.(j)
+      done
+    end
+  done;
+  top_len buf (min dm len)
+
+let mulmod a b ~modulus =
+  let dm = degree modulus in
+  if dm < 1 then invalid_arg "Poly.mulmod: modulus must have degree >= 1";
+  if is_zero a || is_zero b then zero
+  else begin
+    let la = Array.length a and lb = Array.length b in
+    let prod = Array.make (la + lb - 1) 0 in
+    let plen = mul_into prod a la b lb in
+    let rlen = reduce_in_place prod plen modulus dm (Gf61.inv modulus.(dm)) in
+    if rlen = 0 then zero else Array.sub prod 0 rlen
+  end
+
+let gcd a b =
+  if is_zero a then if is_zero b then zero else monic b
+  else if is_zero b then monic a
+  else begin
+    (* Euclid on two scratch buffers that swap roles each round; the only
+       allocations are the two buffers and the final monic copy. The
+       reduction leaves the tail of the old dividend zeroed, so the
+       beyond-prefix-is-zero invariant both buffers start with is
+       maintained across swaps. *)
+    let la = Array.length a and lb = Array.length b in
+    let cap = max la lb in
+    let u = ref (Array.make cap 0) and v = ref (Array.make cap 0) in
+    Array.blit a 0 !u 0 la;
+    Array.blit b 0 !v 0 lb;
+    let ulen = ref la and vlen = ref lb in
+    while !vlen > 0 do
+      let dv = !vlen - 1 in
+      let rlen = reduce_in_place !u !ulen !v dv (Gf61.inv !v.(dv)) in
+      let tmp = !u in
+      u := !v;
+      v := tmp;
+      ulen := !vlen;
+      vlen := rlen
+    done;
+    monic (Array.sub !u 0 !ulen)
+  end
 
 let from_roots roots =
   (* Product tree keeps intermediate degrees balanced. *)
@@ -105,15 +236,43 @@ let eval_from_roots roots x =
   Array.fold_left (fun acc r -> Gf61.mul acc (Gf61.sub x r)) 1 roots
 
 let powmod base k ~modulus =
-  if degree modulus < 1 then invalid_arg "Poly.powmod: modulus must have degree >= 1";
-  let reduce p = snd (divmod p modulus) in
-  let rec go base k acc =
-    if k = 0 then acc
-    else
-      let acc = if k land 1 = 1 then reduce (mul acc base) else acc in
-      go (reduce (mul base base)) (k lsr 1) acc
-  in
-  go (reduce base) k one
+  let dm = degree modulus in
+  if dm < 1 then invalid_arg "Poly.powmod: modulus must have degree >= 1";
+  if k = 0 then one
+  else begin
+    let lead_inv = Gf61.inv modulus.(dm) in
+    let lb0 = Array.length base in
+    let b0 = Array.make (max lb0 1) 0 in
+    Array.blit base 0 b0 0 lb0;
+    let lb = reduce_in_place b0 lb0 modulus dm lead_inv in
+    if lb = 0 then zero
+    else begin
+      (* Left-to-right square-and-multiply over three preallocated
+         buffers. The multiply step always uses the once-reduced original
+         base — for the degree-1 bases of root finding (x, x + a) that
+         step is O(dm), so the 61-bit exponents of {!Roots} cost 60
+         squarings but essentially free multiplies. *)
+      let acc = Array.make dm 0 in
+      Array.blit b0 0 acc 0 lb;
+      let alen = ref lb in
+      let prod = Array.make ((2 * dm) - 1) 0 in
+      let nbits =
+        let rec go n v = if v = 0 then n else go (n + 1) (v lsr 1) in
+        go 0 k
+      in
+      for bit = nbits - 2 downto 0 do
+        let plen = sqr_into prod acc !alen in
+        alen := reduce_in_place prod plen modulus dm lead_inv;
+        Array.blit prod 0 acc 0 !alen;
+        if (k lsr bit) land 1 = 1 then begin
+          let plen = mul_into prod acc !alen b0 lb in
+          alen := reduce_in_place prod plen modulus dm lead_inv;
+          Array.blit prod 0 acc 0 !alen
+        end
+      done;
+      if !alen = 0 then zero else Array.sub acc 0 !alen
+    end
+  end
 
 let derivative t =
   if Array.length t <= 1 then zero

@@ -58,9 +58,18 @@ val eval_from_roots : Gf61.t array -> Gf61.t -> Gf61.t
 (** Evaluate [(z - r1)...(z - rk)] at a point without building the
     polynomial — this is how Alice computes chi_S(z_i) in O(n) per point. *)
 
+val mulmod : t -> t -> modulus:t -> t
+(** [mulmod a b ~modulus = (a * b) mod modulus] without materializing the
+    intermediate product polynomial as a separate [t]. Requires
+    [degree modulus >= 1]. *)
+
 val powmod : t -> int -> modulus:t -> t
-(** [powmod base k ~modulus]: [base^k mod modulus] by repeated squaring;
-    the workhorse of equal-degree factorization in {!module:Roots}. *)
+(** [powmod base k ~modulus]: [base^k mod modulus] by left-to-right
+    square-and-multiply over a preallocated in-place working set; the
+    workhorse of equal-degree factorization in {!module:Roots}. The
+    multiply step reuses the reduced base, so low-degree bases (the [x]
+    and [x + a] of root finding) make the huge exponents of Theorem 2.3
+    cost squarings only. *)
 
 val derivative : t -> t
 

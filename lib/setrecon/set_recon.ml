@@ -55,10 +55,12 @@ let run_known_d ~comm ~seed ~d ~k ~alice ~bob =
     match parsed with
     | None -> Error `Decode_failure
     | Some (table, alice_hash) -> (
-      let bob_table = Iblt.create prm in
-      Iset.iter (fun x -> Iblt.insert_int bob_table x) bob;
-      let diff = Iblt.subtract table bob_table in
-      match Iblt.decode_ints diff with
+      (* Deleting Bob's elements from the parsed table in place is the
+         same signed multiset as building a second table and subtracting
+         (insert and delete are one operation with opposite signs), but
+         skips allocating and copying a full table. *)
+      Iset.iter (fun x -> Iblt.delete_int table x) bob;
+      match Iblt.decode_ints table with
       | Error `Peel_stuck -> Error `Decode_failure
       | Ok (pos, neg) ->
         let alice_minus_bob = Iset.of_list pos in

@@ -1,4 +1,5 @@
 module Hashing = Ssr_util.Hashing
+module Prng = Ssr_util.Prng
 module Buf = Ssr_util.Buf
 module Bits = Ssr_util.Bits
 
@@ -10,20 +11,22 @@ type t = {
   counts : int array;
   keys : Bytes.t; (* cells * key_len, flattened *)
   checks : int array;
-  pos_fns : Hashing.fn array;
-  check_fn : Hashing.fn;
+  fn : Hashing.fn;
+  scratch : Bytes.t; (* key_len bytes; integer fast path + decode probes *)
 }
 
 let params t = t.prm
 
-let position_tag i = 0x1B17 + i
-let check_tag = 0xC5E4
+let hash_tag = 0x1B17
 
 let normalize_params prm =
   if prm.k < 2 then invalid_arg "Iblt: need at least 2 hash functions";
   if prm.key_len < 1 then invalid_arg "Iblt: key_len must be positive";
   let cells = max prm.k prm.cells in
   let cells = Bits.ceil_div cells prm.k * prm.k in
+  (* The multiply-shift position reduction works on 31-bit partitions; a
+     larger table would not fit in memory anyway. *)
+  if cells / prm.k > 1 lsl 31 then invalid_arg "Iblt: table too large";
   { prm with cells }
 
 let create prm =
@@ -34,8 +37,8 @@ let create prm =
     counts = Array.make prm.cells 0;
     keys = Bytes.make (prm.cells * prm.key_len) '\000';
     checks = Array.make prm.cells 0;
-    pos_fns = Array.init prm.k (fun i -> Hashing.make ~seed:prm.seed ~tag:(position_tag i));
-    check_fn = Hashing.make ~seed:prm.seed ~tag:check_tag;
+    fn = Hashing.make ~seed:prm.seed ~tag:hash_tag;
+    scratch = Bytes.make prm.key_len '\000';
   }
 
 let copy t =
@@ -44,42 +47,59 @@ let copy t =
     counts = Array.copy t.counts;
     keys = Bytes.copy t.keys;
     checks = Array.copy t.checks;
+    scratch = Bytes.make t.prm.key_len '\000';
   }
 
 let recommended_cells ~k ~diff_bound =
   let base = max (2 * k) ((2 * diff_bound) + 12) in
   Bits.ceil_div base k * k
 
-let checksum t key = Hashing.hash_bytes t.check_fn key
+(* One hash pass per key: the native-int lanes (h1, h2) seed the position
+   schedule — the state walks [s <- mix_int (s + h2)] from [s = h1] and
+   partition i's cell is [i * per_part + reduce_fast s per_part] — and the
+   checksum is mixed from the same two lanes. This replaces the k + 1
+   independent full scans of the key the naive schedule pays, and stays on
+   native ints throughout so the per-cell loop never allocates. The
+   per-partition [mix_int] matters: a bare arithmetic progression
+   [h1 + i*h2] lets key pairs with nearby [h2] collide in every partition
+   with probability ~[1/per_part^2] (instead of [1/per_part^k]), which
+   measurably wrecks peeling at the paper's small-table sizes. Finalizing
+   each step restores independent-looking positions; this is exactly a
+   k-step SplitMix stream with gamma [h2]. *)
 
-let position t i key = (i * t.per_part) + Hashing.hash_bytes_to_range t.pos_fns.(i) t.per_part key
-
-(* Add [sign] copies of [key] (sign is +1 or -1). *)
-let apply t key sign =
-  if Bytes.length key <> t.prm.key_len then invalid_arg "Iblt: key length mismatch";
-  let cs = checksum t key in
+(* Add [sign] copies of [key] (sign is +1 or -1), given its hash pair. *)
+let apply_hashed t key ~h1 ~h2 ~cs sign =
+  let s = ref h1 in
   for i = 0 to t.prm.k - 1 do
-    let c = position t i key in
+    s := Prng.mix_int (!s + h2);
+    let c = (i * t.per_part) + Hashing.reduce_fast !s t.per_part in
     t.counts.(c) <- t.counts.(c) + sign;
     t.checks.(c) <- t.checks.(c) lxor cs;
-    let off = c * t.prm.key_len in
-    for j = 0 to t.prm.key_len - 1 do
-      Bytes.unsafe_set t.keys (off + j)
-        (Char.chr (Char.code (Bytes.unsafe_get t.keys (off + j)) lxor Char.code (Bytes.unsafe_get key j)))
-    done
+    Buf.xor_key_into ~dst:t.keys ~pos:(c * t.prm.key_len) key
   done
+
+let apply t key sign =
+  if Bytes.length key <> t.prm.key_len then invalid_arg "Iblt: key length mismatch";
+  let h1, h2 = Hashing.hash_bytes_pair t.fn key in
+  apply_hashed t key ~h1 ~h2 ~cs:(Hashing.mix_pair h1 h2) sign
 
 let insert t key = apply t key 1
 let delete t key = apply t key (-1)
 
-let int_key ~key_len x =
-  if key_len < 8 then invalid_arg "Iblt: integer keys need key_len >= 8";
-  let b = Bytes.make key_len '\000' in
-  Buf.set_int_le b 0 x;
-  b
+(* Integer fast path: encode into the table's scratch key instead of
+   allocating a fresh buffer per call. *)
+let set_int_scratch t x =
+  if t.prm.key_len < 8 then invalid_arg "Iblt: integer keys need key_len >= 8";
+  if t.prm.key_len > 8 then Bytes.fill t.scratch 8 (t.prm.key_len - 8) '\000';
+  Buf.set_int_le t.scratch 0 x
 
-let insert_int t x = insert t (int_key ~key_len:t.prm.key_len x)
-let delete_int t x = delete t (int_key ~key_len:t.prm.key_len x)
+let insert_int t x =
+  set_int_scratch t x;
+  apply t t.scratch 1
+
+let delete_int t x =
+  set_int_scratch t x;
+  apply t t.scratch (-1)
 
 let subtract a b =
   if a.prm <> b.prm then invalid_arg "Iblt.subtract: parameter mismatch";
@@ -96,26 +116,44 @@ let is_empty t =
 
 type decoded = { positives : Bytes.t list; negatives : Bytes.t list }
 
-let cell_key t c = Bytes.sub t.keys (c * t.prm.key_len) t.prm.key_len
-
 let decode t =
   let t = copy t in
+  let cells = t.prm.cells and kl = t.prm.key_len in
   let positives = ref [] and negatives = ref [] in
-  let pending = Queue.create () in
-  for c = 0 to t.prm.cells - 1 do
-    Queue.add c pending
-  done;
-  while not (Queue.is_empty pending) do
-    let c = Queue.pop pending in
+  (* Work list as an explicit stack plus an in-stack bitmap: a cell is
+     enqueued at most once per state change, so a [cells]-sized array can
+     never overflow and peeling allocates nothing per step. *)
+  let stack = Array.init cells (fun c -> c) in
+  let in_stack = Bytes.make cells '\001' in
+  let top = ref cells in
+  while !top > 0 do
+    decr top;
+    let c = stack.(!top) in
+    Bytes.unsafe_set in_stack c '\000';
     let count = t.counts.(c) in
     if count = 1 || count = -1 then begin
-      let key = cell_key t c in
-      if t.checks.(c) = checksum t key then begin
+      (* Probe with the shared scratch key; only a cell that passes the
+         checksum (i.e. is pure) pays for a fresh copy of its key. *)
+      Bytes.blit t.keys (c * kl) t.scratch 0 kl;
+      let h1, h2 = Hashing.hash_bytes_pair t.fn t.scratch in
+      let cs = Hashing.mix_pair h1 h2 in
+      if t.checks.(c) = cs then begin
+        let key = Bytes.sub t.keys (c * kl) kl in
         if count = 1 then positives := key :: !positives else negatives := key :: !negatives;
-        apply t key (-count);
-        (* Removing the key changed its k cells; they may now be pure. *)
+        (* Remove the key and re-examine its k cells in one walk of the
+           position schedule. *)
+        let s = ref h1 in
         for i = 0 to t.prm.k - 1 do
-          Queue.add (position t i key) pending
+          s := Prng.mix_int (!s + h2);
+          let c' = (i * t.per_part) + Hashing.reduce_fast !s t.per_part in
+          t.counts.(c') <- t.counts.(c') - count;
+          t.checks.(c') <- t.checks.(c') lxor cs;
+          Buf.xor_key_into ~dst:t.keys ~pos:(c' * kl) key;
+          if Bytes.unsafe_get in_stack c' = '\000' then begin
+            Bytes.unsafe_set in_stack c' '\001';
+            stack.(!top) <- c';
+            incr top
+          end
         done
       end
     end

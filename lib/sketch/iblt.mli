@@ -9,6 +9,13 @@
     the set difference (positive keys = Alice only, negative = Bob only),
     which the peeling decoder extracts (Theorem 2.1).
 
+    Hot path: each key is scanned once ({!Ssr_util.Hashing.hash_bytes_pair})
+    and all [k] cell positions plus the cell checksum are derived from the
+    resulting two 64-bit lanes by a mixed double-hashing walk (a k-step
+    SplitMix64 stream seeded by the pair), so insert/delete/peel cost one
+    hash pass instead of [k + 1]. The schedule depends only on
+    [(seed, params)], so it stays symmetric across peers.
+
     Keys are fixed-width byte strings so that one implementation serves
     integer elements, the naive protocol's wide child-set encodings, and the
     serialized child IBLTs of Algorithms 1 and 2.

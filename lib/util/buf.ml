@@ -23,6 +23,21 @@ let xor_into ~dst src =
       (Char.chr (Char.code (Bytes.unsafe_get dst i) lxor Char.code (Bytes.unsafe_get src i)))
   done
 
+let xor_key_into ~dst ~pos src =
+  let len = Bytes.length src in
+  if pos < 0 || pos + len > Bytes.length dst then invalid_arg "Buf.xor_key_into: out of bounds";
+  let words = len / 8 in
+  for w = 0 to words - 1 do
+    let off = pos + (w * 8) in
+    Bytes.set_int64_le dst off
+      (Int64.logxor (Bytes.get_int64_le dst off) (Bytes.get_int64_le src (w * 8)))
+  done;
+  for i = words * 8 to len - 1 do
+    Bytes.unsafe_set dst (pos + i)
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get dst (pos + i)) lxor Char.code (Bytes.unsafe_get src i)))
+  done
+
 let is_zero b =
   let len = Bytes.length b in
   let rec go i = i >= len || (Bytes.unsafe_get b i = '\000' && go (i + 1)) in

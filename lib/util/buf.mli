@@ -21,6 +21,12 @@ val xor_into : dst:Bytes.t -> Bytes.t -> unit
 (** [xor_into ~dst src] XORs [src] into [dst] in place. The buffers must
     have equal length. *)
 
+val xor_key_into : dst:Bytes.t -> pos:int -> Bytes.t -> unit
+(** [xor_key_into ~dst ~pos src] XORs all of [src] into [dst] starting at
+    byte offset [pos], 8 bytes at a time. This is the IBLT cell-update
+    primitive: keys live flattened in one slab, so the XOR must target a
+    slice without slicing. Bounds are checked once up front. *)
+
 val is_zero : Bytes.t -> bool
 (** Whether every byte is zero. *)
 

@@ -6,14 +6,35 @@ let hash_int64 { key } x = Prng.mix64 (Int64.add (Prng.mix64 (Int64.logxor x key
 
 let hash_int f x = Int64.to_int (Int64.shift_right_logical (hash_int64 f (Int64.of_int x)) 2)
 
+(* High 64 bits of the unsigned 128-bit product [x * y], via 32-bit limbs.
+   The cross-term sum fits: lh <= (2^32-1)^2 and the two added terms are
+   each < 2^32, so [cross] stays below 2^64. *)
+let mulhi64 x y =
+  let open Int64 in
+  let mask = 0xFFFFFFFFL in
+  let xl = logand x mask and xh = shift_right_logical x 32 in
+  let yl = logand y mask and yh = shift_right_logical y 32 in
+  let ll = mul xl yl in
+  let lh = mul xl yh in
+  let hl = mul xh yl in
+  let hh = mul xh yh in
+  let cross = add (add lh (shift_right_logical ll 32)) (logand hl mask) in
+  add (add hh (shift_right_logical hl 32)) (shift_right_logical cross 32)
+
+let reduce64 x m =
+  if m <= 0 then invalid_arg "Hashing.reduce64: empty range";
+  Int64.to_int (mulhi64 x (Int64.of_int m))
+
 let to_range f m x =
   if m <= 0 then invalid_arg "Hashing.to_range: empty range";
-  hash_int f x mod m
+  reduce64 (hash_int64 f (Int64.of_int x)) m
 
-let hash_bytes f b =
+(* One chained-mix pass over the bytes; finalizers below turn the digest
+   into the exported hash values without touching the data again. *)
+let digest64 { key } b =
   let len = Bytes.length b in
   let words = len / 8 in
-  let acc = ref (Int64.logxor f.key (Int64.of_int len)) in
+  let acc = ref (Int64.logxor key (Int64.of_int len)) in
   for w = 0 to words - 1 do
     acc := Prng.mix64 (Int64.logxor !acc (Bytes.get_int64_le b (w * 8)))
   done;
@@ -22,11 +43,44 @@ let hash_bytes f b =
     tail := Int64.logor (Int64.shift_left !tail 8) (Int64.of_int (Char.code (Bytes.unsafe_get b i)))
   done;
   if len mod 8 <> 0 then acc := Prng.mix64 (Int64.logxor !acc !tail);
-  Int64.to_int (Int64.shift_right_logical (Prng.mix64 (Int64.add !acc f.key)) 2)
+  !acc
+
+(* Same digest chain as [digest64], written out in full: the compiler does
+   not inline across the call (no flambda), and the boxed [int64] return
+   costs ~50% extra on 8-byte keys — the dominant key width. *)
+let hash_bytes { key } b =
+  let len = Bytes.length b in
+  let words = len / 8 in
+  let acc = ref (Int64.logxor key (Int64.of_int len)) in
+  for w = 0 to words - 1 do
+    acc := Prng.mix64 (Int64.logxor !acc (Bytes.get_int64_le b (w * 8)))
+  done;
+  let tail = ref 0L in
+  for i = words * 8 to len - 1 do
+    tail := Int64.logor (Int64.shift_left !tail 8) (Int64.of_int (Char.code (Bytes.unsafe_get b i)))
+  done;
+  if len mod 8 <> 0 then acc := Prng.mix64 (Int64.logxor !acc !tail);
+  Int64.to_int (Int64.shift_right_logical (Prng.mix64 (Int64.add !acc key)) 2)
 
 let hash_bytes_to_range f m b =
   if m <= 0 then invalid_arg "Hashing.hash_bytes_to_range: empty range";
-  hash_bytes f b mod m
+  reduce64 (Prng.mix64 (Int64.add (digest64 f b) f.key)) m
+
+(* Odd constant separating the two finalizer lanes; the data pass is
+   shared, only the finish differs. From here on the hot path stays on
+   native ints: every [int64] crossing a function boundary is boxed, so
+   finalizing and consuming lanes as native 63-bit ints keeps the IBLT
+   per-element schedule allocation-free. *)
+let lane2 = 0x2545F4914F6CDD1D
+
+let hash_bytes_pair f b =
+  let d = Int64.to_int (digest64 f b) in
+  let nk = Int64.to_int f.key in
+  (Prng.mix_int (d + nk), Prng.mix_int (d lxor (nk + lane2)))
+
+let mix_pair h1 h2 = Prng.mix_int (h1 lxor (h2 * lane2)) land ((1 lsl 62) - 1)
+
+let reduce_fast s m = ((s land 0x7FFFFFFF) * m) lsr 31
 
 let truncate_bits x ~bits =
   if bits < 1 || bits > 62 then invalid_arg "Hashing.truncate_bits";

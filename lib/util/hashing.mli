@@ -19,6 +19,13 @@ val hash_int : fn -> int -> int
 val hash_int64 : fn -> int64 -> int64
 (** Full 64-bit variant. *)
 
+val reduce64 : int64 -> int -> int
+(** [reduce64 h m] maps a full 64-bit hash into [\[0, m)] by the Lemire
+    multiply-shift: the high word of the unsigned product [h * m]. Unlike
+    [mod m] it uses all 64 input bits, has no division, and its bias is
+    bounded by [m / 2^64] instead of [2^64 mod m / 2^64]. Requires
+    [m > 0]. *)
+
 val to_range : fn -> int -> int -> int
 (** [to_range f m x] hashes [x] into [\[0, m)]. Requires [m > 0]. *)
 
@@ -28,6 +35,26 @@ val hash_bytes : fn -> Bytes.t -> int
 
 val hash_bytes_to_range : fn -> int -> Bytes.t -> int
 (** Compose {!hash_bytes} with reduction into [\[0, m)]. *)
+
+val hash_bytes_pair : fn -> Bytes.t -> int * int
+(** Two independent-looking native-int (63-bit) hashes from a single pass
+    over the bytes: the chained data mix is shared and only the (native,
+    allocation-free) finalizer differs per lane. This is the IBLT fast
+    path — one scan of the key yields enough entropy to derive every cell
+    position and the cell checksum, instead of [k + 1] separate scans.
+    Lane values range over all native ints, including negatives. *)
+
+val mix_pair : int -> int -> int
+(** Mix the two lanes of {!hash_bytes_pair} into a non-negative 62-bit
+    checksum value. Kept here so the mixing discipline lives next to the
+    hash it consumes. *)
+
+val reduce_fast : int -> int -> int
+(** [reduce_fast s m] maps a mixed native-int hash into [\[0, m)] by
+    multiply-shift on its low 31 bits: [((s land 0x7FFFFFFF) * m) lsr 31].
+    No division, no allocation, no sign pitfalls. Requires
+    [0 < m <= 2^31]; bias is [<= m / 2^31]. Unchecked — this is the
+    per-cell inner loop. *)
 
 val truncate_bits : int -> bits:int -> int
 (** Keep only the low [bits] bits of a hash value; models the paper's

@@ -6,6 +6,20 @@ let mix64 z =
   let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
   logxor z (shift_right_logical z 31)
 
+(* Native-int counterpart of [mix64] for allocation-free hot paths: OCaml
+   boxes every [int64] that crosses a function boundary, so kernels that
+   mix per element (IBLT position schedules) pay ~24 bytes and a write
+   barrier per step if they stay on [int64]. This variant is a bijection
+   on the 63-bit native-int domain: xorshift steps are invertible and the
+   multipliers are odd (invertible mod 2^63). Constants are 62-bit odd
+   values (OCaml int literals cannot reach the canonical 64-bit SplitMix
+   constants); avalanche is a little weaker than [mix64] but far beyond
+   what the pairwise-independence proofs require. *)
+let mix_int x =
+  let x = (x lxor (x lsr 33)) * 0x2545F4914F6CDD1D in
+  let x = (x lxor (x lsr 29)) * 0x1D8E4E27C47D124F in
+  x lxor (x lsr 32)
+
 (* SplitMix64 stream: used only to seed xoshiro and to derive sub-seeds. *)
 let splitmix_next state =
   state := Int64.add !state golden_gamma;

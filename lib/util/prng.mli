@@ -24,6 +24,13 @@ val mix64 : int64 -> int64
 (** The SplitMix64 finalizer: a bijective mixing of 64-bit words with good
     avalanche behaviour. Stateless. *)
 
+val mix_int : int -> int
+(** Native-int analogue of {!mix64}: a stateless bijective mixer on the
+    63-bit native [int] domain. Unlike [int64] mixing it never allocates,
+    which is what the per-element hot paths (IBLT cell schedules) need.
+    The result ranges over all native ints, including negatives — mask or
+    reduce before using it as an index. *)
+
 val next_int64 : t -> int64
 (** Next raw 64-bit output. *)
 

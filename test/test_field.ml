@@ -295,6 +295,82 @@ let prop_from_roots_factors =
       let f = Poly.from_roots (Array.of_list distinct) in
       Roots.distinct_roots rng f = distinct)
 
+(* ---------- Differential: in-place kernels vs naive composition ---------- *)
+
+let random_poly rng ~max_deg =
+  (* Uniform degree in [0, max_deg] with a guaranteed-nonzero leading
+     term, so the intended degree is always the actual degree. *)
+  let deg = Prng.int_below rng (max_deg + 1) in
+  Poly.of_coeffs (Array.init (deg + 1) (fun i -> if i = deg then Gf61.random_nonzero rng else Gf61.random rng))
+
+let naive_mulmod a b m = snd (Poly.divmod (Poly.mul a b) m)
+
+let naive_powmod base k ~modulus =
+  (* The pre-optimization right-to-left ladder over mul + divmod. *)
+  let reduce p = snd (Poly.divmod p modulus) in
+  let rec go base k acc =
+    if k = 0 then acc
+    else
+      let acc = if k land 1 = 1 then reduce (Poly.mul acc base) else acc in
+      go (reduce (Poly.mul base base)) (k lsr 1) acc
+  in
+  go (reduce base) k Poly.one
+
+let test_differential_mulmod () =
+  let rng = Prng.create ~seed:(Prng.derive ~seed ~tag:0xD1FF) in
+  for _ = 1 to 200 do
+    let m = random_poly rng ~max_deg:12 in
+    if Poly.degree m >= 1 then begin
+      let a = random_poly rng ~max_deg:20 and b = random_poly rng ~max_deg:20 in
+      Alcotest.(check bool) "mulmod = divmod of mul" true
+        (Poly.equal (Poly.mulmod a b ~modulus:m) (naive_mulmod a b m))
+    end
+  done;
+  (* Zero and constant operands. *)
+  let m = Poly.of_coeffs [| 3; 0; 1 |] in
+  Alcotest.(check bool) "zero" true (Poly.is_zero (Poly.mulmod Poly.zero Poly.one ~modulus:m));
+  Alcotest.(check bool) "constants" true
+    (Poly.equal (Poly.mulmod (Poly.constant 5) (Poly.constant 7) ~modulus:m) (Poly.constant 35))
+
+let test_differential_powmod () =
+  let rng = Prng.create ~seed:(Prng.derive ~seed ~tag:0xF00D) in
+  for _ = 1 to 60 do
+    let m = random_poly rng ~max_deg:10 in
+    if Poly.degree m >= 1 then begin
+      let base = random_poly rng ~max_deg:12 in
+      let k = Prng.int_below rng 4096 in
+      Alcotest.(check bool)
+        (Printf.sprintf "powmod k=%d deg_m=%d" k (Poly.degree m))
+        true
+        (Poly.equal (Poly.powmod base k ~modulus:m) (naive_powmod base k ~modulus:m))
+    end
+  done;
+  (* The exponents root finding actually uses, against the naive ladder,
+     on a modulus that splits completely (the decode-path shape). *)
+  let f = Poly.from_roots [| 3; 17; 290; 1021 |] in
+  let x = Poly.of_coeffs [| 0; 1 |] in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) "huge exponent" true
+        (Poly.equal (Poly.powmod x k ~modulus:f) (naive_powmod x k ~modulus:f)))
+    [ Gf61.p; (Gf61.p - 1) / 2 ]
+
+let test_differential_gcd () =
+  (* The in-place Euclid against the recursive divmod reference. *)
+  let rec ref_gcd a b =
+    if Poly.is_zero b then if Poly.is_zero a then Poly.zero else Poly.monic a
+    else ref_gcd b (snd (Poly.divmod a b))
+  in
+  let rng = Prng.create ~seed:(Prng.derive ~seed ~tag:0x6CD) in
+  for _ = 1 to 200 do
+    let a = random_poly rng ~max_deg:15 and b = random_poly rng ~max_deg:15 in
+    (* Plant a common factor half the time so nontrivial gcds are hit. *)
+    let c = random_poly rng ~max_deg:4 in
+    let a, b = if Prng.bool rng then (Poly.mul a c, Poly.mul b c) else (a, b) in
+    Alcotest.(check bool) "gcd = reference" true (Poly.equal (Poly.gcd a b) (ref_gcd a b))
+  done;
+  Alcotest.(check bool) "gcd 0 0" true (Poly.is_zero (Poly.gcd Poly.zero Poly.zero))
+
 let qcheck_tests = List.map QCheck_alcotest.to_alcotest [ prop_mul_matches_slow; prop_from_roots_factors ]
 
 let () =
@@ -317,6 +393,9 @@ let () =
           Alcotest.test_case "gcd" `Quick test_poly_gcd;
           Alcotest.test_case "powmod" `Quick test_powmod;
           Alcotest.test_case "derivative" `Quick test_derivative;
+          Alcotest.test_case "differential mulmod" `Quick test_differential_mulmod;
+          Alcotest.test_case "differential powmod" `Quick test_differential_powmod;
+          Alcotest.test_case "differential gcd" `Quick test_differential_gcd;
         ] );
       ( "roots",
         [

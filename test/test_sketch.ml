@@ -407,6 +407,131 @@ let test_strata_bad_params () =
   Alcotest.check_raises "strata range" (Invalid_argument "Strata_estimator.create: strata out of range")
     (fun () -> ignore (Strata.create ~seed ~strata:0 ()))
 
+(* ---------- Differential: optimized hot path vs simple reference ---------- *)
+
+(* Reference model of an IBLT's semantics: a signed multiset of keys kept
+   as a sorted association list. The optimized table's decode must agree
+   with it exactly whenever peeling succeeds, across randomized
+   insert/delete/subtract workloads. *)
+module Ref_model = struct
+  type t = (string, int) Hashtbl.t
+
+  let create () : t = Hashtbl.create 64
+
+  let bump (m : t) key sign =
+    let k = Bytes.to_string key in
+    let c = (try Hashtbl.find m k with Not_found -> 0) + sign in
+    if c = 0 then Hashtbl.remove m k else Hashtbl.replace m k c
+
+  let subtract (a : t) (b : t) =
+    let out = create () in
+    Hashtbl.iter (fun k c -> Hashtbl.replace out k c) a;
+    Hashtbl.iter
+      (fun k c ->
+        let c' = (try Hashtbl.find out k with Not_found -> 0) - c in
+        if c' = 0 then Hashtbl.remove out k else Hashtbl.replace out k c')
+      b;
+    out
+
+  let sides (m : t) =
+    let pos = ref [] and neg = ref [] in
+    Hashtbl.iter
+      (fun k c ->
+        if c = 1 then pos := k :: !pos
+        else if c = -1 then neg := k :: !neg
+        else raise Exit (* |count| > 1: not decodable as a set difference *))
+      m;
+    (List.sort compare !pos, List.sort compare !neg)
+end
+
+let random_key rng ~key_len =
+  let b = Bytes.create key_len in
+  for i = 0 to key_len - 1 do
+    Bytes.set b i (Char.chr (Prng.int_below rng 256))
+  done;
+  b
+
+let test_differential_vs_model () =
+  (* Randomized workloads over byte keys: drive the optimized IBLT and the
+     reference model with identical operations and require identical
+     recovered difference sets. Wide keys exercise the word-XOR tail. *)
+  let rng = Prng.create ~seed:(Prng.derive ~seed ~tag:0xD1FF) in
+  let agreements = ref 0 in
+  for trial = 1 to 60 do
+    let key_len = [| 8; 9; 16; 23 |].(trial mod 4) in
+    let ops = 1 + Prng.int_below rng 20 in
+    let prm : Iblt.params =
+      {
+        cells = Iblt.recommended_cells ~k:4 ~diff_bound:(2 * ops);
+        k = 4;
+        key_len;
+        seed = Prng.derive ~seed ~tag:(0xD1FF00 + trial);
+      }
+    in
+    let ta = Iblt.create prm and tb = Iblt.create prm in
+    let ma = Ref_model.create () and mb = Ref_model.create () in
+    (* Shared keys cancel in the subtraction; per-side keys survive. *)
+    for _ = 1 to ops do
+      let key = random_key rng ~key_len in
+      match Prng.int_below rng 4 with
+      | 0 ->
+        Iblt.insert ta key;
+        Ref_model.bump ma key 1
+      | 1 ->
+        Iblt.insert tb key;
+        Ref_model.bump mb key 1
+      | 2 ->
+        Iblt.delete tb key;
+        Ref_model.bump mb key (-1)
+      | _ ->
+        Iblt.insert ta key;
+        Iblt.insert tb key;
+        Ref_model.bump ma key 1;
+        Ref_model.bump mb key 1
+    done;
+    let diff = Iblt.subtract ta tb in
+    match (Iblt.decode diff, Ref_model.sides (Ref_model.subtract ma mb)) with
+    | Ok { Iblt.positives; negatives }, (mpos, mneg) ->
+      let str l = List.sort compare (List.map Bytes.to_string l) in
+      Alcotest.(check (list string)) "positives" mpos (str positives);
+      Alcotest.(check (list string)) "negatives" mneg (str negatives);
+      incr agreements
+    | Error `Peel_stuck, _ -> ()
+    | exception Exit -> ()
+  done;
+  (* Peeling can fail and |count| > 1 multisets are legitimately
+     undecodable, but the bulk of trials must actually compare. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "compared %d/60" !agreements)
+    true (!agreements >= 40)
+
+let test_differential_int_fast_path () =
+  (* insert_int/delete_int reuse an internal scratch key; they must yield
+     byte-identical tables to the simple allocate-a-key path. *)
+  let rng = Prng.create ~seed:(Prng.derive ~seed ~tag:0xFA57) in
+  List.iter
+    (fun key_len ->
+      let prm = params ~cells:64 ~key_len () in
+      let fast = Iblt.create prm and simple = Iblt.create prm in
+      for _ = 1 to 200 do
+        let x = Prng.int_below rng max_int in
+        let key = Bytes.make key_len '\000' in
+        Buf.set_int_le key 0 x;
+        if Prng.bool rng then begin
+          Iblt.insert_int fast x;
+          Iblt.insert simple key
+        end
+        else begin
+          Iblt.delete_int fast x;
+          Iblt.delete simple key
+        end
+      done;
+      Alcotest.(check bool)
+        (Printf.sprintf "key_len=%d identical body" key_len)
+        true
+        (Bytes.equal (Iblt.body_bytes fast) (Iblt.body_bytes simple)))
+    [ 8; 12 ]
+
 let qcheck_tests = List.map QCheck_alcotest.to_alcotest [ prop_subtract_decode ]
 
 let () =
@@ -426,6 +551,8 @@ let () =
           Alcotest.test_case "param mismatch rejected" `Quick test_param_mismatch_rejected;
           Alcotest.test_case "cells rounded to k" `Quick test_cells_rounded_to_k;
           Alcotest.test_case "decode success rate" `Slow test_decode_success_rate;
+          Alcotest.test_case "differential vs reference model" `Quick test_differential_vs_model;
+          Alcotest.test_case "differential int fast path" `Quick test_differential_int_fast_path;
         ] );
       ( "failure-injection",
         [
