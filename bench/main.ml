@@ -885,9 +885,13 @@ let faults () =
                     let alice =
                       Iset.apply_diff bob ~add:(Iset.random_subset rng ~universe ~size:4) ~del
                     in
-                    match Resilient.reconcile_set ~channel ~seed:wseed ~alice ~bob () with
+                    match
+                      Resilient.reconcile_set ~link:(Resilient.over_channel channel) ~seed:wseed
+                        ~alice ~bob ()
+                    with
                     | Ok (recovered, rep) -> (rep, Some (Iset.equal recovered alice))
-                    | Error (`Transport_failure rep) -> (rep, None))
+                    | Error (`Transport_failure rep) | Error (`Deadline_exceeded rep) ->
+                      (rep, None))
                   | `Sos kind -> (
                     let universe = 1 lsl 20 in
                     let bob = Parent.random rng ~universe ~children:10 ~child_size:8 in
@@ -895,11 +899,12 @@ let faults () =
                     let d = max 4 (Parent.relaxed_matching_cost alice bob) in
                     let h = Parent.max_child_size alice + 3 in
                     match
-                      Resilient.reconcile_sos ~channel ~kind ~seed:wseed ~u:universe ~h
-                        ~initial_d:d ~alice ~bob ()
+                      Resilient.reconcile_sos ~link:(Resilient.over_channel channel) ~kind
+                        ~seed:wseed ~u:universe ~h ~initial_d:d ~alice ~bob ()
                     with
                     | Ok (recovered, rep) -> (rep, Some (Parent.equal recovered alice))
-                    | Error (`Transport_failure rep) -> (rep, None))
+                    | Error (`Transport_failure rep) | Error (`Deadline_exceeded rep) ->
+                      (rep, None))
                 in
                 total_faults := !total_faults + List.length rep.Resilient.faults;
                 match verdict with
@@ -928,6 +933,178 @@ let faults () =
   shape "fault injection exercised (faults actually fired)" (!total_faults > 0)
 
 (* ------------------------------------------------------------------ *)
+(* R2. Simulated network: five stacks over latency + loss + reorder +  *)
+(* partition, via ARQ; plus the latency x loss grid for               *)
+(* BENCH_transport.json.                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Network = Ssr_transport.Network
+module Clock = Ssr_transport.Clock
+module Arq = Ssr_transport.Arq
+
+let transport_stacks =
+  [
+    ("set", `Set);
+    ("naive", `Sos Protocol.Naive);
+    ("iblt-of-iblts", `Sos Protocol.Iblt_of_iblts);
+    ("cascade", `Sos Protocol.Cascade);
+    ("multiround", `Sos Protocol.Multiround);
+  ]
+
+(* One reconciliation over a fresh simulated-network stack. Returns the
+   report plus [`Verdict ok | `Failed | `Timeout]. *)
+let net_run ~net_cfg ~wseed ~run_deadline_us stack =
+  let clock = Clock.create () in
+  let network = Network.create ~clock net_cfg in
+  let arq = Arq.create ~clock ~network ~seed:(net_cfg.Network.seed) () in
+  let link = Resilient.over_network arq in
+  let rng = Prng.create ~seed:wseed in
+  match stack with
+  | `Set -> (
+    let universe = 1 lsl 28 in
+    let bob = Iset.random_subset rng ~universe ~size:150 in
+    let del =
+      let arr = Iset.to_array bob in
+      Iset.of_list (List.init 4 (fun i -> arr.(i * 11 mod Array.length arr)))
+    in
+    let alice = Iset.apply_diff bob ~add:(Iset.random_subset rng ~universe ~size:4) ~del in
+    match Resilient.reconcile_set ~link ~seed:wseed ~run_deadline_us ~alice ~bob () with
+    | Ok (recovered, rep) -> (rep, `Verdict (Iset.equal recovered alice))
+    | Error (`Transport_failure rep) -> (rep, `Failed)
+    | Error (`Deadline_exceeded rep) -> (rep, `Timeout))
+  | `Sos kind -> (
+    let universe = 1 lsl 20 in
+    let bob = Parent.random rng ~universe ~children:10 ~child_size:8 in
+    let alice, _ = Parent.perturb rng ~universe ~edits:3 bob in
+    let d = max 4 (Parent.relaxed_matching_cost alice bob) in
+    let h = Parent.max_child_size alice + 3 in
+    match
+      Resilient.reconcile_sos ~link ~kind ~seed:wseed ~u:universe ~h ~initial_d:d ~run_deadline_us
+        ~alice ~bob ()
+    with
+    | Ok (recovered, rep) -> (rep, `Verdict (Parent.equal recovered alice))
+    | Error (`Transport_failure rep) -> (rep, `Failed)
+    | Error (`Deadline_exceeded rep) -> (rep, `Timeout))
+
+let median_int xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  if Array.length a = 0 then 0 else a.(Array.length a / 2)
+
+let transport () =
+  let smoke = List.mem "--smoke" (Array.to_list Sys.argv) in
+  header "R2. Simulated network sweep (Clock/Network/Arq, lib/transport)";
+  print_endline "Five stacks over 5% drop, 10% reorder, 2+-1ms latency and a partition window;";
+  print_endline "every run must end verified-correct or as a typed failure, never silently wrong.";
+  (* ---- Acceptance sweep: >= 500 seeded runs in full mode. ---- *)
+  let trials = if smoke then 6 else 104 in
+  let run_deadline_us = 30_000_000 in
+  let total = ref 0 and silent = ref 0 and tfail = ref 0 and timeo = ref 0 in
+  let retr = ref 0 and pdrops = ref 0 and reord = ref 0 and degraded = ref 0 in
+  List.iter
+    (fun (sname, stack) ->
+      let ok = ref 0 in
+      for t = 0 to trials - 1 do
+        incr total;
+        let wseed = Prng.derive ~seed:(Prng.derive ~seed ~tag:0x7A25) ~tag:(Hashtbl.hash (sname, t)) in
+        let net_cfg =
+          Network.config_with ~drop:0.05 ~corrupt:0.02 ~duplicate:0.05 ~latency_us:2_000
+            ~jitter_us:1_000 ~reorder:0.10
+            ~partitions:[ { Network.from_us = 20_000; until_us = 60_000; blocks = `Both } ]
+            ~seed:(Prng.derive ~seed:wseed ~tag:0xC4A7) ()
+        in
+        let rep, verdict = net_run ~net_cfg ~wseed ~run_deadline_us stack in
+        (match rep.Resilient.timing with
+        | Some tm ->
+          retr := !retr + tm.Resilient.retransmissions;
+          pdrops := !pdrops + tm.Resilient.partition_drops;
+          reord := !reord + tm.Resilient.reordered
+        | None -> ());
+        if rep.Resilient.degraded then incr degraded;
+        match verdict with
+        | `Verdict true -> incr ok
+        | `Verdict false ->
+          incr silent;
+          Printf.printf "SILENT corruption: stack=%s trial=%d wseed=%Ld\n" sname t wseed
+        | `Failed -> incr tfail
+        | `Timeout -> incr timeo
+      done;
+      Printf.printf "  [%-13s] ok=%3d/%d\n" sname !ok trials)
+    transport_stacks;
+  Printf.printf
+    "\ntotals: %d runs, %d retransmissions, %d partition drops, %d reordered copies, %d degraded\n"
+    !total !retr !pdrops !reord !degraded;
+  Printf.printf "        typed-failures=%d deadline-exceeded=%d silent=%d\n" !tfail !timeo !silent;
+  shape
+    (Printf.sprintf "network sweep: zero silent corruptions over %d runs" !total)
+    (!silent = 0);
+  shape "network faults exercised (retransmissions fired)" (!retr > 0);
+  shape "partition windows exercised (copies swallowed)" (!pdrops > 0);
+  (* ---- Replay determinism: same seeds, byte-identical transcript. ---- *)
+  let transcript_of () =
+    let clock = Clock.create () in
+    let network =
+      Network.create ~clock
+        (Network.config_with ~drop:0.1 ~corrupt:0.05 ~duplicate:0.1 ~latency_us:1_500
+           ~jitter_us:800 ~reorder:0.2 ~seed:0xDE7E2L ())
+    in
+    let arq = Arq.create ~clock ~network ~seed:0xDE7E2L () in
+    let rng = Prng.create ~seed in
+    let bob = Iset.random_subset rng ~universe:(1 lsl 24) ~size:80 in
+    let alice = Iset.union bob (Iset.random_subset rng ~universe:(1 lsl 24) ~size:5) in
+    ignore
+      (Resilient.reconcile_set ~link:(Resilient.over_network arq) ~seed ~alice ~bob ());
+    Network.transcript network
+  in
+  shape "replay determinism: identical delivery transcript from one seed"
+    (transcript_of () = transcript_of ());
+  (* ---- Latency x loss grid -> BENCH_transport.json medians. ---- *)
+  let grid_trials = if smoke then 3 else 11 in
+  let latencies = [ 0; 2_000; 10_000 ] in
+  let drops = [ 0.0; 0.05; 0.2 ] in
+  let results = ref [] in
+  List.iter
+    (fun (sname, stack) ->
+      List.iter
+        (fun latency_us ->
+          List.iter
+            (fun drop ->
+              let elapsed = ref [] and retrs = ref [] in
+              for t = 0 to grid_trials - 1 do
+                let wseed =
+                  Prng.derive ~seed:(Prng.derive ~seed ~tag:0x62D)
+                    ~tag:(Hashtbl.hash (sname, latency_us, int_of_float (drop *. 100.), t))
+                in
+                let net_cfg =
+                  Network.config_with ~drop ~corrupt:0.01 ~latency_us
+                    ~jitter_us:(latency_us / 2) ~reorder:0.05
+                    ~seed:(Prng.derive ~seed:wseed ~tag:0xC4A7) ()
+                in
+                let rep, _ = net_run ~net_cfg ~wseed ~run_deadline_us:60_000_000 stack in
+                match rep.Resilient.timing with
+                | Some tm ->
+                  elapsed := tm.Resilient.elapsed_us :: !elapsed;
+                  retrs := tm.Resilient.retransmissions :: !retrs
+                | None -> ()
+              done;
+              results :=
+                [ ("name", Perf.S "net_reconcile"); ("stack", Perf.S sname);
+                  ("latency_us", Perf.I latency_us); ("drop", Perf.F drop);
+                  ("trials", Perf.I grid_trials);
+                  ("median_elapsed_virtual_ms", Perf.F (float_of_int (median_int !elapsed) /. 1000.));
+                  ("median_retransmissions", Perf.I (median_int !retrs));
+                  ( "mean_retransmissions",
+                    Perf.F
+                      (float_of_int (List.fold_left ( + ) 0 !retrs)
+                      /. float_of_int (max 1 (List.length !retrs))) ) ]
+                :: !results)
+            drops)
+        latencies)
+    [ ("set", `Set); ("cascade", `Sos Protocol.Cascade) ];
+  Perf.write_json ~command:"dune exec bench/main.exe -- transport" ~path:"BENCH_transport.json"
+    ~suite:"transport" ~smoke (List.rev !results)
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -950,6 +1127,7 @@ let sections =
     ("scale", scale);
     ("micro", micro);
     ("faults", faults);
+    ("transport", transport);
     ("perf", fun () -> Perf.run ~smoke:(List.mem "--smoke" (Array.to_list Sys.argv)));
   ]
 
@@ -962,7 +1140,8 @@ let () =
       (* The default run regenerates the paper's artifacts; the perf harness
          is opt-in ([-- perf]) because it exists to emit BENCH_*.json, not to
          check paper shapes. *)
-      if chosen = [] then List.filter (fun (name, _) -> name <> "perf") sections
+      if chosen = [] then
+        List.filter (fun (name, _) -> name <> "perf" && name <> "transport") sections
       else List.filter (fun (name, _) -> List.mem name chosen) sections
     in
     print_endline "Reconciling Graphs and Sets of Sets - experiment harness";

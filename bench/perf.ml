@@ -74,13 +74,12 @@ let jfield_to_string (k, v) =
   in
   Printf.sprintf "%S: %s" k value
 
-let write_json ~path ~suite ~smoke results =
+let write_json ?(command = "dune exec bench/main.exe -- perf") ~path ~suite ~smoke results =
   let oc = open_out path in
   Printf.fprintf oc "{\n";
   Printf.fprintf oc "  %s,\n" (jfield_to_string ("schema", S "ssr-perf/1"));
   Printf.fprintf oc "  %s,\n" (jfield_to_string ("suite", S suite));
-  Printf.fprintf oc "  %s,\n"
-    (jfield_to_string ("command", S "dune exec bench/main.exe -- perf"));
+  Printf.fprintf oc "  %s,\n" (jfield_to_string ("command", S command));
   Printf.fprintf oc "  %s,\n" (jfield_to_string ("smoke", B smoke));
   Printf.fprintf oc "  \"results\": [\n";
   List.iteri

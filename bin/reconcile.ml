@@ -287,23 +287,90 @@ let twoway_cmd =
 
 (* ---- faulty ---- *)
 
+(* --latency=BASE[:JITTER] in milliseconds (floats accepted). *)
+let parse_latency s =
+  match String.split_on_char ':' s with
+  | [ base ] -> Option.map (fun b -> (b, 0.)) (float_of_string_opt base)
+  | [ base; jitter ] -> (
+    match (float_of_string_opt base, float_of_string_opt jitter) with
+    | Some b, Some j -> Some (b, j)
+    | _ -> None)
+  | _ -> None
+
+(* --partition=START:STOP[:DIR] in milliseconds; DIR one of ab, ba, both. *)
+let parse_partition s =
+  let dir_of = function
+    | "ab" -> Some `A_to_b
+    | "ba" -> Some `B_to_a
+    | "both" -> Some `Both
+    | _ -> None
+  in
+  match String.split_on_char ':' s with
+  | [ a; b ] -> (
+    match (float_of_string_opt a, float_of_string_opt b) with
+    | Some a, Some b -> Some (a, b, `Both)
+    | _ -> None)
+  | [ a; b; d ] -> (
+    match (float_of_string_opt a, float_of_string_opt b, dir_of d) with
+    | Some a, Some b, Some d -> Some (a, b, d)
+    | _ -> None)
+  | _ -> None
+
+let us_of_ms ms = int_of_float (ms *. 1000.)
+
 let run_faulty seed fault_seed drop corrupt truncate duplicate max_attempts runs target kind
-    unframed =
+    unframed latency reorder partition deadline_ms =
   let module Channel = Ssr_transport.Channel in
+  let module Network = Ssr_transport.Network in
+  let module Clock = Ssr_transport.Clock in
+  let module Arq = Ssr_transport.Arq in
   let module R = Ssr_transport.Resilient in
-  let ok = ref 0 and degraded = ref 0 and tfail = ref 0 and silent = ref 0 in
-  let faults = ref 0 in
+  let networked = latency <> None || reorder <> None || partition <> None || deadline_ms <> None in
+  let lat_ms, jit_ms = match latency with Some s -> s | None -> (0., 0.) in
+  let reorder_rate = Option.value reorder ~default:0. in
+  let part_spec = Option.map (fun (a, b, d) -> (us_of_ms a, us_of_ms b, d)) partition in
+  let run_deadline_us = Option.map us_of_ms deadline_ms in
+  (* Replayable configuration in pasteable --flag=value form: every network
+     shape flag prints back exactly as it must be passed to reproduce. *)
+  let replay_suffix =
+    if not networked then ""
+    else
+      Printf.sprintf " --latency=%g:%g --reorder=%g%s%s" lat_ms jit_ms reorder_rate
+        (match partition with
+        | Some (a, b, d) ->
+          Printf.sprintf " --partition=%g:%g:%s" a b
+            (match d with `A_to_b -> "ab" | `B_to_a -> "ba" | `Both -> "both")
+        | None -> "")
+        (match deadline_ms with Some d -> Printf.sprintf " --deadline-ms=%g" d | None -> "")
+  in
+  let ok = ref 0 and degraded = ref 0 and tfail = ref 0 and timedout = ref 0 and silent = ref 0 in
+  let faults = ref 0 and retransmits = ref 0 in
   start_wall ();
   for r = 0 to runs - 1 do
     (* Run 0 uses the given seeds verbatim, so a failure printed below can be
        replayed exactly with [--runs 1] and the printed seed pair. *)
     let wseed = if r = 0 then seed else Prng.derive ~seed ~tag:r in
     let cseed = if r = 0 then fault_seed else Prng.derive ~seed:fault_seed ~tag:r in
-    let channel =
-      Channel.create
-        (Channel.config_with ~drop ~corrupt ~truncate ~duplicate ~seed:cseed ())
+    let link =
+      if networked then begin
+        let clock = Clock.create () in
+        let partitions =
+          match part_spec with
+          | Some (from_us, until_us, blocks) -> [ { Network.from_us; until_us; blocks } ]
+          | None -> []
+        in
+        let network =
+          Network.create ~clock
+            (Network.config_with ~drop ~corrupt ~truncate ~duplicate
+               ~latency_us:(us_of_ms lat_ms) ~jitter_us:(us_of_ms jit_ms) ~reorder:reorder_rate
+               ~partitions ~seed:cseed ())
+        in
+        R.over_network (Arq.create ~clock ~network ~seed:cseed ())
+      end
+      else
+        R.over_channel ~framed:(not unframed)
+          (Channel.create (Channel.config_with ~drop ~corrupt ~truncate ~duplicate ~seed:cseed ()))
     in
-    let framed = not unframed in
     let rep, verdict =
       match target with
       | `Set -> (
@@ -315,9 +382,10 @@ let run_faulty seed fault_seed drop corrupt truncate duplicate max_attempts runs
           Iset.of_list (List.init 5 (fun i -> arr.(i * 13 mod Array.length arr)))
         in
         let alice = Iset.apply_diff bob ~add:(Iset.random_subset rng ~universe ~size:5) ~del in
-        match R.reconcile_set ~channel ~framed ~seed:wseed ~max_attempts ~alice ~bob () with
-        | Ok (recovered, rep) -> (rep, Some (Iset.equal recovered alice))
-        | Error (`Transport_failure rep) -> (rep, None))
+        match R.reconcile_set ~link ~seed:wseed ~max_attempts ?run_deadline_us ~alice ~bob () with
+        | Ok (recovered, rep) -> (rep, `Verdict (Iset.equal recovered alice))
+        | Error (`Transport_failure rep) -> (rep, `Failed)
+        | Error (`Deadline_exceeded rep) -> (rep, `Timeout))
       | `Sos -> (
         let rng = Prng.create ~seed:wseed in
         let universe = 1 lsl 20 in
@@ -326,32 +394,46 @@ let run_faulty seed fault_seed drop corrupt truncate duplicate max_attempts runs
         let d = max 4 (Parent.relaxed_matching_cost alice bob) in
         let h = Parent.max_child_size alice + 4 in
         match
-          R.reconcile_sos ~channel ~framed ~kind ~seed:wseed ~u:universe ~h ~initial_d:d
-            ~max_attempts ~alice ~bob ()
+          R.reconcile_sos ~link ~kind ~seed:wseed ~u:universe ~h ~initial_d:d ~max_attempts
+            ?run_deadline_us ~alice ~bob ()
         with
-        | Ok (recovered, rep) -> (rep, Some (Parent.equal recovered alice))
-        | Error (`Transport_failure rep) -> (rep, None))
+        | Ok (recovered, rep) -> (rep, `Verdict (Parent.equal recovered alice))
+        | Error (`Transport_failure rep) -> (rep, `Failed)
+        | Error (`Deadline_exceeded rep) -> (rep, `Timeout))
     in
     faults := !faults + List.length rep.R.faults;
+    (match rep.R.timing with
+    | Some t -> retransmits := !retransmits + t.R.retransmissions
+    | None -> ());
     match verdict with
-    | Some true ->
+    | `Verdict true ->
       incr ok;
       if rep.R.degraded then incr degraded
-    | Some false ->
+    | `Verdict false ->
       incr silent;
-      Printf.printf "SILENT CORRUPTION at run %d: replay with --seed=%Ld --fault-seed=%Ld --runs 1\n"
-        r wseed cseed
-    | None ->
+      Printf.printf
+        "SILENT CORRUPTION at run %d: replay with --seed=%Ld --fault-seed=%Ld%s --runs 1\n" r wseed
+        cseed replay_suffix
+    | `Failed ->
       incr tfail;
-      Printf.printf "typed transport failure at run %d (replay: --seed=%Ld --fault-seed=%Ld --runs 1)\n"
-        r wseed cseed
+      Printf.printf "typed transport failure at run %d (replay: --seed=%Ld --fault-seed=%Ld%s --runs 1)\n"
+        r wseed cseed replay_suffix
+    | `Timeout ->
+      incr timedout;
+      Printf.printf "deadline exceeded at run %d (replay: --seed=%Ld --fault-seed=%Ld%s --runs 1)\n"
+        r wseed cseed replay_suffix
   done;
   Printf.printf "faulty %s: %d runs  drop=%.3f corrupt=%.3f truncate=%.3f duplicate=%.3f (%s)\n"
     (match target with `Set -> "set" | `Sos -> Protocol.name kind)
     runs drop corrupt truncate duplicate
-    (if unframed then "raw" else "framed");
-  Printf.printf "  recovered=%d (degraded=%d)  typed-failures=%d  faults-injected=%d  silent-corruptions=%d  wall=%.1f ms\n"
-    !ok !degraded !tfail !faults !silent (wall_ms ());
+    (if networked then
+       Printf.sprintf "network: latency %g+-%g ms, reorder %g%s" lat_ms jit_ms reorder_rate
+         (match deadline_ms with Some d -> Printf.sprintf ", deadline %g ms" d | None -> "")
+     else if unframed then "raw"
+     else "framed");
+  Printf.printf
+    "  recovered=%d (degraded=%d)  typed-failures=%d  deadline-exceeded=%d  faults-injected=%d  retransmissions=%d  silent-corruptions=%d  wall=%.1f ms\n"
+    !ok !degraded !tfail !timedout !faults !retransmits !silent (wall_ms ());
   if !silent = 0 then begin
     print_endline "  invariant held: correct result or clean typed failure, never silent corruption";
     0
@@ -396,10 +478,56 @@ let faulty_cmd =
          & info [ "unframed" ]
              ~doc:"Skip CRC framing so damaged bytes reach the protocol parsers directly.")
   in
+  let latency_conv =
+    Arg.conv
+      ( (fun s ->
+          match parse_latency s with
+          | Some v -> Ok v
+          | None -> Error (`Msg "expected BASE or BASE:JITTER in milliseconds")),
+        fun fmt (b, j) -> Format.fprintf fmt "%g:%g" b j )
+  in
+  let latency =
+    Arg.(value & opt (some latency_conv) None
+         & info [ "latency" ]
+             ~doc:"Run over the simulated network with this one-way latency, as BASE[:JITTER] \
+                   milliseconds (seeded uniform jitter).")
+  in
+  let reorder =
+    Arg.(value & opt (some float) None
+         & info [ "reorder" ]
+             ~doc:"Simulated network: per-copy probability of an extra hold-back delay that \
+                   reorders it behind later traffic.")
+  in
+  let partition_conv =
+    Arg.conv
+      ( (fun s ->
+          match parse_partition s with
+          | Some v -> Ok v
+          | None -> Error (`Msg "expected START:STOP[:ab|ba|both] in milliseconds")),
+        fun fmt (a, b, d) ->
+          Format.fprintf fmt "%g:%g:%s" a b
+            (match d with `A_to_b -> "ab" | `B_to_a -> "ba" | `Both -> "both") )
+  in
+  let partition =
+    Arg.(value & opt (some partition_conv) None
+         & info [ "partition" ]
+             ~doc:"Simulated network: a window START:STOP[:DIR] (milliseconds of virtual time) \
+                   during which the given direction(s) silently drop everything.")
+  in
+  let deadline_ms =
+    Arg.(value & opt (some float) None
+         & info [ "deadline-ms" ]
+             ~doc:"Whole-run virtual-time deadline in milliseconds; exceeding it is a typed \
+                   deadline failure, never a hang.")
+  in
   Cmd.v
-    (Cmd.info "faulty" ~doc:"Reconciliation over a faulty channel (self-healing transport driver)")
+    (Cmd.info "faulty"
+       ~doc:"Reconciliation over a faulty channel or simulated network (self-healing transport \
+             driver). Any of --latency, --reorder, --partition, --deadline-ms selects the \
+             virtual-time network simulator with ARQ.")
     Term.(const run_faulty $ seed_term $ fault_seed $ drop $ corrupt $ truncate $ duplicate
-          $ max_attempts $ runs $ target $ protocol_term $ unframed)
+          $ max_attempts $ runs $ target $ protocol_term $ unframed $ latency $ reorder
+          $ partition $ deadline_ms)
 
 (* ---- estimate ---- *)
 

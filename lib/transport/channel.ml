@@ -3,9 +3,9 @@ module Comm = Ssr_setrecon.Comm
 
 type fault =
   | Dropped
-  | Corrupted of { bit : int }
-  | Truncated of { kept : int }
-  | Duplicated
+  | Corrupted of { copy : int; bit : int }
+  | Truncated of { copy : int; kept : int }
+  | Duplicated of { copies : int }
 
 type event = {
   index : int;
@@ -20,13 +20,18 @@ type config = {
   corrupt_rate : float;
   truncate_rate : float;
   duplicate_rate : float;
+  duplicate_copies : int;
 }
 
 let perfect =
-  { seed = 0L; drop_rate = 0.; corrupt_rate = 0.; truncate_rate = 0.; duplicate_rate = 0. }
+  { seed = 0L; drop_rate = 0.; corrupt_rate = 0.; truncate_rate = 0.; duplicate_rate = 0.;
+    duplicate_copies = 2 }
 
-let config_with ?(drop = 0.) ?(corrupt = 0.) ?(truncate = 0.) ?(duplicate = 0.) ~seed () =
-  { seed; drop_rate = drop; corrupt_rate = corrupt; truncate_rate = truncate; duplicate_rate = duplicate }
+let config_with ?(drop = 0.) ?(corrupt = 0.) ?(truncate = 0.) ?(duplicate = 0.)
+    ?(duplicate_copies = 2) ~seed () =
+  if duplicate_copies < 2 then invalid_arg "Channel.config_with: duplicate_copies must be >= 2";
+  { seed; drop_rate = drop; corrupt_rate = corrupt; truncate_rate = truncate;
+    duplicate_rate = duplicate; duplicate_copies }
 
 type t = { cfg : config; mutable sent : int; mutable events : event list }
 
@@ -40,12 +45,15 @@ let record t index direction label fault =
 
 (* Damage one delivery copy. Corruption and truncation are independent; the
    PRNG draw order here is fixed, so a given (seed, message index, copy)
-   always produces the same damage — the replay-by-seed guarantee. *)
-let damage t rng index direction label bytes =
+   always produces the same damage — the replay-by-seed guarantee. The
+   [copy] tag in each recorded event says which delivery the damage landed
+   on, so a receiver-side dedup layer can be checked against labeled ground
+   truth. *)
+let damage t rng index direction label ~copy bytes =
   let bytes =
     if Bytes.length bytes > 0 && Prng.bernoulli rng t.cfg.corrupt_rate then begin
       let bit = Prng.int_below rng (8 * Bytes.length bytes) in
-      record t index direction label (Corrupted { bit });
+      record t index direction label (Corrupted { copy; bit });
       let out = Bytes.copy bytes in
       let byte = bit / 8 and mask = 1 lsl (bit mod 8) in
       Bytes.set out byte (Char.chr (Char.code (Bytes.get out byte) lxor mask));
@@ -55,7 +63,7 @@ let damage t rng index direction label bytes =
   in
   if Bytes.length bytes > 0 && Prng.bernoulli rng t.cfg.truncate_rate then begin
     let kept = Prng.int_below rng (Bytes.length bytes) in
-    record t index direction label (Truncated { kept });
+    record t index direction label (Truncated { copy; kept });
     Bytes.sub bytes 0 kept
   end
   else bytes
@@ -75,12 +83,12 @@ let transmit t direction ~label payload =
   else begin
     let copies =
       if Prng.bernoulli rng t.cfg.duplicate_rate then begin
-        record t index direction label Duplicated;
-        2
+        record t index direction label (Duplicated { copies = t.cfg.duplicate_copies });
+        t.cfg.duplicate_copies
       end
       else 1
     in
-    List.init copies (fun _ -> damage t rng index direction label payload)
+    List.init copies (fun copy -> damage t rng index direction label ~copy payload)
   end
 
 let transport t : Comm.transport =

@@ -18,9 +18,14 @@
 
 type fault =
   | Dropped  (** The message never arrives. *)
-  | Corrupted of { bit : int }  (** One bit, at this absolute index, flipped. *)
-  | Truncated of { kept : int }  (** Only the first [kept] bytes arrive. *)
-  | Duplicated  (** The message arrives twice (each copy damaged independently). *)
+  | Corrupted of { copy : int; bit : int }
+      (** One bit, at this absolute index of delivery [copy], flipped. *)
+  | Truncated of { copy : int; kept : int }
+      (** Only the first [kept] bytes of delivery [copy] arrive. *)
+  | Duplicated of { copies : int }
+      (** The message arrives [copies] times (each copy damaged
+          independently; corruption/truncation events carry the copy index
+          they applied to). *)
 
 type event = {
   index : int;  (** Sequence number of the affected message on this channel. *)
@@ -35,13 +40,15 @@ type config = {
   corrupt_rate : float;
   truncate_rate : float;
   duplicate_rate : float;
+  duplicate_copies : int;  (** Deliveries of a duplicated message; >= 2. *)
 }
 
 val perfect : config
 (** All rates zero: delivers every message verbatim. *)
 
 val config_with : ?drop:float -> ?corrupt:float -> ?truncate:float -> ?duplicate:float ->
-  seed:int64 -> unit -> config
+  ?duplicate_copies:int -> seed:int64 -> unit -> config
+(** [duplicate_copies] defaults to 2; raises [Invalid_argument] below 2. *)
 
 type t
 
@@ -55,8 +62,9 @@ val events : t -> event list
 
 val transmit : t -> Ssr_setrecon.Comm.direction -> label:string -> Bytes.t -> Bytes.t list
 (** Push raw bytes through the channel: the list of deliveries the receiver
-    observes — empty when dropped, two entries when duplicated, each entry
-    possibly corrupted or truncated. The input buffer is never mutated. *)
+    observes — empty when dropped, [duplicate_copies] entries when
+    duplicated, each entry possibly corrupted or truncated. The input buffer
+    is never mutated. *)
 
 val transport : t -> Ssr_setrecon.Comm.transport
 (** Framed transport: {!Frame.encode}, {!transmit}, then the first delivery

@@ -1,0 +1,63 @@
+(* Ordered (time, sequence) map as the event queue: the sequence number both
+   uniquely keys simultaneous events and fixes their execution order to the
+   order they were scheduled in, which is what makes simulated runs replay
+   deterministically. *)
+
+module Key = struct
+  type t = int * int (* at_us, seq *)
+
+  let compare = compare
+end
+
+module Q = Map.Make (Key)
+
+type event_id = int
+
+type t = {
+  mutable now : int;
+  mutable next_seq : int;
+  mutable queue : (unit -> unit) Q.t;
+  (* event id -> queue key, for cancellation. *)
+  live : (int, Key.t) Hashtbl.t;
+}
+
+let create () = { now = 0; next_seq = 0; queue = Q.empty; live = Hashtbl.create 64 }
+
+let now_us t = t.now
+
+let schedule t ~at_us thunk =
+  let at_us = max at_us t.now in
+  let id = t.next_seq in
+  t.next_seq <- id + 1;
+  let key = (at_us, id) in
+  t.queue <- Q.add key thunk t.queue;
+  Hashtbl.replace t.live id key;
+  id
+
+let cancel t id =
+  match Hashtbl.find_opt t.live id with
+  | None -> ()
+  | Some key ->
+    Hashtbl.remove t.live id;
+    t.queue <- Q.remove key t.queue
+
+let pending t = Q.cardinal t.queue
+
+let run_until t ~deadline_us ~stop =
+  let rec loop () =
+    if not (stop ()) then begin
+      match Q.min_binding_opt t.queue with
+      | Some (((at, id) as key), thunk) when at <= deadline_us ->
+        t.queue <- Q.remove key t.queue;
+        Hashtbl.remove t.live id;
+        t.now <- max t.now at;
+        thunk ();
+        loop ()
+      | _ -> t.now <- max t.now deadline_us
+    end
+  in
+  loop ()
+
+let advance t ~by_us =
+  if by_us < 0 then invalid_arg "Clock.advance: negative duration";
+  run_until t ~deadline_us:(t.now + by_us) ~stop:(fun () -> false)

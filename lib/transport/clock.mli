@@ -1,0 +1,46 @@
+(** Virtual monotonic time and a deterministic discrete-event scheduler.
+
+    The network simulator and the ARQ sublayer share one clock: packet
+    deliveries and retransmission timers are thunks scheduled at absolute
+    virtual times (microseconds), and {!run_until} executes them in time
+    order, advancing {!now_us} as it goes. Nothing here reads the wall
+    clock, so a simulated run is a pure function of its seeds: the same
+    schedule of events replays identically, however long the real machine
+    takes to execute it.
+
+    Ties are broken by scheduling order (first scheduled fires first), which
+    keeps event execution — and therefore every downstream PRNG draw —
+    deterministic even when many events share a timestamp. *)
+
+type t
+
+val create : unit -> t
+(** A fresh clock at virtual time 0 with no pending events. *)
+
+val now_us : t -> int
+(** Current virtual time in microseconds. Monotonic: it never decreases. *)
+
+type event_id
+
+val schedule : t -> at_us:int -> (unit -> unit) -> event_id
+(** Schedule a thunk at absolute virtual time [at_us] (clamped up to
+    [now_us]: nothing fires in the past). The thunk runs inside a later
+    {!run_until}; it may schedule or cancel further events. *)
+
+val cancel : t -> event_id -> unit
+(** Remove a pending event; cancelling an already-fired or already-cancelled
+    event is a no-op. *)
+
+val pending : t -> int
+(** Number of scheduled events that have not yet fired or been cancelled. *)
+
+val run_until : t -> deadline_us:int -> stop:(unit -> bool) -> unit
+(** Execute due events in (time, scheduling order) until [stop ()] holds —
+    checked before the first event and after each one — or no event at or
+    before [deadline_us] remains. On a stop, [now_us] is the time of the
+    last event executed; otherwise idle time passes and [now_us] ends at
+    [deadline_us]. Events scheduled beyond the deadline stay pending. *)
+
+val advance : t -> by_us:int -> unit
+(** Let [by_us] of virtual time pass, executing any events that fall due:
+    [run_until] with no stop condition. *)

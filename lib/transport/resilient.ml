@@ -7,23 +7,200 @@ module Set_recon = Ssr_setrecon.Set_recon
 module Protocol = Ssr_core.Protocol
 module Parent = Ssr_core.Parent
 
-type attempt = { number : int; d : int; direct : bool; ok : bool }
+type link =
+  | Faulty_channel of { channel : Channel.t; framed : bool }
+  | Simulated of Arq.t
+
+let over_channel ?(framed = true) channel = Faulty_channel { channel; framed }
+let over_network arq = Simulated arq
+
+type attempt = { number : int; d : int; direct : bool; ok : bool; elapsed_us : int }
+
+type timing = {
+  elapsed_us : int;
+  retransmissions : int;
+  arq_timeouts : int;
+  duplicates_suppressed : int;
+  partition_drops : int;
+  reordered : int;
+  backoff_us : int;
+  wire_bytes : int;
+}
 
 type report = {
   attempts : attempt list;
   degraded : bool;
   faults : Channel.event list;
   stats : Comm.stats;
+  timing : timing option;
 }
 
-type error = [ `Transport_failure of report ]
+type error = [ `Transport_failure of report | `Deadline_exceeded of report ]
 
-let attach comm channel framed =
+(* ---- Link-generic driver scaffolding. ---- *)
+
+type ctx = {
+  comm : Comm.t;
+  link : link;
+  seed : int64;
+  t0 : int;  (** Virtual start time (0 on a plain channel link). *)
+  run_deadline : int option;  (** Absolute virtual time. *)
+  attempt_deadline_us : int option;  (** Budget per attempt. *)
+  backoff_us : int;  (** Base inter-attempt backoff; doubles, capped at 8x. *)
+  base_faults : int;  (** Fault-log length at start, for delta reporting. *)
+  base_arq : Arq.stats option;
+  base_partition_drops : int;
+  base_reordered : int;
+  mutable backoff_total : int;
+}
+
+let now ctx = match ctx.link with Simulated arq -> Clock.now_us (Arq.clock arq) | _ -> 0
+
+let attach comm link =
   Comm.set_transport comm
-    (if framed then Channel.transport channel else Channel.raw_transport channel)
+    (match link with
+    | Faulty_channel { channel; framed } ->
+      if framed then Channel.transport channel else Channel.raw_transport channel
+    | Simulated arq -> Arq.transport arq)
 
-let mk_report ~attempts ~degraded ~channel ~comm =
-  { attempts = List.rev attempts; degraded; faults = Channel.events channel; stats = Comm.stats comm }
+let mk_ctx ~link ~seed ?attempt_deadline_us ?run_deadline_us ?(backoff_us = 50_000) () =
+  let comm = Comm.create () in
+  attach comm link;
+  let t0 = match link with Simulated arq -> Clock.now_us (Arq.clock arq) | _ -> 0 in
+  let base_faults, base_arq, base_pd, base_ro =
+    match link with
+    | Faulty_channel { channel; _ } -> (List.length (Channel.events channel), None, 0, 0)
+    | Simulated arq ->
+      let net = Arq.network arq in
+      ( List.length (Network.faults net),
+        Some (Arq.stats arq),
+        Network.partition_drops net,
+        Network.reorder_count net )
+  in
+  {
+    comm; link; seed; t0;
+    run_deadline = Option.map (fun d -> t0 + d) run_deadline_us;
+    attempt_deadline_us;
+    backoff_us;
+    base_faults; base_arq; base_partition_drops = base_pd; base_reordered = base_ro;
+    backoff_total = 0;
+  }
+
+let run_deadline_exceeded ctx =
+  match ctx.run_deadline with None -> false | Some rd -> now ctx >= rd
+
+(* Cap each transmit of the coming attempt at both the per-attempt budget
+   and the whole-run deadline. *)
+let begin_attempt ctx =
+  match ctx.link with
+  | Faulty_channel _ -> ()
+  | Simulated arq ->
+    let candidates =
+      (match ctx.attempt_deadline_us with
+      | Some a -> [ Clock.now_us (Arq.clock arq) + a ]
+      | None -> [])
+      @ (match ctx.run_deadline with Some rd -> [ rd ] | None -> [])
+    in
+    Arq.set_hard_deadline arq
+      (match candidates with [] -> None | l -> Some (List.fold_left min max_int l))
+
+(* Capped-doubling backoff with deterministic jitter between failed
+   attempts: virtual time passes (in-flight stragglers keep moving), so a
+   retry does not immediately re-enter the tail of the fault burst that
+   killed the previous attempt. *)
+let backoff_between ctx ~number =
+  match ctx.link with
+  | Faulty_channel _ -> ()
+  | Simulated arq ->
+    let base = min (ctx.backoff_us * (1 lsl min number 3)) (8 * ctx.backoff_us) in
+    let jitter =
+      if ctx.backoff_us = 0 then 0
+      else
+        Prng.int_below
+          (Prng.create ~seed:(Prng.derive ~seed:ctx.seed ~tag:(0xB0FF + number)))
+          ((ctx.backoff_us / 2) + 1)
+    in
+    let dur = base + jitter in
+    (* Never sleep past the whole-run deadline. *)
+    let dur =
+      match ctx.run_deadline with
+      | None -> dur
+      | Some rd -> max 0 (min dur (rd - Clock.now_us (Arq.clock arq)))
+    in
+    if dur > 0 then begin
+      ctx.backoff_total <- ctx.backoff_total + dur;
+      Clock.advance (Arq.clock arq) ~by_us:dur
+    end
+
+let drop_prefix n l = List.filteri (fun i _ -> i >= n) l
+
+let mk_report ctx ~attempts ~degraded =
+  let faults, timing =
+    match ctx.link with
+    | Faulty_channel { channel; _ } -> (Channel.events channel, None)
+    | Simulated arq ->
+      let net = Arq.network arq in
+      let s = Arq.stats arq in
+      let b = Option.get ctx.base_arq in
+      ( drop_prefix ctx.base_faults (Network.faults net),
+        Some
+          {
+            elapsed_us = Clock.now_us (Arq.clock arq) - ctx.t0;
+            retransmissions = s.Arq.retransmissions - b.Arq.retransmissions;
+            arq_timeouts = s.Arq.timeouts - b.Arq.timeouts;
+            duplicates_suppressed = s.Arq.duplicates_suppressed - b.Arq.duplicates_suppressed;
+            partition_drops = Network.partition_drops net - ctx.base_partition_drops;
+            reordered = Network.reorder_count net - ctx.base_reordered;
+            backoff_us = ctx.backoff_total;
+            wire_bytes = s.Arq.wire_bytes - b.Arq.wire_bytes;
+          } )
+  in
+  { attempts = List.rev attempts; degraded; faults; stats = Comm.stats ctx.comm; timing }
+
+(* The shared self-healing loop: bounded reconciliation attempts with a
+   doubling difference bound, then bounded verified direct transfers; on a
+   network link every phase also respects the virtual-time deadlines and
+   backs off between attempts. [recon ~number ~d] and [direct ()] return the
+   verified result or [None] on any detected failure. *)
+let drive ctx ~max_attempts ~initial_d ~recon ~direct =
+  let rec direct_loop number tries acc =
+    if run_deadline_exceeded ctx then
+      Error (`Deadline_exceeded (mk_report ctx ~attempts:acc ~degraded:true))
+    else if tries >= max_attempts then
+      Error (`Transport_failure (mk_report ctx ~attempts:acc ~degraded:true))
+    else begin
+      begin_attempt ctx;
+      let ta = now ctx in
+      match direct () with
+      | Some v ->
+        let a = { number; d = 0; direct = true; ok = true; elapsed_us = now ctx - ta } in
+        Ok (v, mk_report ctx ~attempts:(a :: acc) ~degraded:true)
+      | None ->
+        Comm.send ctx.comm Comm.B_to_a ~label:"retry" ~bits:8;
+        backoff_between ctx ~number;
+        direct_loop (number + 1) (tries + 1)
+          ({ number; d = 0; direct = true; ok = false; elapsed_us = now ctx - ta } :: acc)
+    end
+  in
+  let rec attempt number d acc =
+    if run_deadline_exceeded ctx then
+      Error (`Deadline_exceeded (mk_report ctx ~attempts:acc ~degraded:false))
+    else if number >= max_attempts then direct_loop number 0 acc
+    else begin
+      begin_attempt ctx;
+      let ta = now ctx in
+      match recon ~number ~d with
+      | Some v ->
+        let a = { number; d; direct = false; ok = true; elapsed_us = now ctx - ta } in
+        Ok (v, mk_report ctx ~attempts:(a :: acc) ~degraded:false)
+      | None ->
+        Comm.send ctx.comm Comm.B_to_a ~label:"retry" ~bits:8;
+        backoff_between ctx ~number;
+        attempt (number + 1) (2 * d)
+          ({ number; d; direct = false; ok = false; elapsed_us = now ctx - ta } :: acc)
+    end
+  in
+  attempt 0 (max 1 initial_d) []
 
 let int62_bytes v =
   let b = Bytes.create 8 in
@@ -57,47 +234,24 @@ let parse_direct_set ~seed delivered =
       | _ -> None)
   end
 
-let reconcile_set ~channel ?(framed = true) ~seed ?(initial_d = 4) ?(max_attempts = 5) ?(k = 4)
-    ~alice ~bob () =
-  let comm = Comm.create () in
-  attach comm channel framed;
+let reconcile_set ~link ~seed ?(initial_d = 4) ?(max_attempts = 5) ?(k = 4) ?attempt_deadline_us
+    ?run_deadline_us ?backoff_us ~alice ~bob () =
+  let ctx = mk_ctx ~link ~seed ?attempt_deadline_us ?run_deadline_us ?backoff_us () in
   let direct_payload =
     lazy (Bytes.cat (Iset.canonical_bytes alice) (int62_bytes (Set_recon.set_hash ~seed alice)))
   in
-  let rec direct number tries acc =
-    if tries >= max_attempts then
-      Error (`Transport_failure (mk_report ~attempts:acc ~degraded:true ~channel ~comm))
-    else begin
-      let delivered =
-        match Comm.xfer comm Comm.A_to_b ~label:"direct-transfer" (Lazy.force direct_payload) with
-        | Error `Lost -> None
-        | Ok bytes -> parse_direct_set ~seed bytes
-      in
-      match delivered with
-      | Some s ->
-        Ok (s, mk_report ~attempts:({ number; d = 0; direct = true; ok = true } :: acc)
-                  ~degraded:true ~channel ~comm)
-      | None ->
-        Comm.send comm Comm.B_to_a ~label:"retry" ~bits:8;
-        direct (number + 1) (tries + 1) ({ number; d = 0; direct = true; ok = false } :: acc)
-    end
-  in
-  let rec attempt number d acc =
-    if number >= max_attempts then direct number 0 acc
-    else
+  drive ctx ~max_attempts ~initial_d
+    ~recon:(fun ~number ~d ->
       match
-        Set_recon.run_known_d ~comm ~seed:(Prng.derive ~seed ~tag:(0x5EED + number)) ~d ~k ~alice
-          ~bob
+        Set_recon.run_known_d ~comm:ctx.comm ~seed:(Prng.derive ~seed ~tag:(0x5EED + number)) ~d
+          ~k ~alice ~bob
       with
-      | Ok o ->
-        Ok (o.Set_recon.recovered,
-            mk_report ~attempts:({ number; d; direct = false; ok = true } :: acc)
-              ~degraded:false ~channel ~comm)
-      | Error `Decode_failure ->
-        Comm.send comm Comm.B_to_a ~label:"retry" ~bits:8;
-        attempt (number + 1) (2 * d) ({ number; d; direct = false; ok = false } :: acc)
-  in
-  attempt 0 (max 1 initial_d) []
+      | Ok o -> Some o.Set_recon.recovered
+      | Error `Decode_failure -> None)
+    ~direct:(fun () ->
+      match Comm.xfer ctx.comm Comm.A_to_b ~label:"direct-transfer" (Lazy.force direct_payload) with
+      | Error `Lost -> None
+      | Ok bytes -> parse_direct_set ~seed bytes)
 
 (* ---- Sets of sets. ---- *)
 
@@ -123,6 +277,11 @@ let parse_direct_sos ~seed delivered =
   let r = Codec.reader delivered in
   match Codec.u32 r with
   | None -> None
+  (* The child count is untrusted: each child costs at least its 4-byte
+     length field and the trailing hash costs 8, so a count the remaining
+     bytes cannot possibly hold is rejected up front — before the parse loop
+     builds anything sized from it. *)
+  | Some count when count > (Codec.remaining r - 8) / 4 -> None
   | Some count ->
     let rec go i acc =
       if i = count then begin
@@ -142,42 +301,24 @@ let parse_direct_sos ~seed delivered =
     in
     go 0 []
 
-let reconcile_sos ~channel ?(framed = true) ~kind ~seed ~u ~h ?(initial_d = 4) ?(max_attempts = 5)
-    ~alice ~bob () =
-  let comm = Comm.create () in
-  attach comm channel framed;
+let reconcile_sos ~link ~kind ~seed ~u ~h ?(initial_d = 4) ?(max_attempts = 5)
+    ?attempt_deadline_us ?run_deadline_us ?backoff_us ~alice ~bob () =
+  let ctx = mk_ctx ~link ~seed ?attempt_deadline_us ?run_deadline_us ?backoff_us () in
   let direct_payload = lazy (sos_direct_payload ~seed alice) in
-  let rec direct number tries acc =
-    if tries >= max_attempts then
-      Error (`Transport_failure (mk_report ~attempts:acc ~degraded:true ~channel ~comm))
-    else begin
-      let delivered =
-        match Comm.xfer comm Comm.A_to_b ~label:"direct-transfer" (Lazy.force direct_payload) with
-        | Error `Lost -> None
-        | Ok bytes -> parse_direct_sos ~seed bytes
-      in
-      match delivered with
-      | Some p ->
-        Ok (p, mk_report ~attempts:({ number; d = 0; direct = true; ok = true } :: acc)
-                  ~degraded:true ~channel ~comm)
-      | None ->
-        Comm.send comm Comm.B_to_a ~label:"retry" ~bits:8;
-        direct (number + 1) (tries + 1) ({ number; d = 0; direct = true; ok = false } :: acc)
-    end
-  in
-  let rec attempt number d acc =
-    if number >= max_attempts then direct number 0 acc
-    else
+  drive ctx ~max_attempts ~initial_d
+    ~recon:(fun ~number ~d ->
       match
-        Protocol.run_known kind ~comm ~seed:(Prng.derive ~seed ~tag:(0x5EED + number)) ~d ~u ~h
-          ~alice ~bob
+        Protocol.run_known kind ~comm:ctx.comm ~seed:(Prng.derive ~seed ~tag:(0x5EED + number)) ~d
+          ~u ~h ~alice ~bob
       with
-      | Ok (o : Protocol.outcome) ->
-        Ok (o.Protocol.recovered,
-            mk_report ~attempts:({ number; d; direct = false; ok = true } :: acc)
-              ~degraded:false ~channel ~comm)
-      | Error `Decode_failure ->
-        Comm.send comm Comm.B_to_a ~label:"retry" ~bits:8;
-        attempt (number + 1) (2 * d) ({ number; d; direct = false; ok = false } :: acc)
-  in
-  attempt 0 (max 1 initial_d) []
+      | Ok (o : Protocol.outcome) -> Some o.Protocol.recovered
+      | Error `Decode_failure -> None)
+    ~direct:(fun () ->
+      match Comm.xfer ctx.comm Comm.A_to_b ~label:"direct-transfer" (Lazy.force direct_payload) with
+      | Error `Lost -> None
+      | Ok bytes -> parse_direct_sos ~seed bytes)
+
+module For_tests = struct
+  let parse_direct_set = parse_direct_set
+  let parse_direct_sos = parse_direct_sos
+end

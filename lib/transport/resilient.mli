@@ -1,58 +1,111 @@
-(** Self-healing reconciliation over a faulty channel.
+(** Self-healing reconciliation over an unreliable transport.
 
-    The driver runs a reconciliation protocol across a {!Channel.t} and
-    turns transport faults into bounded, structured recovery:
+    The driver runs a reconciliation protocol across a {!link} — either a
+    bare faulty {!Channel} (instant, in-order delivery with byte damage) or
+    a full simulated network stack ({!Clock} + {!Network} + {!Arq}: latency,
+    reordering, duplication-after-delay and partitions, with ARQ providing
+    ordered at-most-once delivery) — and turns transport faults into
+    bounded, structured recovery:
 
-    - {b detection} — the frame CRC rejects damaged messages before the
+    - {b detection} — frame CRCs reject damaged messages before the
       protocol sees them, and each protocol's whole-set hash rejects any
-      result assembled from damage the CRC missed (or, with an unframed
-      transport, from damaged bytes the parsers accepted);
+      result assembled from damage the CRC missed;
     - {b bounded retry} — a failed attempt triggers a retry with a doubled
-      IBLT difference bound and a fresh derived seed (fresh public coins, so
-      a deterministic peeling failure is not repeated);
+      IBLT difference bound and a fresh derived seed; on a network link the
+      driver also backs off between attempts (capped doubling with
+      deterministic jitter), letting in-flight stragglers drain;
     - {b graceful degradation} — when the attempt budget is exhausted the
       driver falls back to a direct full transfer of Alice's data, itself
-      hash-verified and retried within the same budget.
+      hash-verified and retried within the same budget;
+    - {b deadlines} — on a network link every attempt and the whole run can
+      carry a virtual-time deadline; exceeding the run deadline yields the
+      typed [`Deadline_exceeded] failure (with the full report), never a
+      hang, because virtual time only advances while the ARQ is pumping
+      events.
 
-    Every outcome carries a {!report} of the attempts made, the faults the
-    channel injected, and the cumulative transcript cost, so callers can see
-    exactly what the fault rate cost them. The driver never returns silently
+    Every outcome carries a {!report} of the attempts made, the faults
+    injected during this run, the cumulative transcript cost, and — on a
+    network link — the virtual-time accounting (elapsed time,
+    retransmissions, partition exposure). The driver never returns silently
     corrupted data: the result is either verified-correct or a typed
-    failure. *)
+    failure. All behaviour is a pure function of the seeds: replaying a
+    failing run's seeds replays its faults, latencies, retransmissions and
+    backoffs exactly. *)
+
+type link
+(** Where the bytes go: a faulty channel or a simulated network. *)
+
+val over_channel : ?framed:bool -> Channel.t -> link
+(** [framed] (default true) wraps every message in a {!Frame}; [false]
+    exposes the protocol parsers to raw channel damage. *)
+
+val over_network : Arq.t -> link
+(** Run over an ARQ endpoint pair on a simulated network. Messages are
+    always framed (the ARQ header needs integrity protection). *)
 
 type attempt = {
   number : int;  (** 0-based, across reconciliation and direct attempts. *)
   d : int;  (** Difference bound of a reconciliation attempt; 0 when [direct]. *)
   direct : bool;  (** A degraded full-transfer attempt rather than reconciliation. *)
   ok : bool;
+  elapsed_us : int;  (** Virtual time this attempt took (0 on a channel link). *)
+}
+
+(** Virtual-time accounting of a network-link run ([None] on a channel
+    link). All counters are deltas over this run, so an [Arq.t] may be
+    reused across runs. *)
+type timing = {
+  elapsed_us : int;  (** Whole-run virtual time, backoffs included. *)
+  retransmissions : int;
+  arq_timeouts : int;  (** Transmits that hit a per-message or imposed deadline. *)
+  duplicates_suppressed : int;
+  partition_drops : int;  (** Copies a partition window swallowed: partition exposure. *)
+  reordered : int;
+  backoff_us : int;  (** Virtual time spent backing off between attempts. *)
+  wire_bytes : int;  (** Bytes on the wire including retransmissions and ACKs. *)
 }
 
 type report = {
   attempts : attempt list;  (** In execution order. *)
   degraded : bool;  (** Whether the driver fell back to direct transfer. *)
-  faults : Channel.event list;  (** Faults the channel injected during the run. *)
+  faults : Channel.event list;
+      (** Faults injected during the run (on a network link, only this
+          run's — the log delta since the driver started). *)
   stats : Ssr_setrecon.Comm.stats;  (** Cumulative, including retries. *)
+  timing : timing option;
 }
 
-type error = [ `Transport_failure of report ]
-(** Attempt budget exhausted, including the direct-transfer fallback. *)
+type error = [ `Transport_failure of report | `Deadline_exceeded of report ]
+(** [`Transport_failure]: attempt budget exhausted, including the
+    direct-transfer fallback. [`Deadline_exceeded]: the whole-run
+    virtual-time deadline passed first. *)
 
 val reconcile_set :
-  channel:Channel.t -> ?framed:bool -> seed:int64 -> ?initial_d:int ->
-  ?max_attempts:int -> ?k:int ->
+  link:link -> seed:int64 -> ?initial_d:int -> ?max_attempts:int -> ?k:int ->
+  ?attempt_deadline_us:int -> ?run_deadline_us:int -> ?backoff_us:int ->
   alice:Ssr_util.Iset.t -> bob:Ssr_util.Iset.t -> unit ->
   (Ssr_util.Iset.t * report, error) result
-(** Plain set reconciliation (Bob learns Alice's set) over the channel.
-    [framed] (default true) wraps every message in a {!Frame}; [false]
-    exposes the protocol parsers to raw channel damage. [initial_d]
-    (default 4) doubles on every retry; [max_attempts] (default 5) bounds
-    reconciliation attempts and direct-transfer attempts separately. *)
+(** Plain set reconciliation (Bob learns Alice's set) over the link.
+    [initial_d] (default 4) doubles on every retry; [max_attempts]
+    (default 5) bounds reconciliation attempts and direct-transfer attempts
+    separately. [attempt_deadline_us] caps each attempt's virtual time,
+    [run_deadline_us] the whole run (both ignored on a channel link);
+    [backoff_us] (default 50ms virtual) is the base inter-attempt backoff. *)
 
 val reconcile_sos :
-  channel:Channel.t -> ?framed:bool -> kind:Ssr_core.Protocol.kind -> seed:int64 ->
-  u:int -> h:int -> ?initial_d:int -> ?max_attempts:int ->
+  link:link -> kind:Ssr_core.Protocol.kind -> seed:int64 -> u:int -> h:int ->
+  ?initial_d:int -> ?max_attempts:int ->
+  ?attempt_deadline_us:int -> ?run_deadline_us:int -> ?backoff_us:int ->
   alice:Ssr_core.Parent.t -> bob:Ssr_core.Parent.t -> unit ->
   (Ssr_core.Parent.t * report, error) result
 (** Set-of-sets reconciliation under any of the four protocols, same
     recovery discipline. [u] and [h] size the direct encodings where the
     protocol needs them; [initial_d] defaults to 4. *)
+
+(** Wire parsers of the direct-transfer payloads, exposed so the
+    untrusted-size regression tests can feed them hostile byte strings
+    directly. Not part of the stable API. *)
+module For_tests : sig
+  val parse_direct_set : seed:int64 -> Bytes.t -> Ssr_util.Iset.t option
+  val parse_direct_sos : seed:int64 -> Bytes.t -> Ssr_core.Parent.t option
+end

@@ -17,6 +17,9 @@ module Protocol = Ssr_core.Protocol
 module Encoding = Ssr_core.Encoding
 module Frame = Ssr_transport.Frame
 module Channel = Ssr_transport.Channel
+module Clock = Ssr_transport.Clock
+module Network = Ssr_transport.Network
+module Arq = Ssr_transport.Arq
 module Resilient = Ssr_transport.Resilient
 
 let seed = 0x74A1590A7L
@@ -387,13 +390,18 @@ let test_resilient_set_perfect () =
   (* The first attempt runs at minimal recommended cells, where decode fails
      for ~1% of fixed seeds; the derived protocol seed is picked to peel
      fully under the current hash schedule so "one attempt" is meaningful. *)
-  match Resilient.reconcile_set ~channel:ch ~seed:(Prng.derive ~seed ~tag:0x5EED) ~alice ~bob () with
+  match
+    Resilient.reconcile_set ~link:(Resilient.over_channel ch)
+      ~seed:(Prng.derive ~seed ~tag:0x5EED) ~alice ~bob ()
+  with
   | Ok (recovered, rep) ->
     Alcotest.(check bool) "recovered" true (Iset.equal recovered alice);
     Alcotest.(check bool) "not degraded" false rep.Resilient.degraded;
     Alcotest.(check int) "one attempt" 1 (List.length rep.Resilient.attempts);
-    Alcotest.(check int) "no faults" 0 (List.length rep.Resilient.faults)
-  | Error (`Transport_failure _) -> Alcotest.fail "perfect channel must succeed"
+    Alcotest.(check int) "no faults" 0 (List.length rep.Resilient.faults);
+    Alcotest.(check bool) "no timing on a channel link" true (rep.Resilient.timing = None)
+  | Error (`Transport_failure _ | `Deadline_exceeded _) ->
+    Alcotest.fail "perfect channel must succeed"
 
 let test_resilient_retries_then_succeeds () =
   (* A small initial d on a large difference forces doubling retries. *)
@@ -402,7 +410,10 @@ let test_resilient_retries_then_succeeds () =
   let bob = Iset.random_subset rng ~universe ~size:100 in
   let alice = Iset.union bob (Iset.random_subset rng ~universe ~size:40) in
   let ch = Channel.create Channel.perfect in
-  match Resilient.reconcile_set ~channel:ch ~seed ~initial_d:1 ~max_attempts:8 ~alice ~bob () with
+  match
+    Resilient.reconcile_set ~link:(Resilient.over_channel ch) ~seed ~initial_d:1 ~max_attempts:8
+      ~alice ~bob ()
+  with
   | Ok (recovered, rep) ->
     Alcotest.(check bool) "recovered" true (Iset.equal recovered alice);
     Alcotest.(check bool) "took retries" true (List.length rep.Resilient.attempts > 1);
@@ -413,7 +424,8 @@ let test_resilient_retries_then_succeeds () =
         rep.Resilient.attempts
     in
     Alcotest.(check (list int)) "exponential doubling" (List.sort compare ds) ds
-  | Error (`Transport_failure _) -> Alcotest.fail "must eventually succeed"
+  | Error (`Transport_failure _ | `Deadline_exceeded _) ->
+    Alcotest.fail "must eventually succeed"
 
 let test_resilient_degrades_to_direct () =
   (* Attempt budget of 1 with a hopeless bound: the driver must fall back to
@@ -423,18 +435,25 @@ let test_resilient_degrades_to_direct () =
   let bob = Iset.random_subset rng ~universe ~size:80 in
   let alice = Iset.union bob (Iset.random_subset rng ~universe ~size:50) in
   let ch = Channel.create Channel.perfect in
-  match Resilient.reconcile_set ~channel:ch ~seed ~initial_d:1 ~max_attempts:1 ~alice ~bob () with
+  match
+    Resilient.reconcile_set ~link:(Resilient.over_channel ch) ~seed ~initial_d:1 ~max_attempts:1
+      ~alice ~bob ()
+  with
   | Ok (recovered, rep) ->
     Alcotest.(check bool) "recovered via direct" true (Iset.equal recovered alice);
     Alcotest.(check bool) "degraded" true rep.Resilient.degraded
-  | Error (`Transport_failure _) -> Alcotest.fail "direct transfer over a perfect channel must work"
+  | Error (`Transport_failure _ | `Deadline_exceeded _) ->
+    Alcotest.fail "direct transfer over a perfect channel must work"
 
 let test_resilient_total_loss_is_typed () =
   let rng = Prng.create ~seed in
   let alice, bob = small_sets rng in
   let ch = Channel.create (Channel.config_with ~drop:1.0 ~seed:3L ()) in
-  match Resilient.reconcile_set ~channel:ch ~seed ~max_attempts:3 ~alice ~bob () with
+  match
+    Resilient.reconcile_set ~link:(Resilient.over_channel ch) ~seed ~max_attempts:3 ~alice ~bob ()
+  with
   | Ok _ -> Alcotest.fail "nothing can get through a fully lossy channel"
+  | Error (`Deadline_exceeded _) -> Alcotest.fail "no deadline on a channel link"
   | Error (`Transport_failure rep) ->
     Alcotest.(check bool) "degraded on the way down" true rep.Resilient.degraded;
     Alcotest.(check bool) "attempts recorded" true (List.length rep.Resilient.attempts = 6);
@@ -458,14 +477,14 @@ let test_resilient_sos_sweep () =
                    ~seed:(Prng.derive ~seed:wseed ~tag:1) ())
             in
             match
-              Resilient.reconcile_sos ~channel:ch ~framed ~kind ~seed:wseed ~u:(1 lsl 18) ~h
-                ~initial_d:d ~alice ~bob ()
+              Resilient.reconcile_sos ~link:(Resilient.over_channel ~framed ch) ~kind ~seed:wseed
+                ~u:(1 lsl 18) ~h ~initial_d:d ~alice ~bob ()
             with
             | Ok (recovered, _) ->
               Alcotest.(check bool)
                 (Printf.sprintf "%s framed=%b correct" (Protocol.name kind) framed)
                 true (Parent.equal recovered alice)
-            | Error (`Transport_failure rep) ->
+            | Error (`Transport_failure rep | `Deadline_exceeded rep) ->
               Alcotest.(check bool) "typed failure carries attempts" true
                 (List.length rep.Resilient.attempts > 0)
           done)
@@ -480,11 +499,11 @@ let test_resilient_replay_by_seed () =
     let rng = Prng.create ~seed in
     let alice, bob = small_sets rng in
     let ch = Channel.create (Channel.config_with ~drop:0.4 ~corrupt:0.7 ~seed:0xD15EA5EL ()) in
-    let result = Resilient.reconcile_set ~channel:ch ~seed ~alice ~bob () in
+    let result = Resilient.reconcile_set ~link:(Resilient.over_channel ch) ~seed ~alice ~bob () in
     let faults =
       match result with
       | Ok (_, rep) -> rep.Resilient.faults
-      | Error (`Transport_failure rep) -> rep.Resilient.faults
+      | Error (`Transport_failure rep | `Deadline_exceeded rep) -> rep.Resilient.faults
     in
     List.map
       (fun (e : Channel.event) -> (e.Channel.index, e.Channel.label, e.Channel.fault))
@@ -493,6 +512,446 @@ let test_resilient_replay_by_seed () =
   let f1 = run () and f2 = run () in
   Alcotest.(check bool) "same faults on replay" true (f1 = f2);
   Alcotest.(check bool) "faults actually injected" true (f1 <> [])
+
+(* ---------- Clock ---------- *)
+
+let test_clock_ordering () =
+  let clock = Clock.create () in
+  let fired = ref [] in
+  let note tag () = fired := (tag, Clock.now_us clock) :: !fired in
+  (* Scheduled out of time order; ties broken by scheduling order. *)
+  ignore (Clock.schedule clock ~at_us:30 (note "c"));
+  ignore (Clock.schedule clock ~at_us:10 (note "a"));
+  ignore (Clock.schedule clock ~at_us:30 (note "d"));
+  ignore (Clock.schedule clock ~at_us:20 (note "b"));
+  Alcotest.(check int) "pending" 4 (Clock.pending clock);
+  Clock.run_until clock ~deadline_us:100 ~stop:(fun () -> false);
+  Alcotest.(check (list (pair string int)))
+    "time order, ties by scheduling order"
+    [ ("a", 10); ("b", 20); ("c", 30); ("d", 30) ]
+    (List.rev !fired);
+  Alcotest.(check int) "idle time passes to the deadline" 100 (Clock.now_us clock);
+  Alcotest.(check int) "nothing pending" 0 (Clock.pending clock)
+
+let test_clock_cancel_and_clamp () =
+  let clock = Clock.create () in
+  let fired = ref 0 in
+  let id = Clock.schedule clock ~at_us:10 (fun () -> incr fired) in
+  ignore (Clock.schedule clock ~at_us:20 (fun () -> incr fired));
+  Clock.cancel clock id;
+  Clock.cancel clock id;
+  Clock.advance clock ~by_us:50;
+  Alcotest.(check int) "cancelled event never fires" 1 !fired;
+  (* Scheduling in the past clamps to now: it fires, it does not rewind. *)
+  let t = Clock.now_us clock in
+  ignore (Clock.schedule clock ~at_us:(t - 40) (fun () -> incr fired));
+  Clock.advance clock ~by_us:0;
+  Alcotest.(check int) "past event clamped to now" 2 !fired;
+  Alcotest.(check bool) "time is monotonic" true (Clock.now_us clock >= t)
+
+let test_clock_stop_condition () =
+  let clock = Clock.create () in
+  let fired = ref 0 in
+  for i = 1 to 5 do
+    ignore (Clock.schedule clock ~at_us:(i * 10) (fun () -> incr fired))
+  done;
+  Clock.run_until clock ~deadline_us:1_000 ~stop:(fun () -> !fired >= 2);
+  Alcotest.(check int) "stop halts the loop" 2 !fired;
+  Alcotest.(check int) "stop leaves now at the last event" 20 (Clock.now_us clock);
+  Clock.run_until clock ~deadline_us:1_000 ~stop:(fun () -> true);
+  Alcotest.(check int) "stop checked before the first event" 2 !fired
+
+(* ---------- Channel duplication ---------- *)
+
+let test_channel_duplicate_copies () =
+  let payload = Bytes.of_string "twice? thrice!" in
+  let ch =
+    Channel.create (Channel.config_with ~duplicate:1.0 ~duplicate_copies:3 ~seed:7L ())
+  in
+  (match Channel.transmit ch Comm.A_to_b ~label:"dup" payload with
+  | [ a; b; c ] ->
+    List.iter (fun d -> Alcotest.(check bytes) "copies verbatim" payload d) [ a; b; c ]
+  | ds -> Alcotest.failf "expected 3 copies, got %d" (List.length ds));
+  (match Channel.events ch with
+  | [ { Channel.fault = Channel.Duplicated { copies = 3 }; _ } ] -> ()
+  | _ -> Alcotest.fail "duplication event must record the copy count");
+  match Channel.config_with ~duplicate_copies:1 ~seed:7L () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate_copies < 2 must be rejected"
+
+let test_channel_copy_tagged_damage () =
+  (* With duplication and corruption both certain, each corruption event
+     must say which delivery it applied to, and the tag must be in range. *)
+  let ch =
+    Channel.create
+      (Channel.config_with ~duplicate:1.0 ~duplicate_copies:4 ~corrupt:1.0 ~seed:11L ())
+  in
+  let deliveries = Channel.transmit ch Comm.B_to_a ~label:"d" (Bytes.make 32 'z') in
+  Alcotest.(check int) "all copies delivered" 4 (List.length deliveries);
+  let copies =
+    List.filter_map
+      (fun (e : Channel.event) ->
+        match e.Channel.fault with Channel.Corrupted { copy; _ } -> Some copy | _ -> None)
+      (Channel.events ch)
+  in
+  Alcotest.(check int) "each copy damaged independently" 4 (List.length copies);
+  Alcotest.(check (list int)) "copy tags cover the fan-out" [ 0; 1; 2; 3 ]
+    (List.sort compare copies)
+
+(* ---------- Network ---------- *)
+
+let net_stack ?(config = fun seed -> Network.config_with ~seed ()) nseed =
+  let clock = Clock.create () in
+  let network = Network.create ~clock (config nseed) in
+  (clock, network)
+
+let test_network_latency () =
+  let clock, net =
+    net_stack ~config:(fun seed -> Network.config_with ~latency_us:500 ~seed ()) 3L
+  in
+  let got = ref [] in
+  Network.on_deliver net (fun dir b -> got := (dir, Bytes.to_string b) :: !got);
+  Network.send net Comm.A_to_b ~label:"m" (Bytes.of_string "hello");
+  Alcotest.(check (list (pair bool string))) "nothing before the latency elapses" []
+    (List.map (fun (d, s) -> (d = Comm.A_to_b, s)) !got);
+  Clock.advance clock ~by_us:499;
+  Alcotest.(check int) "still in flight" 0 (List.length !got);
+  Clock.advance clock ~by_us:1;
+  (match !got with
+  | [ (Comm.A_to_b, "hello") ] -> ()
+  | _ -> Alcotest.fail "exactly one delivery at sent + latency");
+  match Network.transcript net with
+  | [ d ] ->
+    Alcotest.(check int) "transcript sent time" 0 d.Network.sent_us;
+    Alcotest.(check int) "transcript delivery time" 500 d.Network.delivered_us
+  | _ -> Alcotest.fail "one transcript entry"
+
+let test_network_replay_determinism () =
+  let noisy seed =
+    Network.config_with ~drop:0.2 ~corrupt:0.3 ~duplicate:0.2 ~latency_us:300 ~jitter_us:200
+      ~reorder:0.4 ~seed ()
+  in
+  let drive nseed =
+    let clock, net = net_stack ~config:noisy nseed in
+    Network.on_deliver net (fun _ _ -> ());
+    let rng = Prng.create ~seed in
+    for i = 0 to 39 do
+      let n = 1 + Prng.int_below rng 48 in
+      let payload = Bytes.init n (fun _ -> Char.chr (Prng.int_below rng 256)) in
+      let dir = if i mod 2 = 0 then Comm.A_to_b else Comm.B_to_a in
+      Network.send net dir ~label:(string_of_int i) payload;
+      Clock.advance clock ~by_us:100
+    done;
+    Clock.advance clock ~by_us:10_000;
+    Network.transcript net
+  in
+  let t1 = drive 0x2E7L and t2 = drive 0x2E7L in
+  Alcotest.(check bool) "byte-identical transcript from one seed" true (t1 = t2);
+  Alcotest.(check bool) "transcript non-trivial" true (List.length t1 > 40);
+  let t3 = drive 0x2E8L in
+  Alcotest.(check bool) "different seed, different schedule" true (t1 <> t3)
+
+let test_network_partition_window () =
+  let clock, net =
+    net_stack
+      ~config:(fun seed ->
+        Network.config_with ~latency_us:10
+          ~partitions:[ { Network.from_us = 100; until_us = 200; blocks = `A_to_b } ]
+          ~seed ())
+      5L
+  in
+  let got = ref 0 in
+  Network.on_deliver net (fun _ _ -> incr got);
+  Alcotest.(check bool) "window not yet open" false (Network.in_partition net Comm.A_to_b ~at_us:0);
+  Alcotest.(check bool) "window open at 150" true (Network.in_partition net Comm.A_to_b ~at_us:150);
+  Alcotest.(check bool) "window is directional" false
+    (Network.in_partition net Comm.B_to_a ~at_us:150);
+  Alcotest.(check bool) "window closed at 200" false
+    (Network.in_partition net Comm.A_to_b ~at_us:200);
+  Network.send net Comm.A_to_b ~label:"pre" (Bytes.of_string "pre");
+  Clock.advance clock ~by_us:150;
+  Network.send net Comm.A_to_b ~label:"blocked" (Bytes.of_string "blocked");
+  Network.send net Comm.B_to_a ~label:"reverse" (Bytes.of_string "reverse");
+  Clock.advance clock ~by_us:100;
+  Network.send net Comm.A_to_b ~label:"post" (Bytes.of_string "post");
+  Clock.advance clock ~by_us:100;
+  Alcotest.(check int) "blocked copy swallowed, rest delivered" 3 !got;
+  Alcotest.(check int) "partition exposure counted" 1 (Network.partition_drops net);
+  let blocked =
+    List.filter (fun (d : Network.delivery) -> d.Network.partitioned) (Network.transcript net)
+  in
+  match blocked with
+  | [ d ] ->
+    Alcotest.(check bool) "swallowed copy never delivered" true (d.Network.delivered_us = -1)
+  | _ -> Alcotest.fail "exactly one partitioned transcript entry"
+
+(* ---------- ARQ ---------- *)
+
+let arq_stack ?config ~net_config nseed =
+  let clock = Clock.create () in
+  let network = Network.create ~clock (net_config nseed) in
+  let arq = Arq.create ?config ~clock ~network ~seed:nseed () in
+  (clock, network, arq)
+
+let test_arq_perfect_network () =
+  let _, _, arq = arq_stack ~net_config:(fun seed -> Network.config_with ~seed ()) 1L in
+  let tr = Arq.transport arq in
+  let p = Bytes.of_string "payload" in
+  (match tr.Comm.transmit Comm.A_to_b ~label:"m" p with
+  | Some d -> Alcotest.(check bytes) "delivered verbatim" p d
+  | None -> Alcotest.fail "ideal network must deliver");
+  Alcotest.(check int) "no retransmissions" 0 (Arq.stats arq).Arq.retransmissions
+
+let test_arq_exactly_once_in_order () =
+  (* The exhaustive small case of the ARQ contract: under forced drops,
+     duplication, corruption and reordering, every payload is app-delivered
+     exactly once, in order, across a spread of seeds. [delivered_log] is
+     ground truth, independent of what transmit returns. *)
+  let hostile seed =
+    Network.config_with ~drop:0.25 ~corrupt:0.1 ~duplicate:0.3 ~latency_us:400 ~jitter_us:300
+      ~reorder:0.5 ~seed ()
+  in
+  let config =
+    { Arq.rto_us = 5_000; rto_cap_us = 40_000; rto_jitter_us = 1_000; msg_deadline_us = 10_000_000 }
+  in
+  for trial = 0 to 19 do
+    let nseed = Prng.derive ~seed ~tag:(0xA5 + trial) in
+    let _, _, arq = arq_stack ~config ~net_config:hostile nseed in
+    let tr = Arq.transport arq in
+    let payload dir i = Bytes.of_string (Printf.sprintf "%s-%d" dir i) in
+    for i = 0 to 11 do
+      (* Ping-pong like a real protocol round. *)
+      (match tr.Comm.transmit Comm.A_to_b ~label:"req" (payload "ab" i) with
+      | Some d -> Alcotest.(check bytes) "transmit returns its own payload" (payload "ab" i) d
+      | None -> Alcotest.failf "trial %d: request %d timed out" trial i);
+      match tr.Comm.transmit Comm.B_to_a ~label:"rsp" (payload "ba" i) with
+      | Some d -> Alcotest.(check bytes) "reply returns its own payload" (payload "ba" i) d
+      | None -> Alcotest.failf "trial %d: reply %d timed out" trial i
+    done;
+    let log dir =
+      List.filter_map
+        (fun (d, sq, b) -> if d = dir then Some (sq, Bytes.to_string b) else None)
+        (Arq.delivered_log arq)
+    in
+    let expect tag = List.init 12 (fun i -> (i, Printf.sprintf "%s-%d" tag i)) in
+    Alcotest.(check (list (pair int string)))
+      "a->b delivered exactly once, in order" (expect "ab") (log Comm.A_to_b);
+    Alcotest.(check (list (pair int string)))
+      "b->a delivered exactly once, in order" (expect "ba") (log Comm.B_to_a)
+  done
+
+let test_arq_duplicate_suppression () =
+  let _, _, arq =
+    arq_stack
+      ~net_config:(fun seed ->
+        Network.config_with ~duplicate:1.0 ~duplicate_copies:3 ~latency_us:100 ~seed ())
+      9L
+  in
+  let tr = Arq.transport arq in
+  for i = 0 to 7 do
+    match tr.Comm.transmit Comm.A_to_b ~label:"m" (Bytes.make 8 (Char.chr (65 + i))) with
+    | Some _ -> ()
+    | None -> Alcotest.fail "duplication alone must not lose messages"
+  done;
+  let st = Arq.stats arq in
+  Alcotest.(check bool) "extra copies suppressed" true (st.Arq.duplicates_suppressed > 0);
+  Alcotest.(check int) "app deliveries unaffected" 8 (List.length (Arq.delivered_log arq))
+
+let test_arq_full_partition_times_out () =
+  (* A network that never delivers: transmit must return None after its
+     virtual deadline — head-of-line timeout, not a hang. *)
+  let clock, _, arq =
+    arq_stack
+      ~net_config:(fun seed ->
+        Network.config_with
+          ~partitions:[ { Network.from_us = 0; until_us = max_int; blocks = `Both } ]
+          ~seed ())
+      13L
+  in
+  let tr = Arq.transport arq in
+  (match tr.Comm.transmit Comm.A_to_b ~label:"void" (Bytes.of_string "into the void") with
+  | None -> ()
+  | Some _ -> Alcotest.fail "nothing can cross a full partition");
+  let st = Arq.stats arq in
+  Alcotest.(check int) "timeout counted" 1 st.Arq.timeouts;
+  Alcotest.(check bool) "retransmissions were attempted" true (st.Arq.retransmissions > 0);
+  Alcotest.(check int) "virtual clock ran to the per-message deadline"
+    Arq.default_config.Arq.msg_deadline_us (Clock.now_us clock)
+
+(* ---------- Resilient driver over the simulated network ---------- *)
+
+let resilient_net_link ?(partitions = []) ?(drop = 0.05) ?(reorder = 0.10) nseed =
+  let clock = Clock.create () in
+  let network =
+    Network.create ~clock
+      (Network.config_with ~drop ~corrupt:0.02 ~duplicate:0.05 ~latency_us:2_000 ~jitter_us:1_000
+         ~reorder ~partitions ~seed:nseed ())
+  in
+  Resilient.over_network (Arq.create ~clock ~network ~seed:nseed ())
+
+let test_resilient_network_all_stacks () =
+  (* The acceptance stack: all five protocols over drop + reorder + latency
+     jitter + one partition window, several seeds each. Every run ends
+     verified-correct or as a typed failure. *)
+  let rng = Prng.create ~seed in
+  let partitions = [ { Network.from_us = 20_000; until_us = 60_000; blocks = `Both } ] in
+  let check_set wseed =
+    let alice, bob = small_sets rng in
+    let link = resilient_net_link ~partitions (Prng.derive ~seed:wseed ~tag:1) in
+    match
+      Resilient.reconcile_set ~link ~seed:wseed ~run_deadline_us:30_000_000 ~alice ~bob ()
+    with
+    | Ok (recovered, rep) ->
+      Alcotest.(check bool) "set recovered" true (Iset.equal recovered alice);
+      (match rep.Resilient.timing with
+      | Some t -> Alcotest.(check bool) "virtual time elapsed" true (t.Resilient.elapsed_us > 0)
+      | None -> Alcotest.fail "network link must report timing")
+    | Error (`Transport_failure _ | `Deadline_exceeded _) -> ()
+  in
+  let check_sos kind wseed =
+    let alice, bob = small_parents rng in
+    let d, h = sos_args rng alice bob in
+    let link = resilient_net_link ~partitions (Prng.derive ~seed:wseed ~tag:2) in
+    match
+      Resilient.reconcile_sos ~link ~kind ~seed:wseed ~u:(1 lsl 18) ~h ~initial_d:d
+        ~run_deadline_us:30_000_000 ~alice ~bob ()
+    with
+    | Ok (recovered, _) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s recovered over network" (Protocol.name kind))
+        true (Parent.equal recovered alice)
+    | Error (`Transport_failure _ | `Deadline_exceeded _) -> ()
+  in
+  for trial = 1 to 4 do
+    let wseed = Prng.derive ~seed ~tag:(0x5ACC + trial) in
+    check_set wseed;
+    List.iter (fun kind -> check_sos kind wseed) Protocol.all
+  done
+
+let test_resilient_network_deadline_exceeded () =
+  (* A permanent partition with a whole-run deadline: the driver must come
+     back with the typed deadline failure carrying a full report — and it
+     must do so without consuming real time. *)
+  let rng = Prng.create ~seed in
+  let alice, bob = small_sets rng in
+  let link =
+    resilient_net_link
+      ~partitions:[ { Network.from_us = 0; until_us = max_int; blocks = `Both } ]
+      0x0DEADL
+  in
+  match
+    Resilient.reconcile_set ~link ~seed ~max_attempts:4 ~attempt_deadline_us:200_000
+      ~run_deadline_us:1_000_000 ~alice ~bob ()
+  with
+  | Ok _ -> Alcotest.fail "nothing can cross a permanent partition"
+  | Error (`Transport_failure _) -> Alcotest.fail "run deadline must fire before the budget"
+  | Error (`Deadline_exceeded rep) ->
+    Alcotest.(check bool) "attempts recorded" true (List.length rep.Resilient.attempts > 0);
+    (match rep.Resilient.timing with
+    | Some t ->
+      Alcotest.(check bool) "partition exposure recorded" true (t.Resilient.partition_drops > 0);
+      Alcotest.(check bool) "deadline respected in virtual time" true
+        (t.Resilient.elapsed_us <= 1_000_000 + 200_000)
+    | None -> Alcotest.fail "network link must report timing")
+
+let test_resilient_network_replay () =
+  (* Whole-stack replay: same seeds, same report — attempts, timing and the
+     network's delivery schedule all reproduce. *)
+  let run () =
+    let clock = Clock.create () in
+    let network =
+      Network.create ~clock
+        (Network.config_with ~drop:0.3 ~corrupt:0.1 ~duplicate:0.2 ~latency_us:1_000
+           ~jitter_us:700 ~reorder:0.3 ~seed:0x3E1A11L ())
+    in
+    let arq = Arq.create ~clock ~network ~seed:0x3E1A11L () in
+    let rng = Prng.create ~seed in
+    let alice, bob = small_sets rng in
+    let result =
+      Resilient.reconcile_set ~link:(Resilient.over_network arq) ~seed
+        ~run_deadline_us:30_000_000 ~alice ~bob ()
+    in
+    let rep =
+      match result with
+      | Ok (_, rep) -> rep
+      | Error (`Transport_failure rep | `Deadline_exceeded rep) -> rep
+    in
+    (rep.Resilient.attempts, rep.Resilient.timing, Network.transcript network)
+  in
+  let a1, t1, tr1 = run () in
+  let a2, t2, tr2 = run () in
+  Alcotest.(check bool) "attempts replay" true (a1 = a2);
+  Alcotest.(check bool) "timing replays" true (t1 = t2);
+  Alcotest.(check bool) "delivery schedule replays byte-identically" true (tr1 = tr2)
+
+(* ---------- Untrusted size fields (hardening regressions) ---------- *)
+
+(* Feed parsers a tiny body whose length/count fields declare something
+   enormous: the parse must return an error without allocating anything
+   sized from the hostile field. The allocation bound is generous (64 KiB)
+   against hostile fields declaring hundreds of MiB. *)
+let assert_bounded_alloc ~name f =
+  let before = Gc.allocated_bytes () in
+  let r = f () in
+  let after = Gc.allocated_bytes () in
+  Alcotest.(check bool) (name ^ ": rejected") true r;
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: bounded allocation (%.0f bytes)" name (after -. before))
+    true
+    (after -. before < 65_536.)
+
+let test_frame_huge_declared_length () =
+  (* 16 real payload bytes, header declaring ~4 GiB. *)
+  let tiny = Frame.encode (Bytes.make 16 'x') in
+  Bytes.set_int32_le tiny 1 0xFFFF_FF0Fl;
+  assert_bounded_alloc ~name:"frame" (fun () ->
+      match Frame.decode tiny with Ok _ -> false | Error _ -> true)
+
+let test_direct_set_hostile () =
+  let rng = Prng.create ~seed in
+  let s = Iset.random_subset rng ~universe:(1 lsl 20) ~size:8 in
+  let good =
+    let b = Bytes.create 8 in
+    Bytes.set_int64_le b 0 (Int64.of_int (Ssr_setrecon.Set_recon.set_hash ~seed s));
+    Bytes.cat (Iset.canonical_bytes s) b
+  in
+  (match Resilient.For_tests.parse_direct_set ~seed good with
+  | Some s' -> Alcotest.(check bool) "well-formed payload accepted" true (Iset.equal s s')
+  | None -> Alcotest.fail "well-formed direct payload rejected");
+  Alcotest.(check bool) "ragged length rejected" true
+    (Resilient.For_tests.parse_direct_set ~seed (Bytes.sub good 0 (Bytes.length good - 3)) = None);
+  Alcotest.(check bool) "hash mismatch rejected" true
+    (Resilient.For_tests.parse_direct_set ~seed (flip_bit good 3) = None);
+  Alcotest.(check bool) "empty rejected" true
+    (Resilient.For_tests.parse_direct_set ~seed Bytes.empty = None)
+
+let test_direct_sos_huge_count () =
+  (* A 12-byte body declaring 2^31 - 1 children: the count must be rejected
+     against the remaining bytes before the parse loop builds anything. *)
+  let hostile = Bytes.make 12 '\x00' in
+  Bytes.set_int32_le hostile 0 0x7FFF_FFFFl;
+  assert_bounded_alloc ~name:"direct-sos count" (fun () ->
+      Resilient.For_tests.parse_direct_sos ~seed hostile = None);
+  (* Same attack one level down: a plausible child count whose first child
+     declares a huge length. *)
+  let nested = Bytes.make 16 '\x00' in
+  Bytes.set_int32_le nested 0 1l;
+  Bytes.set_int32_le nested 4 0x7FFF_FFF8l;
+  assert_bounded_alloc ~name:"direct-sos child len" (fun () ->
+      Resilient.For_tests.parse_direct_sos ~seed nested = None)
+
+let test_sketch_decoders_hostile_sizes () =
+  (* The sketch/encoding parsers size their allocations from trusted local
+     parameters, never from the byte string: a body of the wrong size — tiny
+     or enormous relative to what the params imply — is rejected cheaply. *)
+  let prm : Iblt.params = { cells = 8; k = 3; key_len = 8; seed = 2L } in
+  assert_bounded_alloc ~name:"iblt oversized body" (fun () ->
+      Iblt.of_body_bytes_opt prm (Bytes.make 4096 '\xFF') = None);
+  assert_bounded_alloc ~name:"l0 oversized body" (fun () ->
+      L0.of_bytes_opt ~seed (Bytes.make 4096 '\xFF') = None);
+  let cfg : Encoding.config = { child_cells = 4; child_k = 2; hash_bits = 20; seed = 2L } in
+  assert_bounded_alloc ~name:"encoding oversized key" (fun () ->
+      Encoding.decode_opt cfg (Bytes.make 4096 '\xFF') = None)
 
 let () =
   Alcotest.run "transport"
@@ -539,5 +998,44 @@ let () =
           Alcotest.test_case "total loss is typed" `Quick test_resilient_total_loss_is_typed;
           Alcotest.test_case "sos sweep" `Slow test_resilient_sos_sweep;
           Alcotest.test_case "replay by seed" `Quick test_resilient_replay_by_seed;
+        ] );
+      ( "clock",
+        [
+          Alcotest.test_case "ordering and ties" `Quick test_clock_ordering;
+          Alcotest.test_case "cancel and clamp" `Quick test_clock_cancel_and_clamp;
+          Alcotest.test_case "stop condition" `Quick test_clock_stop_condition;
+        ] );
+      ( "duplication",
+        [
+          Alcotest.test_case "configurable copy count" `Quick test_channel_duplicate_copies;
+          Alcotest.test_case "copy-tagged damage" `Quick test_channel_copy_tagged_damage;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "latency" `Quick test_network_latency;
+          Alcotest.test_case "replay determinism" `Quick test_network_replay_determinism;
+          Alcotest.test_case "partition window" `Quick test_network_partition_window;
+        ] );
+      ( "arq",
+        [
+          Alcotest.test_case "perfect network" `Quick test_arq_perfect_network;
+          Alcotest.test_case "exactly once, in order" `Slow test_arq_exactly_once_in_order;
+          Alcotest.test_case "duplicate suppression" `Quick test_arq_duplicate_suppression;
+          Alcotest.test_case "full partition times out" `Quick test_arq_full_partition_times_out;
+        ] );
+      ( "resilient-network",
+        [
+          Alcotest.test_case "all stacks over faults" `Slow test_resilient_network_all_stacks;
+          Alcotest.test_case "deadline exceeded is typed" `Quick
+            test_resilient_network_deadline_exceeded;
+          Alcotest.test_case "whole-stack replay" `Quick test_resilient_network_replay;
+        ] );
+      ( "hardening",
+        [
+          Alcotest.test_case "frame huge declared length" `Quick test_frame_huge_declared_length;
+          Alcotest.test_case "direct set payload" `Quick test_direct_set_hostile;
+          Alcotest.test_case "direct sos huge count" `Quick test_direct_sos_huge_count;
+          Alcotest.test_case "sketch decoders hostile sizes" `Quick
+            test_sketch_decoders_hostile_sizes;
         ] );
     ]
