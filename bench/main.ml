@@ -1129,6 +1129,7 @@ let sections =
     ("faults", faults);
     ("transport", transport);
     ("perf", fun () -> Perf.run ~smoke:(List.mem "--smoke" (Array.to_list Sys.argv)));
+    ("obs", fun () -> Obs.run ~smoke:(List.mem "--smoke" (Array.to_list Sys.argv)));
   ]
 
 let () =
@@ -1141,7 +1142,8 @@ let () =
          is opt-in ([-- perf]) because it exists to emit BENCH_*.json, not to
          check paper shapes. *)
       if chosen = [] then
-        List.filter (fun (name, _) -> name <> "perf" && name <> "transport") sections
+        List.filter (fun (name, _) -> name <> "perf" && name <> "transport" && name <> "obs")
+          sections
       else List.filter (fun (name, _) -> List.mem name chosen) sections
     in
     print_endline "Reconciling Graphs and Sets of Sets - experiment harness";

@@ -29,6 +29,8 @@ module Forest = Ssr_graphs.Forest
 module Degree_order = Ssr_graphrecon.Degree_order
 module Degree_nbr = Ssr_graphrecon.Degree_nbr
 module Forest_recon = Ssr_graphrecon.Forest_recon
+module Metrics = Ssr_obs.Metrics
+module Trace = Ssr_obs.Trace
 
 open Cmdliner
 
@@ -44,14 +46,163 @@ let protocol_term =
 
 (* Wall time of the protocol run proper (workload generation excluded):
    each subcommand calls [start_wall] once its inputs are built, and
-   [report] reads the elapsed monotonic time. *)
+   [report] reads the elapsed monotonic time. [start_wall] also snapshots
+   the metrics registry so the observability report covers exactly the
+   protocol run, not workload generation. *)
 let wall_t0 = ref 0L
 
-let start_wall () = wall_t0 := Monotonic_clock.now ()
+let metrics_t0 = ref ([] : Metrics.snapshot)
+
+let start_wall () =
+  metrics_t0 := Metrics.snapshot ();
+  wall_t0 := Monotonic_clock.now ()
 
 let wall_ms () = Int64.to_float (Int64.sub (Monotonic_clock.now ()) !wall_t0) /. 1e6
 
-let report ~label ~ok stats =
+(* ---- observability surface (--metrics, --trace-out) ---- *)
+
+let obs_metrics : [ `Json | `Table ] option ref = ref None
+let obs_trace_out : string option ref = ref None
+
+type run_report = {
+  r_label : string;
+  r_ok : bool;
+  r_stats : Comm.stats option;
+  r_metrics : Metrics.snapshot;
+  r_true_d : int option;
+  r_wall_ms : float;
+}
+
+let run_reports = ref ([] : run_report list) (* newest first *)
+
+let push_report ?true_d ?stats ~label ~ok () =
+  run_reports :=
+    {
+      r_label = label;
+      r_ok = ok;
+      r_stats = stats;
+      r_metrics = Metrics.diff ~before:!metrics_t0 ~after:(Metrics.snapshot ());
+      r_true_d = true_d;
+      r_wall_ms = wall_ms ();
+    }
+    :: !run_reports
+
+(* Estimator accuracy, derivable when the harness knows the true difference:
+   mean of the estimates the run recorded vs. the known truth. *)
+let estimator_summary r =
+  match r.r_true_d with
+  | None -> None
+  | Some truth ->
+    let mean_of name =
+      match Metrics.find r.r_metrics name with
+      | Some (Metrics.Dist { count; sum; _ }) when count > 0 ->
+        Some (float_of_int sum /. float_of_int count)
+      | _ -> None
+    in
+    (match (mean_of "estimator.l0.estimate", mean_of "estimator.strata.estimate") with
+    | None, None -> None
+    | l0, strata -> Some (truth, l0, strata))
+
+let json_of_report r =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"label\": \"%s\", \"ok\": %b, \"wall_ms\": %.3f" (Metrics.json_escape r.r_label)
+       r.r_ok r.r_wall_ms);
+  (match r.r_true_d with
+  | Some d -> Buffer.add_string b (Printf.sprintf ", \"true_d\": %d" d)
+  | None -> ());
+  (match estimator_summary r with
+  | Some (truth, l0, strata) ->
+    let field name = function
+      | Some est ->
+        Buffer.add_string b
+          (Printf.sprintf ", \"%s\": {\"estimate_mean\": %.3f, \"abs_error\": %.3f}" name est
+             (Float.abs (est -. float_of_int truth)))
+      | None -> ()
+    in
+    field "estimator_l0" l0;
+    field "estimator_strata" strata
+  | None -> ());
+  (match r.r_stats with
+  | Some st ->
+    Buffer.add_string b
+      (Printf.sprintf ", \"rounds\": %d, \"bits_total\": %d, \"bits_a_to_b\": %d, \"bits_b_to_a\": %d"
+         st.Comm.rounds st.Comm.bits_total st.Comm.bits_a_to_b st.Comm.bits_b_to_a);
+    Buffer.add_string b ", \"per_round\": [";
+    List.iteri
+      (fun i (round, ab, ba) ->
+        if i > 0 then Buffer.add_string b ", ";
+        Buffer.add_string b
+          (Printf.sprintf "{\"round\": %d, \"a_to_b_bits\": %d, \"b_to_a_bits\": %d}" round ab ba))
+      (Comm.per_round_bits st);
+    Buffer.add_string b "]"
+  | None -> ());
+  Buffer.add_string b (Printf.sprintf ", \"metrics\": %s}" (Metrics.to_json r.r_metrics));
+  Buffer.contents b
+
+let print_report_table r =
+  Printf.printf "--- %s (%s, %.2f ms) ---\n" r.r_label (if r.r_ok then "ok" else "failed") r.r_wall_ms;
+  (match r.r_stats with
+  | Some st ->
+    List.iter
+      (fun (round, ab, ba) -> Printf.printf "round %-3d  A->B %8d bits  B->A %8d bits\n" round ab ba)
+      (Comm.per_round_bits st)
+  | None -> ());
+  (match estimator_summary r with
+  | Some (truth, l0, strata) ->
+    let line name = function
+      | Some est -> Printf.printf "%s: estimate %.1f vs true %d\n" name est truth
+      | None -> ()
+    in
+    line "estimator.l0" l0;
+    line "estimator.strata" strata
+  | None -> ());
+  Format.printf "%a@." Metrics.pp r.r_metrics
+
+(* Runs after the subcommand body: print the collected observability reports
+   in the requested format and flush the trace. The options term below is
+   listed leftmost in every subcommand, so its side effects (setting the two
+   refs) happen before the run term executes. *)
+let finish () code =
+  (match !obs_metrics with
+  | None -> ()
+  | Some `Json ->
+    List.iter (fun r -> print_endline (json_of_report r)) (List.rev !run_reports)
+  | Some `Table -> List.iter print_report_table (List.rev !run_reports));
+  (match !obs_trace_out with
+  | None -> ()
+  | Some path ->
+    Trace.write_file path;
+    Printf.eprintf "trace: %d events written to %s (%d overwritten)\n"
+      (List.length (Trace.events ()))
+      path (Trace.dropped ()));
+  code
+
+let obs_term =
+  let metrics =
+    Arg.(value
+         & opt (some (enum [ ("json", `Json); ("table", `Table) ])) None
+         & info [ "metrics" ]
+             ~doc:"Emit an observability report after the run: per-round payload bits per \
+                   direction, IBLT peel statistics, estimator accuracy and transport counters, \
+                   as $(b,json) (one object per line) or a $(b,table).")
+  in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ]
+             ~doc:"Write the structured event trace (virtual-time-stamped when running over the \
+                   simulated network) to this file as JSON.")
+  in
+  Term.(
+    const (fun m t ->
+        obs_metrics := m;
+        obs_trace_out := t)
+    $ metrics $ trace_out)
+
+let with_obs run_term = Term.(const finish $ obs_term $ run_term)
+
+let report ?true_d ~label ~ok stats =
+  push_report ?true_d ~stats ~label ~ok ();
   Printf.printf "%s: %s  %s  wall=%.2f ms\n" label
     (if ok then "RECOVERED" else "FAILED")
     (Comm.show_stats stats) (wall_ms ());
@@ -76,16 +227,19 @@ let run_sets seed n d method_ =
   match method_ with
   | `Iblt -> (
     match Set_recon.reconcile_known_d ~seed ~d:dd ~alice ~bob () with
-    | Ok o -> report ~label:"iblt" ~ok:(Iset.equal o.Set_recon.recovered alice) o.Set_recon.stats
-    | Error (`Decode_failure st) -> report ~label:"iblt" ~ok:false st)
+    | Ok o ->
+      report ~true_d:dd ~label:"iblt" ~ok:(Iset.equal o.Set_recon.recovered alice) o.Set_recon.stats
+    | Error (`Decode_failure st) -> report ~true_d:dd ~label:"iblt" ~ok:false st)
   | `Cpi -> (
     match Cpi.reconcile_known_d ~seed ~d:dd ~alice ~bob () with
-    | Ok o -> report ~label:"cpi" ~ok:(Iset.equal o.Cpi.recovered alice) o.Cpi.stats
-    | Error (`Bound_too_small st) -> report ~label:"cpi" ~ok:false st)
+    | Ok o -> report ~true_d:dd ~label:"cpi" ~ok:(Iset.equal o.Cpi.recovered alice) o.Cpi.stats
+    | Error (`Bound_too_small st) -> report ~true_d:dd ~label:"cpi" ~ok:false st)
   | `Unknown -> (
     match Set_recon.reconcile_unknown_d ~seed ~alice ~bob () with
-    | Ok o -> report ~label:"unknown-d" ~ok:(Iset.equal o.Set_recon.recovered alice) o.Set_recon.stats
-    | Error (`Decode_failure st) -> report ~label:"unknown-d" ~ok:false st)
+    | Ok o ->
+      report ~true_d:dd ~label:"unknown-d" ~ok:(Iset.equal o.Set_recon.recovered alice)
+        o.Set_recon.stats
+    | Error (`Decode_failure st) -> report ~true_d:dd ~label:"unknown-d" ~ok:false st)
 
 let sets_cmd =
   let n = Arg.(value & opt int 10_000 & info [ "n" ] ~doc:"Set size.") in
@@ -96,7 +250,7 @@ let sets_cmd =
          & info [ "method" ] ~doc:"iblt, cpi or unknown.")
   in
   Cmd.v (Cmd.info "sets" ~doc:"Plain set reconciliation (paper section 2)")
-    Term.(const run_sets $ seed_term $ n $ d $ m)
+    (with_obs Term.(const run_sets $ seed_term $ n $ d $ m))
 
 (* ---- sos ---- *)
 
@@ -114,8 +268,10 @@ let run_sos seed children child_size universe edits unknown kind =
     else Protocol.reconcile_known kind ~seed ~d ~u:universe ~h ~alice ~bob ()
   in
   match result with
-  | Ok o -> report ~label:(Protocol.name kind) ~ok:(Parent.equal o.Protocol.recovered alice) o.Protocol.stats
-  | Error (`Decode_failure st) -> report ~label:(Protocol.name kind) ~ok:false st
+  | Ok o ->
+    report ~true_d:d ~label:(Protocol.name kind) ~ok:(Parent.equal o.Protocol.recovered alice)
+      o.Protocol.stats
+  | Error (`Decode_failure st) -> report ~true_d:d ~label:(Protocol.name kind) ~ok:false st
 
 let sos_cmd =
   let children = Arg.(value & opt int 100 & info [ "children" ] ~doc:"Child sets per parent (s).") in
@@ -124,7 +280,9 @@ let sos_cmd =
   let edits = Arg.(value & opt int 8 & info [ "edits" ] ~doc:"Element edits between the parents (d).") in
   let unknown = Arg.(value & flag & info [ "unknown" ] ~doc:"Use the unknown-d variant.") in
   Cmd.v (Cmd.info "sos" ~doc:"Set-of-sets reconciliation (paper section 3)")
-    Term.(const run_sos $ seed_term $ children $ child_size $ universe $ edits $ unknown $ protocol_term)
+    (with_obs
+       Term.(const run_sos $ seed_term $ children $ child_size $ universe $ edits $ unknown
+             $ protocol_term))
 
 (* ---- db ---- *)
 
@@ -146,7 +304,7 @@ let db_cmd =
   let rows = Arg.(value & opt int 400 & info [ "rows" ] ~doc:"Unlabeled rows (s).") in
   let flips = Arg.(value & opt int 10 & info [ "flips" ] ~doc:"Flipped bits (d).") in
   Cmd.v (Cmd.info "db" ~doc:"Binary relational database reconciliation (paper section 1)")
-    Term.(const run_db $ seed_term $ columns $ rows $ flips $ protocol_term)
+    (with_obs Term.(const run_db $ seed_term $ columns $ rows $ flips $ protocol_term))
 
 (* ---- graph ---- *)
 
@@ -193,7 +351,7 @@ let graph_cmd =
   let n = Arg.(value & opt int 480 & info [ "n" ] ~doc:"Vertices.") in
   let d = Arg.(value & opt int 2 & info [ "d" ] ~doc:"Edge perturbations.") in
   Cmd.v (Cmd.info "graph" ~doc:"Random graph reconciliation (paper section 5)")
-    Term.(const run_graph $ seed_term $ scheme $ n $ d)
+    (with_obs Term.(const run_graph $ seed_term $ scheme $ n $ d))
 
 (* ---- forest ---- *)
 
@@ -212,7 +370,7 @@ let forest_cmd =
   let sigma = Arg.(value & opt int 5 & info [ "sigma" ] ~doc:"Depth bound.") in
   let d = Arg.(value & opt int 3 & info [ "d" ] ~doc:"Edge updates.") in
   Cmd.v (Cmd.info "forest" ~doc:"Rooted forest reconciliation (paper section 6)")
-    Term.(const run_forest $ seed_term $ n $ sigma $ d)
+    (with_obs Term.(const run_forest $ seed_term $ n $ sigma $ d))
 
 (* ---- sos3 ---- *)
 
@@ -238,7 +396,7 @@ let sos3_cmd =
   let child_size = Arg.(value & opt int 12 & info [ "child-size" ] ~doc:"Elements per child.") in
   let edits = Arg.(value & opt int 3 & info [ "edits" ] ~doc:"Element edits.") in
   Cmd.v (Cmd.info "sos3" ~doc:"Sets of sets of sets (paper section 3.2's future work)")
-    Term.(const run_sos3 $ seed_term $ parents $ children $ child_size $ edits)
+    (with_obs Term.(const run_sos3 $ seed_term $ parents $ children $ child_size $ edits))
 
 (* ---- multiparty ---- *)
 
@@ -263,7 +421,7 @@ let multiparty_cmd =
   let n = Arg.(value & opt int 5_000 & info [ "n" ] ~doc:"Core set size.") in
   let drift = Arg.(value & opt int 10 & info [ "drift" ] ~doc:"Unique elements per party.") in
   Cmd.v (Cmd.info "multiparty" ~doc:"Multi-party broadcast reconciliation (extension)")
-    Term.(const run_multiparty $ seed_term $ k $ n $ drift)
+    (with_obs Term.(const run_multiparty $ seed_term $ k $ n $ drift))
 
 (* ---- twoway ---- *)
 
@@ -283,7 +441,7 @@ let twoway_cmd =
   let n = Arg.(value & opt int 10_000 & info [ "n" ] ~doc:"Set size.") in
   let d = Arg.(value & opt int 20 & info [ "d" ] ~doc:"Difference size.") in
   Cmd.v (Cmd.info "twoway" ~doc:"Mutual (two-way) set reconciliation (extension)")
-    Term.(const run_twoway $ seed_term $ n $ d)
+    (with_obs Term.(const run_twoway $ seed_term $ n $ d))
 
 (* ---- faulty ---- *)
 
@@ -434,6 +592,7 @@ let run_faulty seed fault_seed drop corrupt truncate duplicate max_attempts runs
   Printf.printf
     "  recovered=%d (degraded=%d)  typed-failures=%d  deadline-exceeded=%d  faults-injected=%d  retransmissions=%d  silent-corruptions=%d  wall=%.1f ms\n"
     !ok !degraded !tfail !timedout !faults !retransmits !silent (wall_ms ());
+  push_report ~label:"faulty" ~ok:(!silent = 0) ();
   if !silent = 0 then begin
     print_endline "  invariant held: correct result or clean typed failure, never silent corruption";
     0
@@ -525,9 +684,10 @@ let faulty_cmd =
        ~doc:"Reconciliation over a faulty channel or simulated network (self-healing transport \
              driver). Any of --latency, --reorder, --partition, --deadline-ms selects the \
              virtual-time network simulator with ARQ.")
-    Term.(const run_faulty $ seed_term $ fault_seed $ drop $ corrupt $ truncate $ duplicate
-          $ max_attempts $ runs $ target $ protocol_term $ unframed $ latency $ reorder
-          $ partition $ deadline_ms)
+    (with_obs
+       Term.(const run_faulty $ seed_term $ fault_seed $ drop $ corrupt $ truncate $ duplicate
+             $ max_attempts $ runs $ target $ protocol_term $ unframed $ latency $ reorder
+             $ partition $ deadline_ms))
 
 (* ---- estimate ---- *)
 
@@ -544,17 +704,23 @@ let run_estimate seed n d =
   let sa = Strata.create ~seed () and sb = Strata.create ~seed () in
   Iset.iter (Strata.add sa) alice;
   Iset.iter (Strata.add sb) bob;
+  start_wall ();
+  let l0_est = L0.query l0 in
+  let strata_est = Strata.estimate ~local:sa ~remote:sb in
+  L0.record_accuracy ~estimate:l0_est ~truth:true_d;
+  Strata.record_accuracy ~estimate:strata_est ~truth:true_d;
   Printf.printf "true difference: %d\n" true_d;
-  Printf.printf "l0 estimator     (Thm 3.1): estimate=%-8d size=%d bits\n" (L0.query l0) (L0.size_bits l0);
-  Printf.printf "strata estimator ([14]):    estimate=%-8d size=%d bits\n"
-    (Strata.estimate ~local:sa ~remote:sb) (Strata.size_bits sa);
+  Printf.printf "l0 estimator     (Thm 3.1): estimate=%-8d size=%d bits\n" l0_est (L0.size_bits l0);
+  Printf.printf "strata estimator ([14]):    estimate=%-8d size=%d bits\n" strata_est
+    (Strata.size_bits sa);
+  push_report ~true_d ~label:"estimate" ~ok:true ();
   0
 
 let estimate_cmd =
   let n = Arg.(value & opt int 5_000 & info [ "n" ] ~doc:"Set size.") in
   let d = Arg.(value & opt int 100 & info [ "d" ] ~doc:"True difference.") in
   Cmd.v (Cmd.info "estimate" ~doc:"Set-difference estimators (paper Theorem 3.1 / Appendix A)")
-    Term.(const run_estimate $ seed_term $ n $ d)
+    (with_obs Term.(const run_estimate $ seed_term $ n $ d))
 
 let () =
   let info = Cmd.info "reconcile" ~doc:"Protocols from 'Reconciling Graphs and Sets of Sets'" in

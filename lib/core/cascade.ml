@@ -6,6 +6,8 @@ module Codec = Ssr_util.Codec
 module Iblt = Ssr_sketch.Iblt
 module Comm = Ssr_setrecon.Comm
 
+let m_retries = Ssr_obs.Metrics.counter "proto.cascade.retries"
+
 type outcome = {
   recovered : Parent.t;
   levels : int;
@@ -232,6 +234,7 @@ let reconcile_unknown ~seed ~u ~h ?s_bound ?(k = 3) ?(max_d = 1 lsl 22) ~alice ~
       with
       | Ok o -> Ok o
       | Error `Decode_failure ->
+        Ssr_obs.Metrics.incr m_retries;
         Comm.send comm Comm.B_to_a ~label:"retry" ~bits:8;
         attempt (2 * d)
     end

@@ -6,6 +6,8 @@ module Codec = Ssr_util.Codec
 module Iblt = Ssr_sketch.Iblt
 module Comm = Ssr_setrecon.Comm
 
+let m_retries = Ssr_obs.Metrics.counter "proto.iblt-of-iblts.retries"
+
 type outcome = { recovered : Parent.t; differing_pairs : int; stats : Comm.stats }
 
 type error = [ `Decode_failure of Comm.stats ]
@@ -106,6 +108,7 @@ let reconcile_unknown ~seed ?s_bound ?(k = 4) ?(max_d = 1 lsl 22) ~alice ~bob ()
       match run ~comm ~seed:(Prng.derive ~seed ~tag:(0xD0 + Bits.ceil_log2 (d + 1))) ~d ~d_hat ~s_bound ~k ~alice ~bob with
       | Ok o -> Ok o
       | Error `Decode_failure ->
+        Ssr_obs.Metrics.incr m_retries;
         Comm.send comm Comm.B_to_a ~label:"retry" ~bits:8;
         attempt (2 * d)
     end

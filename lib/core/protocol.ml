@@ -91,17 +91,49 @@ let run_known kind ~comm ~seed ~d ~u ~h ~alice ~bob =
 let reconcile_amplified kind ~seed ~d ~u ~h ~replicas ~alice ~bob () =
   if replicas < 1 then invalid_arg "Protocol.reconcile_amplified: replicas must be positive";
   (* All replicas run in parallel, so all of their traffic is spent; rounds
-     do not stack. *)
-  let runs =
-    List.init replicas (fun i ->
-        reconcile_known kind ~seed:(Ssr_util.Prng.derive ~seed ~tag:(0xA2F + i)) ~d ~u ~h ~alice ~bob ())
+     do not stack. Replica 0 is run separately so the fold over the remaining
+     replicas needs no impossible-empty-list branch. *)
+  let replica i =
+    reconcile_known kind ~seed:(Ssr_util.Prng.derive ~seed ~tag:(0xA2F + i)) ~d ~u ~h ~alice ~bob ()
   in
+  let first = replica 0 in
+  let rest = List.init (replicas - 1) (fun i -> replica (i + 1)) in
   let stats_of = function Ok o -> o.stats | Error (`Decode_failure st) -> st in
   let total_stats =
-    match List.map stats_of runs with
-    | [] -> assert false
-    | first :: rest -> List.fold_left Comm.merge_stats first rest
+    List.fold_left (fun acc r -> Comm.merge_stats acc (stats_of r)) (stats_of first) rest
   in
-  match List.find_opt Result.is_ok runs with
+  match List.find_opt Result.is_ok (first :: rest) with
   | Some (Ok o) -> Ok { o with stats = total_stats }
   | _ -> Error (`Decode_failure total_stats)
+
+(* Observability wrappers: snapshot the process-wide metrics around a run and
+   attach the delta, so callers get sketch/estimator/transport activity scoped
+   to exactly this reconciliation without threading anything through the
+   protocol code. *)
+type cost_report = {
+  protocol : string;
+  stats : Comm.stats;
+  per_round : (int * int * int) list;
+  metrics : Ssr_obs.Metrics.snapshot;
+}
+
+let report_of ~protocol ~before stats =
+  let after = Ssr_obs.Metrics.snapshot () in
+  {
+    protocol;
+    stats;
+    per_round = Comm.per_round_bits stats;
+    metrics = Ssr_obs.Metrics.diff ~before ~after;
+  }
+
+let with_report ~protocol (run : unit -> (outcome, error) result) =
+  let before = Ssr_obs.Metrics.snapshot () in
+  match run () with
+  | Ok o -> Ok (o, report_of ~protocol ~before o.stats)
+  | Error (`Decode_failure stats) -> Error (`Decode_failure stats, report_of ~protocol ~before stats)
+
+let reconcile_known_report kind ~seed ~d ~u ~h ~alice ~bob () =
+  with_report ~protocol:(name kind) (reconcile_known kind ~seed ~d ~u ~h ~alice ~bob)
+
+let reconcile_unknown_report kind ~seed ~u ~h ~alice ~bob () =
+  with_report ~protocol:(name kind) (reconcile_unknown kind ~seed ~u ~h ~alice ~bob)

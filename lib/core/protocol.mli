@@ -49,3 +49,29 @@ val reconcile_amplified :
     first recovery that verifies against Alice's whole-collection hash. The
     failure probability drops exponentially in [replicas]; the transcript
     charges every replica's traffic, as a parallel execution must. *)
+
+type cost_report = {
+  protocol : string;  (** {!name} of the protocol that ran. *)
+  stats : Ssr_setrecon.Comm.stats;
+  per_round : (int * int * int) list;
+      (** {!Ssr_setrecon.Comm.per_round_bits} of [stats]: per-round payload
+          bits in each direction. *)
+  metrics : Ssr_obs.Metrics.snapshot;
+      (** Delta of the process-wide metrics over the run: IBLT insert/peel
+          activity, estimator queries, transport counters — whatever the run
+          touched. *)
+}
+(** Transcript-level cost accounting for one reconciliation run. *)
+
+val reconcile_known_report :
+  kind -> seed:int64 -> d:int -> u:int -> h:int ->
+  alice:Parent.t -> bob:Parent.t -> unit ->
+  (outcome * cost_report, error * cost_report) result
+(** {!reconcile_known} plus its {!cost_report}; failures carry a report too
+    (a failed run still spent its communication). *)
+
+val reconcile_unknown_report :
+  kind -> seed:int64 -> u:int -> h:int ->
+  alice:Parent.t -> bob:Parent.t -> unit ->
+  (outcome * cost_report, error * cost_report) result
+(** {!reconcile_unknown} plus its {!cost_report}. *)

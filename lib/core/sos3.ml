@@ -5,6 +5,9 @@ module Buf = Ssr_util.Buf
 module Hashing = Ssr_util.Hashing
 module Iblt = Ssr_sketch.Iblt
 module Comm = Ssr_setrecon.Comm
+module Metrics = Ssr_obs.Metrics
+
+let m_retries = Metrics.counter "proto.sos3.retries"
 
 type t = Parent.t array
 (* Invariant: strictly increasing under Parent.compare. *)
@@ -125,15 +128,28 @@ let encode_parent cfg parent =
   Buf.set_int_le out (Bytes.length body) (Parent.hash ~seed:cfg.seed parent);
   out
 
-let decode_parent_key cfg key =
+(* Level-2 keys reaching the decoder were peeled out of a received outer
+   IBLT, so their content is wire-derived: a corrupted key slab can carry an
+   out-of-range hash word or a mangled body. Total parsing makes that a
+   failed recovery (handled by the pairing search) instead of an
+   exception. *)
+let decode_parent_key_opt cfg key =
   let body_len = Iblt.body_length cfg.parent_prm in
-  if Bytes.length key <> body_len + 8 then invalid_arg "Sos3: bad parent key";
-  (Iblt.of_body_bytes cfg.parent_prm (Bytes.sub key 0 body_len), Buf.get_int_le key body_len)
+  if Bytes.length key <> body_len + 8 then None
+  else
+    match
+      (Iblt.of_body_bytes_opt cfg.parent_prm (Bytes.sub key 0 body_len),
+       Buf.get_int_le_opt key body_len)
+    with
+    | Some table, Some h -> Some (table, h)
+    | _ -> None
 
 (* Recover one of Alice's parents from its level-2 key by pairing it with
    one of Bob's differing parents. *)
 let try_recover_parent cfg ~alice_key ~bob_parent =
-  let alice_table, alice_hash = decode_parent_key cfg alice_key in
+  match decode_parent_key_opt cfg alice_key with
+  | None -> None
+  | Some (alice_table, alice_hash) -> (
   let diff = Iblt.subtract alice_table (parent_table cfg bob_parent) in
   match Iblt.decode diff with
   | Error `Peel_stuck -> None
@@ -163,7 +179,7 @@ let try_recover_parent cfg ~alice_key ~bob_parent =
         let remaining = List.filter (fun c -> not (List.exists (Iset.equal c) db)) bob_children in
         let candidate = Parent.of_children (da @ remaining) in
         if Parent.hash ~seed:cfg.seed candidate = alice_hash then Some candidate else None
-    end)
+    end))
 
 let run ~comm ~seed ~d ~d2 ~d3 ~k ~alice ~bob =
   let s_bound =
@@ -237,6 +253,7 @@ let reconcile_unknown ~seed ?(k = 3) ?(max_d = 1 lsl 16) ~alice ~bob () =
       with
       | Ok o -> Ok o
       | Error `Decode_failure ->
+        Metrics.incr m_retries;
         Comm.send comm Comm.B_to_a ~label:"retry" ~bits:8;
         attempt (2 * d)
     end

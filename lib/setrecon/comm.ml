@@ -1,3 +1,11 @@
+module Metrics = Ssr_obs.Metrics
+module Trace = Ssr_obs.Trace
+
+let m_messages = Metrics.counter "comm.messages"
+let m_lost = Metrics.counter "comm.lost"
+let m_bits_a_to_b = Metrics.counter "comm.bits.a_to_b"
+let m_bits_b_to_a = Metrics.counter "comm.bits.b_to_a"
+
 type direction = A_to_b | B_to_a
 
 type message = { round : int; direction : direction; label : string; bits : int }
@@ -28,6 +36,16 @@ let send t direction ~label ~bits =
     | [] -> 1
     | last :: _ -> if last.direction = direction then last.round else last.round + 1
   in
+  Metrics.incr m_messages;
+  Metrics.incr ~by:bits (match direction with A_to_b -> m_bits_a_to_b | B_to_a -> m_bits_b_to_a);
+  Trace.emit ~layer:"comm"
+    ~fields:
+      [
+        ("round", Trace.I round);
+        ("dir", Trace.S (match direction with A_to_b -> "a->b" | B_to_a -> "b->a"));
+        ("bits", Trace.I bits);
+      ]
+    label;
   t.log <- { round; direction; label; bits } :: t.log
 
 let xfer t direction ~label payload =
@@ -39,7 +57,9 @@ let xfer t direction ~label payload =
     send t direction ~label ~bits:((8 * Bytes.length payload) + tr.overhead_bits);
     match tr.transmit direction ~label payload with
     | Some delivered -> Ok delivered
-    | None -> Error `Lost)
+    | None ->
+      Metrics.incr m_lost;
+      Error `Lost)
 
 let stats t =
   let messages = List.rev t.log in
@@ -68,6 +88,23 @@ let merge_stats a b =
     bits_b_to_a = a.bits_b_to_a + b.bits_b_to_a;
     messages = interleave a.messages b.messages;
   }
+
+(* Per-round breakdown of a transcript: messages are already in transmission
+   order with nondecreasing round numbers, so one left fold groups them. *)
+let per_round_bits s =
+  let tally = Hashtbl.create 16 in
+  let max_round = ref 0 in
+  List.iter
+    (fun m ->
+      if m.round > !max_round then max_round := m.round;
+      let ab, ba = try Hashtbl.find tally m.round with Not_found -> (0, 0) in
+      Hashtbl.replace tally m.round
+        (match m.direction with A_to_b -> (ab + m.bits, ba) | B_to_a -> (ab, ba + m.bits)))
+    s.messages;
+  List.init !max_round (fun i ->
+      let r = i + 1 in
+      let ab, ba = try Hashtbl.find tally r with Not_found -> (0, 0) in
+      (r, ab, ba))
 
 let pp_stats fmt s =
   Format.fprintf fmt "rounds=%d total=%d bits (A->B %d, B->A %d)" s.rounds s.bits_total s.bits_a_to_b

@@ -70,6 +70,12 @@ val merge_stats : stats -> stats -> stats
     operand's messages first — so a merged transcript still satisfies the
     nondecreasing-round invariant of {!stats}. *)
 
+val per_round_bits : stats -> (int * int * int) list
+(** [(round, bits A->B, bits B->A)] per round, rounds numbered from 1 with no
+    gaps (a round all of whose messages went one way reports 0 for the other
+    direction). This is the per-round payload accounting the observability
+    reports and EXPERIMENTS.md's communication tables are built from. *)
+
 val pp_stats : Format.formatter -> stats -> unit
 
 val show_stats : stats -> string

@@ -86,16 +86,26 @@ let pair_keys t ~key_len =
       b)
     (to_pairs t)
 
+(* Pair keys recovered from an IBLT peel are wire-derived data: a key slab
+   corrupted in transit can hold any 128 bits, so every failure mode —
+   short key, out-of-native-range word, negative element, non-positive
+   count — must yield [None], never an exception. *)
+let of_pair_keys_opt keys =
+  let rec go acc = function
+    | [] -> Some (of_pairs (List.rev acc))
+    | b :: rest ->
+      if Bytes.length b < 16 then None
+      else (
+        match (Buf.get_int_le_opt b 0, Buf.get_int_le_opt b 8) with
+        | Some x, Some k when x >= 0 && k > 0 -> go ((x, k) :: acc) rest
+        | _ -> None)
+  in
+  go [] keys
+
 let of_pair_keys keys =
-  of_pairs
-    (List.map
-       (fun b ->
-         if Bytes.length b < 16 then invalid_arg "Multiset.of_pair_keys: key too short";
-         let x = Buf.get_int_le b 0 in
-         let k = Buf.get_int_le b 8 in
-         if x < 0 || k <= 0 then invalid_arg "Multiset.of_pair_keys: malformed pair";
-         (x, k))
-       keys)
+  match of_pair_keys_opt keys with
+  | Some t -> t
+  | None -> invalid_arg "Multiset.of_pair_keys: malformed pair key"
 
 let canonical_bytes t =
   let out = Bytes.create (16 * Array.length t) in

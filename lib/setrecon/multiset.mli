@@ -42,7 +42,14 @@ val pair_keys : t -> key_len:int -> Bytes.t list
     count little-endian in the first 16 bytes). [key_len >= 16]. *)
 
 val of_pair_keys : Bytes.t list -> t
-(** Inverse of {!pair_keys}; raises [Invalid_argument] on malformed keys. *)
+(** Inverse of {!pair_keys}; raises [Invalid_argument] on malformed keys.
+    Keys recovered from received sketches must go through
+    {!of_pair_keys_opt} instead. *)
+
+val of_pair_keys_opt : Bytes.t list -> t option
+(** Total {!of_pair_keys}: [None] on any malformed key — too short, 64-bit
+    word outside the native int range, negative element, or non-positive
+    multiplicity — never an exception. *)
 
 val canonical_bytes : t -> Bytes.t
 (** Canonical serialization for hashing. *)

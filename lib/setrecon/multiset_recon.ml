@@ -2,6 +2,8 @@ module Hashing = Ssr_util.Hashing
 module Prng = Ssr_util.Prng
 module Iblt = Ssr_sketch.Iblt
 
+let retries = Ssr_obs.Metrics.counter "proto.multiset.retries"
+
 type outcome = { recovered : Multiset.t; stats : Comm.stats }
 
 type error = [ `Decode_failure of Comm.stats ]
@@ -27,13 +29,12 @@ let run ~comm ~seed ~d ~k ~alice ~bob =
   match Iblt.decode (Iblt.subtract table bob_table) with
   | Error `Peel_stuck -> Error `Decode_failure
   | Ok { positives; negatives } -> (
-    match
-      let to_remove = Multiset.of_pair_keys negatives in
-      let to_add = Multiset.of_pair_keys positives in
-      (to_remove, to_add)
-    with
-    | exception Invalid_argument _ -> Error `Decode_failure
-    | to_remove, to_add ->
+    (* Peeled keys are wire-derived; the total parser turns any corruption
+       (including out-of-native-range words, which the raising parser would
+       escalate to an uncaught [Failure]) into a detected decode failure. *)
+    match (Multiset.of_pair_keys_opt negatives, Multiset.of_pair_keys_opt positives) with
+    | None, _ | _, None -> Error `Decode_failure
+    | Some to_remove, Some to_add ->
       (* Replace Bob's stale pairs by Alice's. *)
       let stale = Multiset.to_pairs to_remove in
       let without =
@@ -67,6 +68,7 @@ let reconcile_robust ~seed ?(k = 4) ?(initial_d = 4) ?(max_attempts = 16) ~alice
       match run ~comm ~seed:(Prng.derive ~seed ~tag:(200 + i)) ~d ~k ~alice ~bob with
       | Ok o -> Ok o
       | Error `Decode_failure ->
+        Ssr_obs.Metrics.incr retries;
         Comm.send comm Comm.B_to_a ~label:"retry" ~bits:8;
         attempt (i + 1) (2 * d)
   in

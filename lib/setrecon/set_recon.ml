@@ -6,6 +6,8 @@ module Codec = Ssr_util.Codec
 module Iblt = Ssr_sketch.Iblt
 module L0 = Ssr_sketch.L0_estimator
 
+let retries = Ssr_obs.Metrics.counter "proto.set.retries"
+
 type outcome = {
   recovered : Iset.t;
   alice_minus_bob : Iset.t;
@@ -107,6 +109,7 @@ let reconcile_robust ~seed ?(k = 4) ?(initial_d = 4) ?(max_attempts = 16) ~alice
       | Ok outcome -> Ok outcome
       | Error `Decode_failure ->
         (* Bob asks for a bigger table: one tiny message back. *)
+        Ssr_obs.Metrics.incr retries;
         Comm.send comm Comm.B_to_a ~label:"retry" ~bits:8;
         attempt (i + 1) (2 * d)
     end

@@ -2,6 +2,20 @@ module Hashing = Ssr_util.Hashing
 module Prng = Ssr_util.Prng
 module Buf = Ssr_util.Buf
 module Bits = Ssr_util.Bits
+module Metrics = Ssr_obs.Metrics
+
+(* Process-wide sketch metrics; read as before/after diffs by the protocol
+   cost reports. Each is one unboxed write on its hot path. *)
+let m_inserts = Metrics.counter "iblt.inserts"
+let m_deletes = Metrics.counter "iblt.deletes"
+let m_decode_attempts = Metrics.counter "iblt.decode.attempts"
+let m_decode_success = Metrics.counter "iblt.decode.success"
+let m_decode_stuck = Metrics.counter "iblt.decode.stuck"
+let m_pure_candidates = Metrics.counter "iblt.decode.pure_candidates"
+let m_checksum_rejects = Metrics.counter "iblt.decode.checksum_rejects"
+let m_peels = Metrics.counter "iblt.decode.peels"
+let m_bad_int_keys = Metrics.counter "iblt.decode.bad_int_keys"
+let d_recovered = Metrics.dist "iblt.decode.recovered_keys"
 
 type params = { cells : int; k : int; key_len : int; seed : int64 }
 
@@ -80,6 +94,7 @@ let apply_hashed t key ~h1 ~h2 ~cs sign =
 
 let apply t key sign =
   if Bytes.length key <> t.prm.key_len then invalid_arg "Iblt: key length mismatch";
+  Metrics.incr (if sign >= 0 then m_inserts else m_deletes);
   let h1, h2 = Hashing.hash_bytes_pair t.fn key in
   apply_hashed t key ~h1 ~h2 ~cs:(Hashing.mix_pair h1 h2) sign
 
@@ -117,6 +132,7 @@ let is_empty t =
 type decoded = { positives : Bytes.t list; negatives : Bytes.t list }
 
 let decode t =
+  Metrics.incr m_decode_attempts;
   let t = copy t in
   let cells = t.prm.cells and kl = t.prm.key_len in
   let positives = ref [] and negatives = ref [] in
@@ -132,12 +148,15 @@ let decode t =
     Bytes.unsafe_set in_stack c '\000';
     let count = t.counts.(c) in
     if count = 1 || count = -1 then begin
+      Metrics.incr m_pure_candidates;
       (* Probe with the shared scratch key; only a cell that passes the
          checksum (i.e. is pure) pays for a fresh copy of its key. *)
       Bytes.blit t.keys (c * kl) t.scratch 0 kl;
       let h1, h2 = Hashing.hash_bytes_pair t.fn t.scratch in
       let cs = Hashing.mix_pair h1 h2 in
-      if t.checks.(c) = cs then begin
+      if t.checks.(c) <> cs then Metrics.incr m_checksum_rejects
+      else begin
+        Metrics.incr m_peels;
         let key = Bytes.sub t.keys (c * kl) kl in
         if count = 1 then positives := key :: !positives else negatives := key :: !negatives;
         (* Remove the key and re-examine its k cells in one walk of the
@@ -158,22 +177,36 @@ let decode t =
       end
     end
   done;
-  if is_empty t then Ok { positives = !positives; negatives = !negatives } else Error `Peel_stuck
+  if is_empty t then begin
+    Metrics.incr m_decode_success;
+    Metrics.observe d_recovered (List.length !positives + List.length !negatives);
+    Ok { positives = !positives; negatives = !negatives }
+  end
+  else begin
+    Metrics.incr m_decode_stuck;
+    Error `Peel_stuck
+  end
 
 let decode_ints t =
   match decode t with
   | Error _ as e -> e
-  | Ok { positives; negatives } -> (
-    let to_int key =
-      let v = Buf.get_int_le key 0 in
-      if v < 0 then failwith "Iblt.decode_ints: negative key";
-      v
+  | Ok { positives; negatives } ->
+    (* A peeled key that does not parse back to a non-negative integer —
+       sign bit set, or a 64-bit value outside the native int range — means
+       the table was corrupted in transit (or suffered an undetected
+       checksum collision): report a detected failure, never raise. *)
+    let rec conv acc = function
+      | [] -> Some (List.rev acc)
+      | key :: rest -> (
+        match Buf.get_int_le_opt key 0 with
+        | Some v when v >= 0 -> conv (v :: acc) rest
+        | _ -> None)
     in
-    (* A peeled key that does not parse back to an integer means the table
-       was corrupted in transit (or suffered an undetected checksum
-       collision): report a detected failure instead of raising. *)
-    try Ok (List.map to_int positives, List.map to_int negatives)
-    with Failure _ -> Error `Peel_stuck)
+    (match (conv [] positives, conv [] negatives) with
+     | Some p, Some n -> Ok (p, n)
+     | _ ->
+       Metrics.incr m_bad_int_keys;
+       Error `Peel_stuck)
 
 let body_length prm =
   let prm = normalize_params prm in

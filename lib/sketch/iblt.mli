@@ -75,7 +75,11 @@ val decode : t -> (decoded, [ `Peel_stuck ]) result
     empties completely. *)
 
 val decode_ints : t -> ((int list * int list), [ `Peel_stuck ]) result
-(** {!decode} followed by little-endian integer decoding of each key. *)
+(** {!decode} followed by little-endian integer decoding of each key. Total
+    even on hostile tables: a peeled key that is not a valid non-negative
+    native integer (sign bit set, or outside the 63-bit range) is a detected
+    decode failure — counted under the [iblt.decode.bad_int_keys] metric —
+    not an exception. *)
 
 val body_bytes : t -> Bytes.t
 (** Serialize counts, key sums and checksums (not the parameters, which are

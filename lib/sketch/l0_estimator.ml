@@ -1,6 +1,16 @@
 module Hashing = Ssr_util.Hashing
 module Bits = Ssr_util.Bits
 module Buf = Ssr_util.Buf
+module Metrics = Ssr_obs.Metrics
+
+let m_queries = Metrics.counter "estimator.l0.queries"
+let d_estimate = Metrics.dist "estimator.l0.estimate"
+let d_abs_error = Metrics.dist "estimator.l0.abs_error"
+
+(* Estimator accuracy is only measurable where the caller knows the true
+   difference size (tests, benches, the CLI's synthetic workloads); they call
+   this after querying so the report can show estimate-vs-truth error. *)
+let record_accuracy ~estimate ~truth = Metrics.observe d_abs_error (abs (estimate - truth))
 
 type shape = { levels : int; reps : int; buckets : int; threshold : int }
 
@@ -92,12 +102,17 @@ let level_count t level =
 let query t =
   let counts = Array.init t.shape.levels (fun level -> level_count t level) in
   let rec deepest i = if i < 0 then None else if counts.(i) > t.shape.threshold then Some i else deepest (i - 1) in
-  match deepest (t.shape.levels - 1) with
-  | Some i -> counts.(i) * (1 lsl (i + 1))
-  | None ->
-    (* Every level is sparse, hence collision-free with high probability; the
-       levels partition the difference so the total is (near) exact. *)
-    Array.fold_left ( + ) 0 counts
+  let estimate =
+    match deepest (t.shape.levels - 1) with
+    | Some i -> counts.(i) * (1 lsl (i + 1))
+    | None ->
+      (* Every level is sparse, hence collision-free with high probability; the
+         levels partition the difference so the total is (near) exact. *)
+      Array.fold_left ( + ) 0 counts
+  in
+  Metrics.incr m_queries;
+  Metrics.observe d_estimate estimate;
+  estimate
 
 let to_bytes t =
   let out = Bytes.create (8 * Array.length t.words) in

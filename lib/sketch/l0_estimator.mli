@@ -48,7 +48,15 @@ val merge : t -> t -> t
     must share seed and shape. *)
 
 val query : t -> int
-(** Constant-factor estimate of |S1 ⊕ S2|. *)
+(** Constant-factor estimate of |S1 ⊕ S2|. Each call ticks the
+    [estimator.l0.queries] metric and records the estimate in the
+    [estimator.l0.estimate] distribution. *)
+
+val record_accuracy : estimate:int -> truth:int -> unit
+(** Record [|estimate - truth|] in the [estimator.l0.abs_error] distribution.
+    Callers that know the true difference size (tests, benches, synthetic CLI
+    workloads) report it here so cost reports can show estimator error;
+    protocol logic never reads it back. *)
 
 val size_bits : t -> int
 (** Serialized size in bits (what sending the estimator costs). *)

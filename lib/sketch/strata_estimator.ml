@@ -1,5 +1,12 @@
 module Hashing = Ssr_util.Hashing
 module Bits = Ssr_util.Bits
+module Metrics = Ssr_obs.Metrics
+
+let m_queries = Metrics.counter "estimator.strata.queries"
+let d_estimate = Metrics.dist "estimator.strata.estimate"
+let d_abs_error = Metrics.dist "estimator.strata.abs_error"
+
+let record_accuracy ~estimate ~truth = Metrics.observe d_abs_error (abs (estimate - truth))
 
 type t = { strata : Iblt.t array; level_fn : Hashing.fn; seed : int64 }
 
@@ -36,6 +43,9 @@ let estimate ~local ~remote =
       | Ok { positives; negatives } -> walk (i - 1) (acc + List.length positives + List.length negatives)
       | Error `Peel_stuck -> (1 lsl (i + 1)) * max acc 1
   in
-  walk top 0
+  let estimate = walk top 0 in
+  Metrics.incr m_queries;
+  Metrics.observe d_estimate estimate;
+  estimate
 
 let size_bits t = Array.fold_left (fun acc s -> acc + Iblt.size_bits s) 0 t.strata

@@ -20,7 +20,13 @@ val add : t -> int -> unit
 
 val estimate : local:t -> remote:t -> int
 (** One party's estimate of the set difference given the other's sketch.
-    Both sketches must have been created with the same seed and shape. *)
+    Both sketches must have been created with the same seed and shape. Each
+    call ticks [estimator.strata.queries] and records the estimate in the
+    [estimator.strata.estimate] distribution. *)
+
+val record_accuracy : estimate:int -> truth:int -> unit
+(** Record [|estimate - truth|] in [estimator.strata.abs_error]; for callers
+    that know the true difference size. *)
 
 val size_bits : t -> int
 (** Serialized size: what sending this estimator costs. *)

@@ -1,5 +1,15 @@
 module Prng = Ssr_util.Prng
 module Comm = Ssr_setrecon.Comm
+module Metrics = Ssr_obs.Metrics
+
+let m_data_sent = Metrics.counter "arq.data_sent"
+let m_retransmits = Metrics.counter "arq.retransmits"
+let m_acks_sent = Metrics.counter "arq.acks_sent"
+let m_duplicates = Metrics.counter "arq.duplicates_suppressed"
+let m_corrupt = Metrics.counter "arq.corrupt_discarded"
+let m_stale = Metrics.counter "arq.stale_deliveries"
+let m_timeouts = Metrics.counter "arq.timeouts"
+let m_wire_bytes = Metrics.counter "arq.wire_bytes"
 
 type config = {
   rto_us : int;
@@ -106,6 +116,7 @@ let opposite : Comm.direction -> Comm.direction = function
 
 let put_on_wire t dir ~label bytes =
   t.wire_bytes <- t.wire_bytes + Bytes.length bytes;
+  Metrics.incr ~by:(Bytes.length bytes) m_wire_bytes;
   Network.send t.net dir ~label bytes
 
 (* Retransmission timeout for the [sends]'th retry: capped doubling plus
@@ -132,12 +143,14 @@ let rec arm_timer t flow p =
            if Hashtbl.mem flow.unacked p.seq then begin
              p.sends <- p.sends + 1;
              t.retransmissions <- t.retransmissions + 1;
+             Metrics.incr m_retransmits;
              put_on_wire t flow.dir ~label:p.label p.wire;
              arm_timer t flow p
            end))
 
 let send_ack t flow =
   t.acks_sent <- t.acks_sent + 1;
+  Metrics.incr m_acks_sent;
   put_on_wire t (opposite flow.dir) ~label:"arq-ack"
     (encode_packet ~kind:ack_kind ~seq:flow.expected Bytes.empty)
 
@@ -163,6 +176,7 @@ let on_data t flow seq payload =
     (* Already delivered: a duplicated copy or a retransmission whose ACK was
        lost. Re-ack so the sender can stop. *)
     t.duplicates_suppressed <- t.duplicates_suppressed + 1;
+    Metrics.incr m_duplicates;
     send_ack t flow
   end
   else if seq = flow.expected then begin
@@ -170,7 +184,10 @@ let on_data t flow seq payload =
     send_ack t flow
   end
   else begin
-    if Hashtbl.mem flow.ooo seq then t.duplicates_suppressed <- t.duplicates_suppressed + 1
+    if Hashtbl.mem flow.ooo seq then begin
+      t.duplicates_suppressed <- t.duplicates_suppressed + 1;
+      Metrics.incr m_duplicates
+    end
     else Hashtbl.replace flow.ooo seq payload;
     send_ack t flow
   end
@@ -187,7 +204,9 @@ let on_ack t flow ack =
 
 let on_packet t direction bytes =
   match decode_packet bytes with
-  | None -> t.corrupt_discarded <- t.corrupt_discarded + 1
+  | None ->
+    t.corrupt_discarded <- t.corrupt_discarded + 1;
+    Metrics.incr m_corrupt
   | Some (kind, seq, payload) ->
     if kind = data_kind then on_data t (flow_of t direction) seq payload
     else
@@ -225,6 +244,7 @@ let transmit t direction ~label payload =
   let p = { seq; wire = encode_packet ~kind:data_kind ~seq payload; label; sends = 1; timer = None } in
   Hashtbl.replace flow.unacked seq p;
   t.data_sent <- t.data_sent + 1;
+  Metrics.incr m_data_sent;
   put_on_wire t direction ~label p.wire;
   arm_timer t flow p;
   let deadline =
@@ -243,6 +263,7 @@ let transmit t direction ~label payload =
         if s = seq then Some bytes
         else begin
           t.stale_deliveries <- t.stale_deliveries + 1;
+          Metrics.incr m_stale;
           pick ()
         end
     in
@@ -250,6 +271,7 @@ let transmit t direction ~label payload =
   end
   else begin
     t.timeouts <- t.timeouts + 1;
+    Metrics.incr m_timeouts;
     None
   end
 

@@ -1,5 +1,11 @@
 module Prng = Ssr_util.Prng
 module Comm = Ssr_setrecon.Comm
+module Metrics = Ssr_obs.Metrics
+
+let m_dropped = Metrics.counter "channel.faults.dropped"
+let m_corrupted = Metrics.counter "channel.faults.corrupted"
+let m_truncated = Metrics.counter "channel.faults.truncated"
+let m_duplicated = Metrics.counter "channel.faults.duplicated"
 
 type fault =
   | Dropped
@@ -41,6 +47,12 @@ let messages_sent t = t.sent
 let events t = List.rev t.events
 
 let record t index direction label fault =
+  Metrics.incr
+    (match fault with
+    | Dropped -> m_dropped
+    | Corrupted _ -> m_corrupted
+    | Truncated _ -> m_truncated
+    | Duplicated _ -> m_duplicated);
   t.events <- { index; direction; label; fault } :: t.events
 
 (* Damage one delivery copy. Corruption and truncation are independent; the

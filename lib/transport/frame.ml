@@ -1,4 +1,12 @@
 module Crc32 = Ssr_util.Crc32
+module Metrics = Ssr_obs.Metrics
+
+let m_encoded = Metrics.counter "frame.encoded"
+let m_decoded_ok = Metrics.counter "frame.decoded.ok"
+let m_rej_truncated = Metrics.counter "frame.rejects.truncated"
+let m_rej_bad_version = Metrics.counter "frame.rejects.bad_version"
+let m_rej_length = Metrics.counter "frame.rejects.length"
+let m_rej_crc = Metrics.counter "frame.rejects.crc"
 
 let current_version = 1
 let header_bytes = 5
@@ -11,6 +19,7 @@ type error =
   | Crc_mismatch of { expected : int32; got : int32 }
 
 let encode payload =
+  Metrics.incr m_encoded;
   let n = Bytes.length payload in
   let out = Bytes.create (overhead_bytes + n) in
   Bytes.set out 0 (Char.chr current_version);
@@ -22,21 +31,29 @@ let encode payload =
 
 let decode frame =
   let total = Bytes.length frame in
-  if total < overhead_bytes then Error (Truncated { expected = overhead_bytes; got = total })
+  let counted c e =
+    Metrics.incr c;
+    Error e
+  in
+  if total < overhead_bytes then
+    counted m_rej_truncated (Truncated { expected = overhead_bytes; got = total })
   else begin
     let version = Char.code (Bytes.get frame 0) in
-    if version <> current_version then Error (Bad_version version)
+    if version <> current_version then counted m_rej_bad_version (Bad_version version)
     else begin
       (* The declared length is untrusted: compare it against what is
          actually present before any allocation or checksum window. *)
       let declared = Int32.to_int (Bytes.get_int32_le frame 1) land 0xFFFF_FFFF in
       let available = total - overhead_bytes in
-      if declared <> available then Error (Length_mismatch { declared; available })
+      if declared <> available then counted m_rej_length (Length_mismatch { declared; available })
       else begin
         let expected = Crc32.digest_sub frame ~pos:0 ~len:(header_bytes + declared) in
         let got = Bytes.get_int32_le frame (header_bytes + declared) in
-        if not (Int32.equal expected got) then Error (Crc_mismatch { expected; got })
-        else Ok (Bytes.sub frame header_bytes declared)
+        if not (Int32.equal expected got) then counted m_rej_crc (Crc_mismatch { expected; got })
+        else begin
+          Metrics.incr m_decoded_ok;
+          Ok (Bytes.sub frame header_bytes declared)
+        end
       end
     end
   end

@@ -1,5 +1,14 @@
 module Prng = Ssr_util.Prng
 module Comm = Ssr_setrecon.Comm
+module Metrics = Ssr_obs.Metrics
+module Trace = Ssr_obs.Trace
+
+let m_packets = Metrics.counter "net.packets"
+let m_copies_delivered = Metrics.counter "net.copies.delivered"
+let m_copies_dropped = Metrics.counter "net.copies.dropped"
+let m_bytes_delivered = Metrics.counter "net.bytes.delivered"
+let m_partition_drops = Metrics.counter "net.partition_drops"
+let m_reordered = Metrics.counter "net.reordered"
 
 type direction = Comm.direction
 
@@ -67,6 +76,11 @@ let create ~clock cfg =
          ~duplicate_copies:cfg.duplicate_copies
          ~seed:(Prng.derive ~seed:cfg.seed ~tag:0xDA_4A) ())
   in
+  (* Trace events emitted while this network exists are stamped with its
+     virtual clock, making traces replayable and latency-exact. The source
+     stays installed afterwards (networks and their clock share a lifetime in
+     every driver here); a later [create] simply re-points it. *)
+  Trace.set_time_source (fun () -> Clock.now_us clock);
   { cfg; clock; channel; handler = (fun _ _ -> ()); transcript = []; partition_drops = 0;
     reorder_count = 0 }
 
@@ -91,6 +105,7 @@ let record t d = t.transcript <- d :: t.transcript
 let send t direction ~label payload =
   let index = Channel.messages_sent t.channel in
   let sent_us = Clock.now_us t.clock in
+  Metrics.incr m_packets;
   let copies = Channel.transmit t.channel direction ~label payload in
   (* One generator per packet, keyed by the send index like the channel's own
      fault stream: latency and reorder draws are independent of payload
@@ -98,8 +113,10 @@ let send t direction ~label payload =
      the identical delivery schedule. *)
   let rng = Prng.create ~seed:(Prng.derive ~seed:t.cfg.seed ~tag:(0x1A7E + index)) in
   (match copies with
-  | [] -> record t { index; copy = 0; direction; sent_us; delivered_us = -1; reordered = false;
-                     partitioned = false; bytes = Bytes.empty }
+  | [] ->
+    Metrics.incr m_copies_dropped;
+    record t { index; copy = 0; direction; sent_us; delivered_us = -1; reordered = false;
+               partitioned = false; bytes = Bytes.empty }
   | _ -> ());
   List.iteri
     (fun copy bytes ->
@@ -107,15 +124,22 @@ let send t direction ~label payload =
       let reordered = t.cfg.reorder_rate > 0. && Prng.bernoulli rng t.cfg.reorder_rate in
       if in_partition t direction ~at_us:sent_us then begin
         t.partition_drops <- t.partition_drops + 1;
+        Metrics.incr m_partition_drops;
+        Metrics.incr m_copies_dropped;
         record t { index; copy; direction; sent_us; delivered_us = -1; reordered = false;
                    partitioned = true; bytes = Bytes.empty }
       end
       else begin
-        if reordered then t.reorder_count <- t.reorder_count + 1;
+        if reordered then begin
+          t.reorder_count <- t.reorder_count + 1;
+          Metrics.incr m_reordered
+        end;
         let delay =
           t.cfg.latency_us + jitter + (if reordered then t.cfg.reorder_extra_us else 0)
         in
         let delivered_us = sent_us + delay in
+        Metrics.incr m_copies_delivered;
+        Metrics.incr ~by:(Bytes.length bytes) m_bytes_delivered;
         record t { index; copy; direction; sent_us; delivered_us; reordered; partitioned = false;
                    bytes };
         ignore

@@ -6,6 +6,12 @@ module Comm = Ssr_setrecon.Comm
 module Set_recon = Ssr_setrecon.Set_recon
 module Protocol = Ssr_core.Protocol
 module Parent = Ssr_core.Parent
+module Metrics = Ssr_obs.Metrics
+module Trace = Ssr_obs.Trace
+
+let m_attempts = Metrics.counter "resilient.attempts"
+let m_retries = Metrics.counter "resilient.retries"
+let m_direct_fallbacks = Metrics.counter "resilient.direct_fallbacks"
 
 type link =
   | Faulty_channel of { channel : Channel.t; framed : bool }
@@ -170,12 +176,15 @@ let drive ctx ~max_attempts ~initial_d ~recon ~direct =
       Error (`Transport_failure (mk_report ctx ~attempts:acc ~degraded:true))
     else begin
       begin_attempt ctx;
+      Metrics.incr m_attempts;
+      Trace.emit ~layer:"resilient" ~fields:[ ("number", Trace.I number) ] "direct-attempt";
       let ta = now ctx in
       match direct () with
       | Some v ->
         let a = { number; d = 0; direct = true; ok = true; elapsed_us = now ctx - ta } in
         Ok (v, mk_report ctx ~attempts:(a :: acc) ~degraded:true)
       | None ->
+        Metrics.incr m_retries;
         Comm.send ctx.comm Comm.B_to_a ~label:"retry" ~bits:8;
         backoff_between ctx ~number;
         direct_loop (number + 1) (tries + 1)
@@ -185,15 +194,24 @@ let drive ctx ~max_attempts ~initial_d ~recon ~direct =
   let rec attempt number d acc =
     if run_deadline_exceeded ctx then
       Error (`Deadline_exceeded (mk_report ctx ~attempts:acc ~degraded:false))
-    else if number >= max_attempts then direct_loop number 0 acc
+    else if number >= max_attempts then begin
+      Metrics.incr m_direct_fallbacks;
+      Trace.emit ~layer:"resilient" "direct-fallback";
+      direct_loop number 0 acc
+    end
     else begin
       begin_attempt ctx;
+      Metrics.incr m_attempts;
+      Trace.emit ~layer:"resilient"
+        ~fields:[ ("number", Trace.I number); ("d", Trace.I d) ]
+        "recon-attempt";
       let ta = now ctx in
       match recon ~number ~d with
       | Some v ->
         let a = { number; d; direct = false; ok = true; elapsed_us = now ctx - ta } in
         Ok (v, mk_report ctx ~attempts:(a :: acc) ~degraded:false)
       | None ->
+        Metrics.incr m_retries;
         Comm.send ctx.comm Comm.B_to_a ~label:"retry" ~bits:8;
         backoff_between ctx ~number;
         attempt (number + 1) (2 * d)

@@ -10,6 +10,18 @@ let get_int_le b off =
   if Int64.of_int i <> v then failwith "Buf.get_int_le: value exceeds native int";
   i
 
+(* Total variant for untrusted bytes: a wire-supplied 64-bit word whose value
+   does not survive the round trip through a native 63-bit int (i.e. whose
+   top two bits disagree) is data damage, not a programming error, so it
+   yields [None] — as does an out-of-range offset. *)
+let get_int_le_opt b off =
+  if off < 0 || off + 8 > Bytes.length b then None
+  else begin
+    let v = Bytes.get_int64_le b off in
+    let i = Int64.to_int v in
+    if Int64.of_int i <> v then None else Some i
+  end
+
 let xor_into ~dst src =
   let len = Bytes.length dst in
   if Bytes.length src <> len then invalid_arg "Buf.xor_into: length mismatch";

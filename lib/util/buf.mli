@@ -15,7 +15,15 @@ val set_int_le : Bytes.t -> int -> int -> unit
 
 val get_int_le : Bytes.t -> int -> int
 (** Read a native int written by {!set_int_le}. Raises [Failure] if the
-    stored value does not fit in a native 63-bit int. *)
+    stored value does not fit in a native 63-bit int. For bytes of wire
+    origin use {!get_int_le_opt}: this raising variant is for values this
+    process wrote itself. *)
+
+val get_int_le_opt : Bytes.t -> int -> int option
+(** Total {!get_int_le} for untrusted bytes: [None] when the offset is out
+    of range or the stored 64-bit value exceeds the native 63-bit int range,
+    never an exception. Every parser reachable from received frames decodes
+    integers through this. *)
 
 val xor_into : dst:Bytes.t -> Bytes.t -> unit
 (** [xor_into ~dst src] XORs [src] into [dst] in place. The buffers must
