@@ -10,6 +10,10 @@
    Run everything:        dune exec bench/main.exe
    Run chosen sections:   dune exec bench/main.exe -- table1 estimators
    List sections:         dune exec bench/main.exe -- --list
+   Parallel pool:         dune exec bench/main.exe -- table1 --domains 4
+   ([--domains N] sizes the deterministic domain pool used by the
+   protocol hot paths and the sweep outer loops; results are identical
+   at any pool size, only wall time changes.)
 
    The machine-readable perf harness (bench/perf.ml) is its own section:
      dune exec bench/main.exe -- perf [--smoke]
@@ -40,6 +44,7 @@ module Poly_protocol = Ssr_graphrecon.Poly_protocol
 module Forest_recon = Ssr_graphrecon.Forest_recon
 module Channel = Ssr_transport.Channel
 module Resilient = Ssr_transport.Resilient
+module Par = Ssr_util.Par
 
 let seed = 0xBE4CC4FEL
 
@@ -97,39 +102,51 @@ let table1 () =
   print_endline "naive >= iblt-of-iblts >= cascade >= multiround once h log u >> d log u,";
   print_endline "and naive's cost scales with the child width while the others' scale with d.";
   let trials = 3 in
+  (* The communication sweeps are deterministic per tag (every seed derives
+     from it), so the outer loops run under the shared parallel pool
+     ([--domains N]) and the rows print serially afterwards in sweep order.
+     The wall-time sweep (T1c) stays serial: concurrent runs would time each
+     other's interference. *)
   (* T1a: sweep the child width (u, dense children) at fixed small d. *)
   Printf.printf "\n-- T1a: communication vs child width (s=48 children, d=6 edits) --\n";
   Printf.printf "%8s | %12s %12s %12s %12s\n" "u" "naive" "iblt-of-iblt" "cascade" "multiround";
   let t1a = Hashtbl.create 16 in
-  List.iter
+  Par.map_list
     (fun u ->
       let child_size = u / 2 in
-      Printf.printf "%8d |" u;
-      List.iter
-        (fun kind ->
-          let bits, _, ok, tr = averaged kind ~trials ~tag:(u * 17) ~u ~s:48 ~child_size ~edits:6 in
-          Hashtbl.replace t1a (u, kind) bits;
-          Printf.printf " %11.0f%s" bits (if ok = tr then " " else "!"))
-        Protocol.all;
-      print_newline ())
-    [ 64; 256; 1024; 4096; 16384 ];
+      ( u,
+        List.map
+          (fun kind -> (kind, averaged kind ~trials ~tag:(u * 17) ~u ~s:48 ~child_size ~edits:6))
+          Protocol.all ))
+    [ 64; 256; 1024; 4096; 16384 ]
+  |> List.iter (fun (u, row) ->
+         Printf.printf "%8d |" u;
+         List.iter
+           (fun (kind, (bits, _, ok, tr)) ->
+             Hashtbl.replace t1a (u, kind) bits;
+             Printf.printf " %11.0f%s" bits (if ok = tr then " " else "!"))
+           row;
+         print_newline ());
   (* T1b: sweep d at fixed wide children. *)
   Printf.printf "\n-- T1b: communication vs d (u=4096, s=48, children of 256) --\n";
   Printf.printf "%8s | %12s %12s %12s %12s\n" "d" "naive" "iblt-of-iblt" "cascade" "multiround";
   let t1b = Hashtbl.create 16 in
-  List.iter
+  Par.map_list
     (fun edits ->
-      Printf.printf "%8d |" edits;
-      List.iter
-        (fun kind ->
-          let bits, _, ok, tr =
-            averaged kind ~trials ~tag:(edits * 31) ~u:4096 ~s:48 ~child_size:256 ~edits
-          in
-          Hashtbl.replace t1b (edits, kind) bits;
-          Printf.printf " %11.0f%s" bits (if ok = tr then " " else "!"))
-        Protocol.all;
-      print_newline ())
-    [ 2; 4; 8; 16; 32 ];
+      ( edits,
+        List.map
+          (fun kind ->
+            (kind, averaged kind ~trials ~tag:(edits * 31) ~u:4096 ~s:48 ~child_size:256 ~edits))
+          Protocol.all ))
+    [ 2; 4; 8; 16; 32 ]
+  |> List.iter (fun (edits, row) ->
+         Printf.printf "%8d |" edits;
+         List.iter
+           (fun (kind, (bits, _, ok, tr)) ->
+             Hashtbl.replace t1b (edits, kind) bits;
+             Printf.printf " %11.0f%s" bits (if ok = tr then " " else "!"))
+           row;
+         print_newline ());
   (* T1c: computation time at one representative point. *)
   Printf.printf "\n-- T1c: wall time (u=1024, s=48, dense children, d=8) --\n";
   List.iter
@@ -271,24 +288,32 @@ let estimators () =
   let worst_l0 = ref 0.0 in
   List.iter
     (fun d ->
-      let ratios_l0 = ref [] and ratios_st = ref [] in
-      for t = 1 to trials do
-        let rng = Prng.create ~seed:(Prng.derive ~seed ~tag:(d + (t * 131))) in
-        let alice = Iset.random_subset rng ~universe:(1 lsl 40) ~size:20_000 in
-        let bob = Iset.union alice (Iset.random_subset rng ~universe:(1 lsl 41) ~size:d) in
-        let est_seed = Prng.derive ~seed ~tag:((d * 31) + t) in
-        let e = L0.create ~seed:est_seed () in
-        Iset.iter (fun x -> L0.update e L0.S1 x) alice;
-        Iset.iter (fun x -> L0.update e L0.S2 x) bob;
-        let true_d = Iset.sym_diff_size alice bob in
-        ratios_l0 := (float_of_int (L0.query e) /. float_of_int true_d) :: !ratios_l0;
-        let sa = Strata.create ~seed:est_seed () and sb = Strata.create ~seed:est_seed () in
-        Iset.iter (Strata.add sa) alice;
-        Iset.iter (Strata.add sb) bob;
-        ratios_st :=
-          (float_of_int (Strata.estimate ~local:sa ~remote:sb) /. float_of_int true_d) :: !ratios_st
-      done;
-      let ml0 = median !ratios_l0 and mst = median !ratios_st in
+      (* Each trial's workload and sketches derive from (d, t) alone, so the
+         trials fan out over the parallel pool; Par.init keeps them in trial
+         order, which the medians below do not even need. *)
+      let samples =
+        Par.init trials (fun ti ->
+            let t = ti + 1 in
+            let rng = Prng.create ~seed:(Prng.derive ~seed ~tag:(d + (t * 131))) in
+            let alice = Iset.random_subset rng ~universe:(1 lsl 40) ~size:20_000 in
+            let bob = Iset.union alice (Iset.random_subset rng ~universe:(1 lsl 41) ~size:d) in
+            let est_seed = Prng.derive ~seed ~tag:((d * 31) + t) in
+            let e = L0.create ~seed:est_seed () in
+            Iset.iter (fun x -> L0.update e L0.S1 x) alice;
+            Iset.iter (fun x -> L0.update e L0.S2 x) bob;
+            let true_d = Iset.sym_diff_size alice bob in
+            let r_l0 = float_of_int (L0.query e) /. float_of_int true_d in
+            let sa = Strata.create ~seed:est_seed () and sb = Strata.create ~seed:est_seed () in
+            Iset.iter (Strata.add sa) alice;
+            Iset.iter (Strata.add sb) bob;
+            let r_st =
+              float_of_int (Strata.estimate ~local:sa ~remote:sb) /. float_of_int true_d
+            in
+            (r_l0, r_st))
+      in
+      let ratios_l0 = Array.to_list (Array.map fst samples) in
+      let ratios_st = Array.to_list (Array.map snd samples) in
+      let ml0 = median ratios_l0 and mst = median ratios_st in
       worst_l0 := max !worst_l0 (max ml0 (1.0 /. ml0));
       Printf.printf "%8d | %18.2f | %18.2f\n" d ml0 mst)
     [ 10; 100; 1_000; 10_000 ];
@@ -1133,7 +1158,21 @@ let sections =
   ]
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  (* [--domains N] sizes the shared parallel pool (lib/util/par.ml) before
+     any section runs; it is consumed here so neither the flag nor its
+     argument is mistaken for a section name. Default: 1 (serial). *)
+  let rec strip_domains = function
+    | "--domains" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some d ->
+        Par.set_domains d;
+        strip_domains rest
+      | None -> failwith "bench: --domains expects an integer")
+    | [ "--domains" ] -> failwith "bench: --domains expects an integer"
+    | a :: rest -> a :: strip_domains rest
+    | [] -> []
+  in
+  let args = strip_domains (List.tl (Array.to_list Sys.argv)) in
   if List.mem "--list" args then List.iter (fun (name, _) -> print_endline name) sections
   else begin
     let chosen = List.filter (fun a -> a <> "--list" && a <> "--smoke") args in

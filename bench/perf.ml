@@ -11,16 +11,21 @@
    median over batches of (elapsed / reps). Batch sizes are auto-calibrated
    so one batch takes ~20ms, which puts clock resolution noise well below
    1%. [--smoke] shrinks workloads and trial counts so CI can verify the
-   harness itself stays alive without paying the full measurement cost.
+   harness itself stays alive without paying the full measurement cost;
+   smoke runs are also gated against the committed baselines in
+   bench/baseline/ (>10% median slowdown on any row exits 2, like the obs
+   suite's communication gate).
 
    Run:   dune exec bench/main.exe -- perf           (full, ~1 min)
           dune exec bench/main.exe -- perf --smoke   (CI, a few seconds)
+          dune exec bench/main.exe -- perf --domains 4   (adds parallel rows)
 
    JSON schema: see EXPERIMENTS.md ("Perf harness"). *)
 
 module Prng = Ssr_util.Prng
 module Iset = Ssr_util.Iset
 module Hashing = Ssr_util.Hashing
+module Par = Ssr_util.Par
 module Iblt = Ssr_sketch.Iblt
 module Gf61 = Ssr_field.Gf61
 module Poly = Ssr_field.Poly
@@ -187,7 +192,7 @@ let sketch_suite ~smoke ~trials =
       push
         (latency_fields "sos_protocol" ~ns
            [ ("protocol", S (Protocol.name kind)); ("children", I s); ("child_size", I child_size);
-             ("edits", I edits) ]))
+             ("edits", I edits); ("domains", I (Par.available ())) ]))
     Protocol.all;
   List.rev !results
 
@@ -210,11 +215,19 @@ let field_suite ~smoke ~trials =
   in
   push (ops_fields "gf61_mul" ~ns []);
 
-  let degrees = if smoke then [ 16; 64 ] else [ 16; 64; 256 ] in
+  let degrees = if smoke then [ 16; 64 ] else [ 16; 64; 256; 1024 ] in
 
   (* Distinct roots for a degree-D polynomial that splits completely: the
      paper's characteristic-polynomial decode (Thm 2.3), whose cost is
-     dominated by powmod with exponent ~2^61 inside linear_part. *)
+     dominated by powmod with exponent ~2^61 inside linear_part.
+
+     distinct_roots is measured serially ("domains": 1) and, when the
+     bench was launched with [--domains N > 1], once more under the pool:
+     the split tree forks its two branches, so the parallel row isolates
+     the domain-parallelism win at identical results (roots are intrinsic
+     to the polynomial). powmod is a single dependent chain and does not
+     parallelize. *)
+  let pool = Par.available () in
   List.iter
     (fun deg ->
       let roots =
@@ -226,13 +239,170 @@ let field_suite ~smoke ~trials =
         measure ~trials ~batch_ns:5e7 (fun () -> Poly.powmod x Gf61.p ~modulus:f)
       in
       push (latency_fields "powmod" ~ns:pm_ns [ ("degree", I deg); ("exponent_bits", I 61) ]);
-      let root_rng = Prng.create ~seed:(Prng.derive ~seed ~tag:(0x1007 + deg)) in
-      let dr_ns =
-        measure ~trials ~batch_ns:5e7 (fun () -> Roots.distinct_roots root_rng f)
+      let distinct_roots_row domains =
+        Par.set_domains domains;
+        let root_rng = Prng.create ~seed:(Prng.derive ~seed ~tag:(0x1007 + deg)) in
+        let dr_ns =
+          measure ~trials ~batch_ns:5e7 (fun () -> Roots.distinct_roots root_rng f)
+        in
+        push
+          (latency_fields "distinct_roots" ~ns:dr_ns
+             [ ("degree", I deg); ("domains", I domains) ])
       in
-      push (latency_fields "distinct_roots" ~ns:dr_ns [ ("degree", I deg) ]))
+      distinct_roots_row 1;
+      if pool > 1 then distinct_roots_row pool;
+      Par.set_domains pool)
     degrees;
   List.rev !results
+
+(* ------------------------------------------------------------------ *)
+(* Baseline regression gate                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* CI gate over the timing suites, extending the obs suite's pattern:
+   committed smoke-mode baselines live in bench/baseline/BENCH_<suite>.json
+   and a >10% slowdown of any matching row's median fails the run with
+   exit 2. Because shared-core runners jitter far more than 10%, the
+   committed baseline is a conservative envelope — the row-wise worst
+   median over many runs (the generating command is recorded in the
+   file) — so the gate trips on real kernel regressions, not scheduler
+   noise. Rows are matched on the name plus every identity field (degree,
+   cells, protocol, ...); the measured float fields are what is compared
+   (ms_per_op when present, ns_per_op otherwise). Full-mode runs print the
+   same comparison for information only: their medians come from more
+   trials than the committed smoke numbers, and their larger workloads
+   have no baseline row at all. *)
+
+let measured_keys = [ "ns_per_op"; "ops_per_sec"; "ms_per_op"; "mb_per_sec" ]
+
+(* Stable row key: name plus every string/int field, sorted. *)
+let identity_of_fields fields =
+  List.filter_map
+    (fun (k, v) ->
+      match v with
+      | S s -> Some (k ^ "=" ^ s)
+      | I i -> Some (k ^ "=" ^ string_of_int i)
+      | F _ | B _ -> None)
+    fields
+  |> List.sort compare |> String.concat " "
+
+let metric_of_fields fields =
+  match List.assoc_opt "ms_per_op" fields with
+  | Some (F v) -> Some ("ms_per_op", v)
+  | _ -> (
+    match List.assoc_opt "ns_per_op" fields with
+    | Some (F v) -> Some ("ns_per_op", v)
+    | _ -> None)
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* Parse one result row back from its JSON line (the writer above emits one
+   row per line). Keys in [measured_keys] parse as floats; every other
+   numeric field is an identity int. Unparseable values are skipped, which
+   at worst drops a row from the comparison rather than failing the run. *)
+let parse_result_line line =
+  let n = String.length line in
+  let fields = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    if line.[!i] <> '"' then incr i
+    else
+      match String.index_from_opt line (!i + 1) '"' with
+      | None -> i := n
+      | Some stop ->
+        let key = String.sub line (!i + 1) (stop - !i - 1) in
+        let j = ref (stop + 1) in
+        while !j < n && (line.[!j] = ':' || line.[!j] = ' ') do
+          incr j
+        done;
+        if !j = stop + 1 then i := stop + 1 (* stray quoted token, not a key *)
+        else if !j < n && line.[!j] = '"' then (
+          match String.index_from_opt line (!j + 1) '"' with
+          | None -> i := n
+          | Some e ->
+            fields := (key, S (String.sub line (!j + 1) (e - !j - 1))) :: !fields;
+            i := e + 1)
+        else begin
+          let s = !j in
+          let k = ref s in
+          while
+            !k < n
+            &&
+            match line.[!k] with
+            | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+            | _ -> false
+          do
+            incr k
+          done;
+          if !k > s then begin
+            let tok = String.sub line s (!k - s) in
+            (match
+               if List.mem key measured_keys then
+                 Option.map (fun f -> F f) (float_of_string_opt tok)
+               else
+                 match int_of_string_opt tok with
+                 | Some iv -> Some (I iv)
+                 | None -> Option.map (fun f -> F f) (float_of_string_opt tok)
+             with
+            | Some v -> fields := (key, v) :: !fields
+            | None -> ());
+            i := !k
+          end
+          else i := !j + 1 (* true/false/null *)
+        end
+  done;
+  List.rev !fields
+
+let read_baseline path =
+  let ic = open_in path in
+  let rows = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       if contains_substring line "\"name\"" then begin
+         let fields = parse_result_line line in
+         match metric_of_fields fields with
+         | Some (_, v) -> rows := (identity_of_fields fields, v) :: !rows
+         | None -> ()
+       end
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !rows
+
+let check_suite_baseline ~suite results =
+  let path = "bench/baseline/BENCH_" ^ suite ^ ".json" in
+  if not (Sys.file_exists path) then begin
+    Printf.printf "%s: no baseline at %s - skipping regression check\n%!" suite path;
+    true
+  end
+  else begin
+    let baseline = read_baseline path in
+    Printf.printf "\n%s suite vs %s (gate: >10%% slowdown):\n" suite path;
+    Printf.printf "  %-64s %12s %12s %7s\n" "row" "baseline" "now" "ratio";
+    let ok = ref true in
+    List.iter
+      (fun fields ->
+        let id = identity_of_fields fields in
+        match metric_of_fields fields with
+        | None -> ()
+        | Some (_, now) -> (
+          match List.assoc_opt id baseline with
+          | None -> Printf.printf "  %-64s %12s %12.4g %7s\n" id "-" now "(new)"
+          | Some base ->
+            let ratio = now /. Float.max 1e-9 base in
+            let flag = ratio > 1.10 in
+            if flag then ok := false;
+            Printf.printf "  %-64s %12.4g %12.4g %6.2fx%s\n" id base now ratio
+              (if flag then "  REGRESSION" else "")))
+      results;
+    if !ok then Printf.printf "%s: baseline check OK (threshold 10%%)\n%!" suite
+    else Printf.printf "%s: FAIL - medians regressed >10%% vs %s\n%!" suite path;
+    !ok
+  end
 
 (* ------------------------------------------------------------------ *)
 
@@ -246,4 +416,10 @@ let run ~smoke =
   write_json ~path:"BENCH_sketch.json" ~suite:"sketch" ~smoke sketch;
   let field = field_suite ~smoke ~trials in
   write_json ~path:"BENCH_field.json" ~suite:"field" ~smoke field;
-  Printf.printf "perf: done in %.1f s\n" (elapsed_ns t0 /. 1e9)
+  let ok_sketch = check_suite_baseline ~suite:"sketch" sketch in
+  let ok_field = check_suite_baseline ~suite:"field" field in
+  Printf.printf "perf: done in %.1f s\n" (elapsed_ns t0 /. 1e9);
+  (* The exit-2 gate applies to smoke mode only: that is what CI runs, and
+     the committed baselines are smoke medians from the same machine class.
+     Full-mode comparisons above are informational. *)
+  if smoke && not (ok_sketch && ok_field) then exit 2

@@ -3,6 +3,7 @@ module Bits = Ssr_util.Bits
 module Prng = Ssr_util.Prng
 module Buf = Ssr_util.Buf
 module Codec = Ssr_util.Codec
+module Par = Ssr_util.Par
 module Iblt = Ssr_sketch.Iblt
 module Comm = Ssr_setrecon.Comm
 
@@ -64,10 +65,13 @@ let run ~comm ~seed ~d ~d_hat ~s_bound ~u ~h ~k ~alice ~bob =
            0x55)
     else None
   in
-  (* ---- Alice: build and send every level table (one message). ---- *)
+  (* ---- Alice: build and send every level table (one message). ----
+     Levels are independent (each hashes every child into its own table),
+     so a parallel pool builds them concurrently; Par.init keeps the
+     result array in level order regardless of scheduling. *)
   let alice_children = Parent.children alice in
   let alice_tables =
-    Array.init (t + 1) (fun i ->
+    Par.init (t + 1) (fun i ->
         match outers.(i) with
         | None -> None
         | Some prm ->
@@ -130,7 +134,9 @@ let run ~comm ~seed ~d ~d_hat ~s_bound ~u ~h ~k ~alice ~bob =
   (* Level 1: identify D_B and recover what the tiny tables allow. *)
   let level1 = Option.get alice_tables.(1) in
   let bob_l1 = Iblt.create (Option.get outers.(1)) in
-  let bob_enc1 = List.map (fun c -> (Encoding.encode cfgs.(1) c, c)) bob_children in
+  let bob_enc1 =
+    Par.map_list (fun c -> (Encoding.encode cfgs.(1) c, c)) bob_children
+  in
   List.iter (fun (key, _) -> Iblt.insert bob_l1 key) bob_enc1;
   match Iblt.decode (Iblt.subtract level1 bob_l1) with
   | Error `Peel_stuck -> Error `Decode_failure

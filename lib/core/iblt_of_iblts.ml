@@ -3,6 +3,7 @@ module Bits = Ssr_util.Bits
 module Prng = Ssr_util.Prng
 module Buf = Ssr_util.Buf
 module Codec = Ssr_util.Codec
+module Par = Ssr_util.Par
 module Iblt = Ssr_sketch.Iblt
 module Comm = Ssr_setrecon.Comm
 
@@ -32,9 +33,13 @@ let run ~comm ~seed ~d ~d_hat ~s_bound ~k ~alice ~bob =
       seed = Prng.derive ~seed ~tag:0x07E5;
     }
   in
-  (* Alice: encode every child and ship the outer table as real bytes. *)
+  (* Alice: encode every child and ship the outer table as real bytes.
+     Child encodings (an inner IBLT each) are pure and independent, so a
+     parallel pool builds them concurrently; inserts stay serial and in
+     child order. *)
   let outer = Iblt.create outer_prm in
-  List.iter (fun c -> Iblt.insert outer (Encoding.encode cfg c)) (Parent.children alice);
+  List.iter (Iblt.insert outer)
+    (Par.map_list (Encoding.encode cfg) (Parent.children alice));
   let alice_hash = Parent.hash ~seed alice in
   let hash_bytes = Bytes.create 8 in
   Buf.set_int_le hash_bytes 0 alice_hash;
@@ -53,7 +58,9 @@ let run ~comm ~seed ~d ~d_hat ~s_bound ~k ~alice ~bob =
   | None -> Error `Decode_failure
   | Some (outer, alice_hash) -> (
   (* Bob: delete his encodings and peel out the differing ones. *)
-  let bob_encodings = List.map (fun c -> (Encoding.encode cfg c, c)) (Parent.children bob) in
+  let bob_encodings =
+    Par.map_list (fun c -> (Encoding.encode cfg c, c)) (Parent.children bob)
+  in
   let bob_outer = Iblt.create outer_prm in
   List.iter (fun (key, _) -> Iblt.insert bob_outer key) bob_encodings;
   match Iblt.decode (Iblt.subtract outer bob_outer) with

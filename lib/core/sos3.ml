@@ -3,6 +3,7 @@ module Bits = Ssr_util.Bits
 module Prng = Ssr_util.Prng
 module Buf = Ssr_util.Buf
 module Hashing = Ssr_util.Hashing
+module Par = Ssr_util.Par
 module Iblt = Ssr_sketch.Iblt
 module Comm = Ssr_setrecon.Comm
 module Metrics = Ssr_obs.Metrics
@@ -115,8 +116,11 @@ let level2_config ~seed ~d ~d2 ~s_bound ~k =
   { cfg1; parent_prm; seed }
 
 let parent_table cfg parent =
+  (* Child encodings are pure; build them concurrently under a parallel
+     pool and insert serially in child order. *)
   let table = Iblt.create cfg.parent_prm in
-  List.iter (fun c -> Iblt.insert table (Encoding.encode cfg.cfg1 c)) (Parent.children parent);
+  List.iter (Iblt.insert table)
+    (Par.map_list (Encoding.encode cfg.cfg1) (Parent.children parent));
   table
 
 let parent_key_length cfg = Iblt.body_length cfg.parent_prm + 8
@@ -156,7 +160,9 @@ let try_recover_parent cfg ~alice_key ~bob_parent =
   | Ok { positives; negatives } -> (
     (* negatives are encodings of Bob's children inside this parent. *)
     let bob_children = Parent.children bob_parent in
-    let bob_encodings = List.map (fun c -> (Encoding.encode cfg.cfg1 c, c)) bob_children in
+    let bob_encodings =
+      Par.map_list (fun c -> (Encoding.encode cfg.cfg1 c, c)) bob_children
+    in
     let db =
       List.filter_map
         (fun neg ->
@@ -196,11 +202,13 @@ let run ~comm ~seed ~d ~d2 ~d3 ~k ~alice ~bob =
   in
   (* Alice's single message: grandparent IBLT over parent encodings + hash. *)
   let outer = Iblt.create outer_prm in
-  Array.iter (fun p -> Iblt.insert outer (encode_parent cfg p)) alice;
+  Array.iter (Iblt.insert outer) (Par.map_array (encode_parent cfg) alice);
   let alice_hash = hash ~seed alice in
   Comm.send comm Comm.A_to_b ~label:"sos3-iblt+hash" ~bits:(Iblt.size_bits outer + 64);
   (* Bob's side. *)
-  let bob_encodings = Array.to_list (Array.map (fun p -> (encode_parent cfg p, p)) bob) in
+  let bob_encodings =
+    Array.to_list (Par.map_array (fun p -> (encode_parent cfg p, p)) bob)
+  in
   let bob_outer = Iblt.create outer_prm in
   List.iter (fun (key, _) -> Iblt.insert bob_outer key) bob_encodings;
   match Iblt.decode (Iblt.subtract outer bob_outer) with

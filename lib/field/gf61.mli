@@ -44,6 +44,12 @@ val inv : t -> t
 
 val div : t -> t -> t
 
+val batch_inv : t array -> t array
+(** Element-wise inverses computed with Montgomery's trick: one {!inv} plus
+    three multiplies per element, instead of one ~61-squaring Fermat
+    inversion each. Raises [Division_by_zero] if any element is 0 (as the
+    element-wise computation would). The input is not modified. *)
+
 val random : Ssr_util.Prng.t -> t
 (** Uniform element of [\[0, p)]. *)
 

@@ -3,6 +3,15 @@ type solution =
   | Underdetermined of Gf61.t array
   | Inconsistent
 
+(* Division-free Gaussian elimination. Each update scales the target row
+   by the (nonzero) pivot instead of normalizing the pivot row first:
+     row_r <- piv * row_r - mat(r)(col) * row_pivot
+   so rows only ever get multiplied by nonzero scalars. That keeps every
+   zero/nonzero pattern — and therefore the pivot choices, the rank, and
+   the inconsistency test — identical to the normalized elimination, while
+   deferring all inversions to one Montgomery batch over the pivots during
+   back-substitution (Gf61.batch_inv): one Fermat inversion per solve
+   instead of one per pivot row. *)
 let solve a b =
   let m = Array.length a in
   if Array.length b <> m then invalid_arg "Linalg.solve: dimension mismatch";
@@ -36,18 +45,16 @@ let solve a b =
           rhs.(r0) <- rhs.(!row);
           rhs.(!row) <- tb
         end;
-        let inv = Gf61.inv mat.(!row).(!col) in
-        for j = !col to n - 1 do
-          mat.(!row).(j) <- Gf61.mul mat.(!row).(j) inv
-        done;
-        rhs.(!row) <- Gf61.mul rhs.(!row) inv;
-        for r = 0 to m - 1 do
-          if r <> !row && mat.(r).(!col) <> 0 then begin
-            let factor = mat.(r).(!col) in
+        let prow = mat.(!row) in
+        let piv = prow.(!col) in
+        for r = !row + 1 to m - 1 do
+          let mr = mat.(r) in
+          if mr.(!col) <> 0 then begin
+            let f = mr.(!col) in
             for j = !col to n - 1 do
-              mat.(r).(j) <- Gf61.sub mat.(r).(j) (Gf61.mul factor mat.(!row).(j))
+              mr.(j) <- Gf61.sub (Gf61.mul piv mr.(j)) (Gf61.mul f prow.(j))
             done;
-            rhs.(r) <- Gf61.sub rhs.(r) (Gf61.mul factor rhs.(!row))
+            rhs.(r) <- Gf61.sub (Gf61.mul piv rhs.(r)) (Gf61.mul f rhs.(!row))
           end
         done;
         pivot_col.(!row) <- !col;
@@ -56,16 +63,28 @@ let solve a b =
       end
     done;
     let rank = !row in
-    (* Inconsistent iff some zero row has a nonzero rhs. *)
+    (* Rows below the rank are identically zero (any nonzero entry would
+       have produced a pivot), so inconsistency is a nonzero rhs there. *)
     let inconsistent = ref false in
     for r = rank to m - 1 do
       if rhs.(r) <> 0 then inconsistent := true
     done;
     if !inconsistent then Inconsistent
     else begin
+      let pivs = Array.init rank (fun r -> mat.(r).(pivot_col.(r))) in
+      let pinvs = Gf61.batch_inv pivs in
       let x = Array.make n 0 in
-      for r = 0 to rank - 1 do
-        x.(pivot_col.(r)) <- rhs.(r)
+      (* Back-substitute bottom-up with free variables at zero; the pivot
+         variables this determines are exactly the values the normalized
+         Gauss-Jordan sweep used to return. *)
+      for r = rank - 1 downto 0 do
+        let c = pivot_col.(r) in
+        let mr = mat.(r) in
+        let s = ref rhs.(r) in
+        for j = c + 1 to n - 1 do
+          if mr.(j) <> 0 then s := Gf61.sub !s (Gf61.mul mr.(j) x.(j))
+        done;
+        x.(c) <- Gf61.mul !s pinvs.(r)
       done;
       if rank = n then Unique x else Underdetermined x
     end

@@ -15,6 +15,7 @@ type solution =
 
 val solve : Gf61.t array array -> Gf61.t array -> solution
 (** [solve a b] solves [a x = b] where [a] is an [m x n] row-major matrix
-    and [b] has length [m]. Gaussian elimination with partial (first
-    nonzero) pivoting; [O(m n min(m,n))]. The input arrays are not
-    modified. *)
+    and [b] has length [m]. Division-free Gaussian elimination with partial
+    (first nonzero) pivoting and one Montgomery batch inversion over the
+    pivots; [O(m n min(m,n))] multiplies and a single [Gf61.inv]. The input
+    arrays are not modified. *)

@@ -36,8 +36,9 @@ val eval : t -> Gf61.t -> Gf61.t
 val add : t -> t -> t
 val sub : t -> t -> t
 val mul : t -> t -> t
-(** Schoolbook multiplication; degrees in this library are O(d), which is
-    small, so no FFT is needed. *)
+(** Multiplication: schoolbook below a tuned cutover length, Karatsuba
+    (O(n^1.585)) above it. Field addition is exact, so both paths return
+    bit-identical coefficients. *)
 
 val scale : Gf61.t -> t -> t
 val monic : t -> t
@@ -70,6 +71,23 @@ val powmod : t -> int -> modulus:t -> t
     multiply step reuses the reduced base, so low-degree bases (the [x]
     and [x + a] of root finding) make the huge exponents of Theorem 2.3
     cost squarings only. *)
+
+type reducer
+(** A precomputed reduction object for one fixed modulus: the Newton
+    inverse [rev(m)^{-1} mod x^(degree m)] that turns each remainder into
+    two truncated multiplications (polynomial Barrett reduction) instead
+    of a long division. Built once per {!powmod} call tree and reused
+    across all ~61 square-and-multiply iterations. *)
+
+val reducer : t -> reducer
+(** Precompute a reducer for the given modulus. Requires
+    [degree modulus >= 1]. *)
+
+val reduce : reducer -> t -> t
+(** [reduce r a = a mod m] for the reducer's modulus [m] (remainders are
+    taken against the monic scaling of [m], exactly as {!divmod}'s
+    remainder). Exposed so differential tests can pin the Newton path
+    against long division on arbitrary inputs. *)
 
 val derivative : t -> t
 

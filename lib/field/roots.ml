@@ -1,4 +1,5 @@
 module Prng = Ssr_util.Prng
+module Par = Ssr_util.Par
 
 let x_poly = Poly.of_coeffs [| 0; 1 |]
 
@@ -7,26 +8,46 @@ let linear_part f =
   let xp = Poly.powmod x_poly Gf61.p ~modulus:f in
   Poly.gcd f (Poly.sub xp x_poly)
 
+(* Below this degree a fork costs more than the subtree: the two powmod
+   ladders it would overlap are microseconds. *)
+let par_min_degree = 32
+
 (* Split a product of distinct linear factors into its roots.
    (x + a)^((p-1)/2) mod g is ±1 at each root shifted by a; gcd with
-   (that - 1) separates the quadratic residues from the rest. *)
+   (that - 1) separates the quadratic residues from the rest.
+
+   With a parallel pool the two subtrees run on independent generators
+   derived from the current node ([Prng.split] does not advance the
+   parent), so no mutable state crosses domains. The recovered roots are
+   intrinsic to [g] — only the Las Vegas running time depends on the
+   draws — and [distinct_roots] sorts, so serial and parallel runs return
+   identical values. The serial path threads one generator exactly as it
+   always has, keeping fixed-seed replay byte-for-byte. *)
 let rec split_roots rng g acc =
   match Poly.degree g with
   | 0 -> acc
   | 1 ->
     (* g = x + c  =>  root = -c (g is monic). *)
     Gf61.neg (Poly.coeff g 0) :: acc
-  | _ ->
+  | dg ->
     let a = Gf61.random rng in
     let shifted = Poly.of_coeffs [| a; 1 |] in
     let h = Poly.powmod shifted ((Gf61.p - 1) / 2) ~modulus:g in
     let w = Poly.gcd g (Poly.sub h Poly.one) in
     let dw = Poly.degree w in
-    if dw = 0 || dw = Poly.degree g then split_roots rng g acc
+    if dw = 0 || dw = dg then split_roots rng g acc
     else
       let other, rem = Poly.divmod g w in
       assert (Poly.is_zero rem);
-      split_roots rng w (split_roots rng other acc)
+      if dg >= par_min_degree && Par.available () > 1 then
+        let rng_w = Prng.split rng ~tag:1 and rng_o = Prng.split rng ~tag:2 in
+        let ws, os =
+          Par.both
+            (fun () -> split_roots rng_w w [])
+            (fun () -> split_roots rng_o other [])
+        in
+        List.append ws (List.append os acc)
+      else split_roots rng w (split_roots rng other acc)
 
 let distinct_roots rng f =
   if Poly.is_zero f then invalid_arg "Roots.distinct_roots: zero polynomial";
@@ -35,13 +56,27 @@ let distinct_roots rng f =
     let g = linear_part (Poly.monic f) in
     if Poly.degree g = 0 then [] else List.sort compare (split_roots rng g [])
 
+(* Strip (z - root) factors by synthetic division: one Horner pass gives
+   quotient b_{i-1} = a_i + root*b_i and remainder a_0 + root*b_0, so each
+   factor costs O(d) instead of Poly.divmod's O(d^2) long division. The
+   quotient is the same polynomial long division produces (divmod by the
+   monic z - root), which the differential test in test_field pins. *)
 let multiplicity_of f root =
-  let factor = Poly.of_coeffs [| Gf61.neg root; 1 |] in
-  let rec go f count =
-    let q, r = Poly.divmod f factor in
-    if Poly.is_zero r then go q (count + 1) else (count, f)
+  let rec go coeffs count =
+    let d = Array.length coeffs - 1 in
+    if d < 1 then (count, Poly.of_coeffs coeffs)
+    else begin
+      let q = Array.make d 0 in
+      q.(d - 1) <- coeffs.(d);
+      for i = d - 1 downto 1 do
+        q.(i - 1) <- Gf61.add coeffs.(i) (Gf61.mul root q.(i))
+      done;
+      let rem = Gf61.add coeffs.(0) (Gf61.mul root q.(0)) in
+      if Gf61.equal rem Gf61.zero then go q (count + 1)
+      else (count, Poly.of_coeffs coeffs)
+    end
   in
-  go f 0
+  go (Poly.coeffs f) 0
 
 let roots_with_multiplicity rng f =
   let roots = distinct_roots rng f in

@@ -87,11 +87,16 @@ let recover_diffs ~rng ~d ~size_a ~size_b bob_roots alice_evals =
   else begin
     let dbar = if (d + 1 - abs delta) mod 2 = 0 then d + 1 else d in
     let bob_arr = Array.of_list bob_roots in
-    let f =
-      Array.init pts (fun i ->
-          let denom = Poly.eval_from_roots bob_arr (eval_point i) in
-          Gf61.div alice_evals.(i) denom)
+    (* chi_A(z_i) / chi_B(z_i) at every shared point: one Montgomery batch
+       inversion over the denominators instead of a Fermat inversion per
+       point. Evaluation points live above every element encoding, so no
+       denominator vanishes (batch_inv would raise Division_by_zero
+       exactly as per-point Gf61.div did). *)
+    let denoms =
+      Array.init pts (fun i -> Poly.eval_from_roots bob_arr (eval_point i))
     in
+    let dinvs = Gf61.batch_inv denoms in
+    let f = Array.init pts (fun i -> Gf61.mul alice_evals.(i) dinvs.(i)) in
     match interpolate ~dbar ~delta f with
     | None -> None
     | Some (p, q) -> (

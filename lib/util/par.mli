@@ -1,0 +1,47 @@
+(** Deterministic fork-join parallelism over OCaml 5 domains.
+
+    A lazily spawned domain pool with strictly deterministic join order:
+    every combinator writes results into slots fixed by input position, so
+    the value of a parallel region never depends on scheduling — protocols
+    produce byte-identical transcripts at any pool size.
+
+    The pool is opt-in. It defaults to 1 domain (fully serial — no domain
+    is spawned and combinators run their closures inline on the caller's
+    stack), can be seeded from the [SSR_DOMAINS] environment variable, and
+    is resized with {!set_domains} (the [--domains N] flag of the CLI and
+    bench). Fork-join regions nest: a joiner helps drain the shared queue
+    while it waits, so recursive forks (e.g. {!Ssr_field.Roots} splitting)
+    cannot deadlock the pool.
+
+    Metrics: submitting a parallel region ticks the [par.tasks] counter
+    (once per task, from the submitting domain, so counts are
+    deterministic) and the pool size is mirrored in the [par.domains]
+    gauge. *)
+
+val available : unit -> int
+(** Current pool size (>= 1). With a requested size of 0 ("auto") this is
+    [Domain.recommended_domain_count ()], capped at 64. *)
+
+val set_domains : int -> unit
+(** Request a pool size: [1] serial (default), [n >= 2] that many domains
+    (workers are spawned lazily, on the first parallel region), [0] auto-
+    size from [Domain.recommended_domain_count]. Oversubscription beyond
+    the core count is allowed — determinism does not depend on the
+    machine. Raises [Invalid_argument] on negative sizes. *)
+
+val both : (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
+(** [both f g] runs the two thunks, possibly on different domains, and
+    returns [(f (), g ())]. Serial pools evaluate [f] then [g] inline. If
+    either thunk raises, the exception of the leftmost raising thunk is
+    re-raised after both complete. *)
+
+val init : int -> (int -> 'a) -> 'a array
+(** Parallel [Array.init]: indices are split into [available ()] contiguous
+    chunks. Element order (and therefore the result) is identical to the
+    serial [Array.init]. *)
+
+val map_array : ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map] with serial-identical result order. *)
+
+val map_list : ('a -> 'b) -> 'a list -> 'b list
+(** Parallel [List.map] with serial-identical result order. *)

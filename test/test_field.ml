@@ -355,6 +355,145 @@ let test_differential_powmod () =
         (Poly.equal (Poly.powmod x k ~modulus:f) (naive_powmod x k ~modulus:f)))
     [ Gf61.p; (Gf61.p - 1) / 2 ]
 
+(* Schoolbook product written from the definition, used to cross-check the
+   Karatsuba path (Poly.mul switches over at ~20 coefficients). *)
+let schoolbook_mul a b =
+  if Poly.is_zero a || Poly.is_zero b then Poly.zero
+  else begin
+    let da = Poly.degree a and db = Poly.degree b in
+    let out = Array.make (da + db + 1) 0 in
+    for i = 0 to da do
+      for j = 0 to db do
+        out.(i + j) <- Gf61.add out.(i + j) (Gf61.mul (Poly.coeff a i) (Poly.coeff b j))
+      done
+    done;
+    Poly.of_coeffs out
+  end
+
+let test_karatsuba_vs_schoolbook () =
+  let rng = Prng.create ~seed:(Prng.derive ~seed ~tag:0xCACA) in
+  (* Degrees straddling the cutover, including lopsided operand pairs that
+     exercise the unbalanced Karatsuba branch. *)
+  List.iter
+    (fun (da, db) ->
+      let a = Poly.of_coeffs (Array.init (da + 1) (fun i -> if i = da then Gf61.random_nonzero rng else Gf61.random rng)) in
+      let b = Poly.of_coeffs (Array.init (db + 1) (fun i -> if i = db then Gf61.random_nonzero rng else Gf61.random rng)) in
+      Alcotest.(check bool)
+        (Printf.sprintf "mul %dx%d" da db)
+        true
+        (Poly.equal (Poly.mul a b) (schoolbook_mul a b));
+      Alcotest.(check bool)
+        (Printf.sprintf "square %d" da)
+        true
+        (Poly.equal (Poly.mul a a) (schoolbook_mul a a)))
+    [ (3, 3); (19, 19); (20, 20); (21, 21); (33, 64); (64, 33); (100, 7); (127, 128); (256, 256) ]
+
+let test_newton_reduce_vs_divmod () =
+  let rng = Prng.create ~seed:(Prng.derive ~seed ~tag:0xBA88E77) in
+  for _ = 1 to 60 do
+    (* Moduli on both sides of the Newton threshold; inputs from below the
+       modulus degree up past 2*dm, which exercises the walk-down. *)
+    let dm = 1 + Prng.int_below rng 40 in
+    let m = Poly.of_coeffs (Array.init (dm + 1) (fun i -> if i = dm then Gf61.random_nonzero rng else Gf61.random rng)) in
+    let red = Poly.reducer m in
+    List.iter
+      (fun da ->
+        let a = Poly.of_coeffs (Array.init (da + 1) (fun i -> if i = da then Gf61.random_nonzero rng else Gf61.random rng)) in
+        Alcotest.(check bool)
+          (Printf.sprintf "reduce deg %d mod deg %d" da dm)
+          true
+          (Poly.equal (Poly.reduce red a) (snd (Poly.divmod a m))))
+      [ 0; max 0 (dm - 1); dm; (2 * dm) - 1; 2 * dm; (3 * dm) + 5 ]
+  done;
+  (* Zero input and an exact multiple both reduce to zero. *)
+  let m = Poly.from_roots [| 2; 3; 5; 7; 11; 13; 17; 19; 23; 29; 31; 37; 41; 43; 47; 53; 59 |] in
+  let red = Poly.reducer m in
+  Alcotest.(check bool) "zero" true (Poly.is_zero (Poly.reduce red Poly.zero));
+  Alcotest.(check bool) "exact multiple" true
+    (Poly.is_zero (Poly.reduce red (Poly.mul m (Poly.from_roots [| 61; 67 |]))))
+
+let test_batch_inv () =
+  let rng = Prng.create ~seed:(Prng.derive ~seed ~tag:0xB47C4) in
+  List.iter
+    (fun n ->
+      let xs = Array.init n (fun _ -> Gf61.random_nonzero rng) in
+      Alcotest.(check (array int))
+        (Printf.sprintf "batch_inv n=%d" n)
+        (Array.map Gf61.inv xs) (Gf61.batch_inv xs))
+    [ 0; 1; 2; 3; 17; 100 ];
+  Alcotest.check_raises "zero in batch" Division_by_zero (fun () ->
+      ignore (Gf61.batch_inv [| 5; 0; 7 |]));
+  (* The input array is not mutated. *)
+  let xs = [| 3; 5; 7 |] in
+  ignore (Gf61.batch_inv xs);
+  Alcotest.(check (array int)) "input untouched" [| 3; 5; 7 |] xs
+
+let test_powmod_guards () =
+  (* Exponents 0 and 1 and a degree-0 modulus, under both reduction paths:
+     a small modulus takes the classic divmod walk, a degree >= 16 modulus
+     takes the Newton (polynomial Barrett) path. *)
+  let small_m = Poly.from_roots [| 5; 9 |] in
+  let big_m = Poly.from_roots (Array.init 24 (fun i -> 100 + (i * 17))) in
+  let x = poly_of [ 0; 1 ] in
+  List.iter
+    (fun (label, m) ->
+      Alcotest.(check bool) (label ^ ": x^0 = 1") true (Poly.equal (Poly.powmod x 0 ~modulus:m) Poly.one);
+      Alcotest.(check bool) (label ^ ": x^1 = x mod m") true
+        (Poly.equal (Poly.powmod x 1 ~modulus:m) (snd (Poly.divmod x m)));
+      (* A base larger than the modulus must be reduced even at k = 1. *)
+      let base = Poly.mul m (poly_of [ 3; 1 ]) |> Poly.add (poly_of [ 7; 0; 2 ]) in
+      Alcotest.(check bool) (label ^ ": base^1 reduced") true
+        (Poly.equal (Poly.powmod base 1 ~modulus:m) (snd (Poly.divmod base m)));
+      Alcotest.(check bool) (label ^ ": 0^0 = 1") true
+        (Poly.equal (Poly.powmod Poly.zero 0 ~modulus:m) Poly.one);
+      Alcotest.(check bool) (label ^ ": 0^5 = 0") true
+        (Poly.is_zero (Poly.powmod Poly.zero 5 ~modulus:m)))
+    [ ("small", small_m); ("newton", big_m) ];
+  (* Degree-0 and zero moduli are rejected on both paths' shared guard. *)
+  List.iter
+    (fun m ->
+      Alcotest.check_raises "degree-0 modulus"
+        (Invalid_argument "Poly.powmod: modulus must have degree >= 1") (fun () ->
+          ignore (Poly.powmod x 2 ~modulus:m)))
+    [ Poly.one; Poly.constant 42 ]
+
+(* Multiplicity extraction via synthetic division, against the obvious
+   divmod reference: divide by (z - r) while the remainder is exactly
+   zero. *)
+let ref_multiplicity f root =
+  let lin = Poly.from_roots [| root |] in
+  let rec go f count =
+    if Poly.degree f < 1 then count
+    else
+      let q, r = Poly.divmod f lin in
+      if Poly.is_zero r then go q (count + 1) else count
+  in
+  go f 0
+
+let test_multiplicity_differential () =
+  let rng = Prng.create ~seed:(Prng.derive ~seed ~tag:0x3117) in
+  for _ = 1 to 40 do
+    (* A random product of linear powers times a rootless quadratic half
+       the time. *)
+    let k = 1 + Prng.int_below rng 4 in
+    let roots =
+      List.concat
+        (List.init k (fun i ->
+             let r = 1 + (i * 977) + Prng.int_below rng 100 in
+             List.init (1 + Prng.int_below rng 3) (fun _ -> r)))
+    in
+    let f0 = Poly.from_roots (Array.of_list roots) in
+    let f = if Prng.bool rng then Poly.mul f0 (poly_of [ 1; 0; 1 ]) else f0 in
+    let expected =
+      List.sort_uniq compare roots
+      |> List.map (fun r -> (r, ref_multiplicity f r))
+    in
+    let found = Roots.roots_with_multiplicity rng f in
+    (* Only compare at the planted roots: the rootless factor contributes
+       none, and the reference count must match exactly at each. *)
+    Alcotest.(check (list (pair int int))) "multiplicities = divmod reference" expected found
+  done
+
 let test_differential_gcd () =
   (* The in-place Euclid against the recursive divmod reference. *)
   let rec ref_gcd a b =
@@ -381,6 +520,7 @@ let () =
           Alcotest.test_case "mul vs slow" `Quick test_mul_against_slow;
           Alcotest.test_case "field axioms" `Quick test_field_axioms;
           Alcotest.test_case "inverse" `Quick test_inv;
+          Alcotest.test_case "batch inverse" `Quick test_batch_inv;
           Alcotest.test_case "pow" `Quick test_pow;
           Alcotest.test_case "of_int" `Quick test_of_int;
         ] );
@@ -396,11 +536,15 @@ let () =
           Alcotest.test_case "differential mulmod" `Quick test_differential_mulmod;
           Alcotest.test_case "differential powmod" `Quick test_differential_powmod;
           Alcotest.test_case "differential gcd" `Quick test_differential_gcd;
+          Alcotest.test_case "karatsuba vs schoolbook" `Quick test_karatsuba_vs_schoolbook;
+          Alcotest.test_case "newton reduce vs divmod" `Quick test_newton_reduce_vs_divmod;
+          Alcotest.test_case "powmod guards" `Quick test_powmod_guards;
         ] );
       ( "roots",
         [
           Alcotest.test_case "distinct roots" `Quick test_distinct_roots;
           Alcotest.test_case "multiplicities" `Quick test_roots_with_multiplicity;
+          Alcotest.test_case "multiplicity differential" `Quick test_multiplicity_differential;
           Alcotest.test_case "no roots" `Quick test_no_roots;
           Alcotest.test_case "splits_completely" `Quick test_splits_completely;
         ] );

@@ -1,0 +1,179 @@
+(* Tests for the deterministic domain pool (lib/util/par.ml).
+
+   Two layers: unit tests of the fork-join combinators at several pool
+   sizes (including nesting and exception propagation), and the
+   determinism battery the pool's contract promises — every protocol
+   stack run over the simulated network produces a byte-identical wire
+   transcript with the pool at 1 and at 4 domains, across seeds. *)
+
+module Par = Ssr_util.Par
+module Prng = Ssr_util.Prng
+module Iset = Ssr_util.Iset
+module Parent = Ssr_core.Parent
+module Protocol = Ssr_core.Protocol
+module Clock = Ssr_transport.Clock
+module Network = Ssr_transport.Network
+module Arq = Ssr_transport.Arq
+module Resilient = Ssr_transport.Resilient
+
+(* Every test restores the default serial pool on the way out so the rest
+   of the suite (and alcotest's own ordering) never runs parallel by
+   accident. *)
+let with_domains n f =
+  Par.set_domains n;
+  Fun.protect ~finally:(fun () -> Par.set_domains 1) f
+
+let pool_sizes = [ 1; 2; 4 ]
+
+(* ---------- combinators ---------- *)
+
+let test_available () =
+  with_domains 1 (fun () ->
+      Alcotest.(check int) "serial default" 1 (Par.available ());
+      Par.set_domains 4;
+      Alcotest.(check int) "explicit size" 4 (Par.available ());
+      Par.set_domains 0;
+      Alcotest.(check bool) "auto >= 1" true (Par.available () >= 1));
+  Alcotest.(check int) "restored" 1 (Par.available ());
+  Alcotest.check_raises "negative" (Invalid_argument "Par.set_domains: negative") (fun () ->
+      Par.set_domains (-1))
+
+let test_both () =
+  List.iter
+    (fun n ->
+      with_domains n (fun () ->
+          let a, b = Par.both (fun () -> 6 * 7) (fun () -> "ok") in
+          Alcotest.(check int) "left" 42 a;
+          Alcotest.(check string) "right" "ok" b))
+    pool_sizes
+
+let test_init_matches_serial () =
+  let f i = (i * i) + (i lsr 1) in
+  List.iter
+    (fun n ->
+      with_domains n (fun () ->
+          List.iter
+            (fun len ->
+              Alcotest.(check (array int))
+                (Printf.sprintf "init len=%d pool=%d" len n)
+                (Array.init len f) (Par.init len f))
+            [ 0; 1; 2; 7; 100; 1000 ]))
+    pool_sizes;
+  Alcotest.check_raises "negative length" (Invalid_argument "Par.init: negative length")
+    (fun () -> ignore (Par.init (-1) (fun i -> i)))
+
+let test_map_matches_serial () =
+  let f x = (2 * x) + 1 in
+  let arr = Array.init 257 (fun i -> (i * 37) land 1023 ) in
+  let l = Array.to_list arr in
+  List.iter
+    (fun n ->
+      with_domains n (fun () ->
+          Alcotest.(check (array int)) "map_array" (Array.map f arr) (Par.map_array f arr);
+          Alcotest.(check (list int)) "map_list" (List.map f l) (Par.map_list f l)))
+    pool_sizes
+
+let test_nesting () =
+  (* A recursive fork tree three levels deep: joiners must help, not
+     deadlock, even when the tree is wider than the pool. *)
+  let rec tree depth base =
+    if depth = 0 then [ base ]
+    else
+      let l, r = Par.both (fun () -> tree (depth - 1) (2 * base)) (fun () -> tree (depth - 1) ((2 * base) + 1)) in
+      l @ r
+  in
+  List.iter
+    (fun n ->
+      with_domains n (fun () ->
+          Alcotest.(check (list int))
+            (Printf.sprintf "fork tree pool=%d" n)
+            [ 8; 9; 10; 11; 12; 13; 14; 15 ] (tree 3 1)))
+    pool_sizes
+
+exception Boom of int
+
+let test_exceptions () =
+  List.iter
+    (fun n ->
+      with_domains n (fun () ->
+          Alcotest.check_raises "both re-raises leftmost" (Boom 1) (fun () ->
+              ignore (Par.both (fun () -> raise (Boom 1)) (fun () -> raise (Boom 2))));
+          Alcotest.check_raises "map propagates" (Boom 7) (fun () ->
+              ignore (Par.map_list (fun x -> if x = 7 then raise (Boom x) else x) [ 1; 7; 9 ]))))
+    pool_sizes
+
+(* ---------- parallel == serial transcripts ---------- *)
+
+(* One protocol stack over the clean simulated network; returns the full
+   wire transcript (delivery time + payload bytes of every event, in
+   order) as one string. Any scheduling leak in the parallel hot paths
+   (root splitting, concurrent child-IBLT builds) would change the bytes
+   some message carries, and this flattening would catch it. *)
+let transcript_of_stack ~nseed stack =
+  let clock = Clock.create () in
+  let network = Network.create ~clock (Network.config_with ~seed:nseed ()) in
+  let arq = Arq.create ~clock ~network ~seed:nseed () in
+  let link = Resilient.over_network arq in
+  (match stack with
+  | `Set ->
+    let rng = Prng.create ~seed:(Prng.derive ~seed:nseed ~tag:0x5E) in
+    let alice = Iset.random_subset rng ~universe:(1 lsl 30) ~size:400 in
+    let bob = Iset.union alice (Iset.random_subset rng ~universe:(1 lsl 31) ~size:8) in
+    (match Resilient.reconcile_set ~link ~seed:nseed ~alice ~bob () with
+    | Ok (got, _) -> Alcotest.(check bool) "set reconciled" true (Iset.equal got alice)
+    | Error _ -> Alcotest.fail "set reconciliation failed")
+  | `Sos kind -> (
+    let rng = Prng.create ~seed:(Prng.derive ~seed:nseed ~tag:0x50) in
+    let u = 1 lsl 12 in
+    let bob = Parent.random rng ~universe:u ~children:8 ~child_size:12 in
+    let alice, _ = Parent.perturb rng ~universe:u ~edits:4 bob in
+    match Resilient.reconcile_sos ~link ~kind ~seed:nseed ~u ~h:16 ~initial_d:8 ~alice ~bob () with
+    | Ok (got, _) -> Alcotest.(check bool) "sos reconciled" true (Parent.equal got alice)
+    | Error _ -> Alcotest.fail "sos reconciliation failed"));
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun (e : Network.delivery) ->
+      Buffer.add_string b (string_of_int e.Network.delivered_us);
+      Buffer.add_char b ':';
+      Buffer.add_bytes b e.Network.bytes;
+      Buffer.add_char b '\n')
+    (Network.transcript network);
+  Buffer.contents b
+
+let stack_name = function
+  | `Set -> "set"
+  | `Sos kind -> Protocol.name kind
+
+let test_parallel_matches_serial_transcripts () =
+  let stacks = `Set :: List.map (fun k -> `Sos k) Protocol.all in
+  List.iter
+    (fun nseed ->
+      List.iter
+        (fun stack ->
+          let serial = with_domains 1 (fun () -> transcript_of_stack ~nseed stack) in
+          let parallel = with_domains 4 (fun () -> transcript_of_stack ~nseed stack) in
+          Alcotest.(check bool)
+            (Printf.sprintf "transcript %s seed=0x%Lx (%d bytes)" (stack_name stack) nseed
+               (String.length serial))
+            true (String.equal serial parallel))
+        stacks)
+    [ 0x11AL; 0x22BL; 0x33CL ]
+
+let () =
+  Alcotest.run "ssr_par"
+    [
+      ( "combinators",
+        [
+          Alcotest.test_case "available/set_domains" `Quick test_available;
+          Alcotest.test_case "both" `Quick test_both;
+          Alcotest.test_case "init" `Quick test_init_matches_serial;
+          Alcotest.test_case "map_array/map_list" `Quick test_map_matches_serial;
+          Alcotest.test_case "nested fork-join" `Quick test_nesting;
+          Alcotest.test_case "exceptions" `Quick test_exceptions;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "parallel = serial transcripts (3 seeds x 5 stacks)" `Quick
+            test_parallel_matches_serial_transcripts;
+        ] );
+    ]
