@@ -1155,6 +1155,7 @@ let sections =
     ("transport", transport);
     ("perf", fun () -> Perf.run ~smoke:(List.mem "--smoke" (Array.to_list Sys.argv)));
     ("obs", fun () -> Obs.run ~smoke:(List.mem "--smoke" (Array.to_list Sys.argv)));
+    ("robust", fun () -> Robust.run ~smoke:(List.mem "--smoke" (Array.to_list Sys.argv)));
   ]
 
 let () =
@@ -1181,7 +1182,8 @@ let () =
          is opt-in ([-- perf]) because it exists to emit BENCH_*.json, not to
          check paper shapes. *)
       if chosen = [] then
-        List.filter (fun (name, _) -> name <> "perf" && name <> "transport" && name <> "obs")
+        List.filter (fun (name, _) ->
+            name <> "perf" && name <> "transport" && name <> "obs" && name <> "robust")
           sections
       else List.filter (fun (name, _) -> List.mem name chosen) sections
     in

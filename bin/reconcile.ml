@@ -491,8 +491,8 @@ let parse_partition s =
 
 let us_of_ms ms = int_of_float (ms *. 1000.)
 
-let run_faulty seed fault_seed drop corrupt truncate duplicate max_attempts runs target kind
-    unframed latency reorder partition deadline_ms =
+let run_faulty seed fault_seed drop corrupt truncate duplicate max_attempts rehash_attempts stash
+    runs target kind unframed latency reorder partition deadline_ms =
   let module Channel = Ssr_transport.Channel in
   let module Network = Ssr_transport.Network in
   let module Clock = Ssr_transport.Clock in
@@ -506,15 +506,16 @@ let run_faulty seed fault_seed drop corrupt truncate duplicate max_attempts runs
   (* Replayable configuration in pasteable --flag=value form: every network
      shape flag prints back exactly as it must be passed to reproduce. *)
   let replay_suffix =
-    if not networked then ""
-    else
-      Printf.sprintf " --latency=%g:%g --reorder=%g%s%s" lat_ms jit_ms reorder_rate
-        (match partition with
-        | Some (a, b, d) ->
-          Printf.sprintf " --partition=%g:%g:%s" a b
-            (match d with `A_to_b -> "ab" | `B_to_a -> "ba" | `Both -> "both")
-        | None -> "")
-        (match deadline_ms with Some d -> Printf.sprintf " --deadline-ms=%g" d | None -> "")
+    Printf.sprintf " --rehash-attempts=%d --stash=%d%s" rehash_attempts stash
+      (if not networked then ""
+       else
+         Printf.sprintf " --latency=%g:%g --reorder=%g%s%s" lat_ms jit_ms reorder_rate
+           (match partition with
+           | Some (a, b, d) ->
+             Printf.sprintf " --partition=%g:%g:%s" a b
+               (match d with `A_to_b -> "ab" | `B_to_a -> "ba" | `Both -> "both")
+           | None -> "")
+           (match deadline_ms with Some d -> Printf.sprintf " --deadline-ms=%g" d | None -> ""))
   in
   let ok = ref 0 and degraded = ref 0 and tfail = ref 0 and timedout = ref 0 and silent = ref 0 in
   let faults = ref 0 and retransmits = ref 0 in
@@ -555,7 +556,10 @@ let run_faulty seed fault_seed drop corrupt truncate duplicate max_attempts runs
           Iset.of_list (List.init 5 (fun i -> arr.(i * 13 mod Array.length arr)))
         in
         let alice = Iset.apply_diff bob ~add:(Iset.random_subset rng ~universe ~size:5) ~del in
-        match R.reconcile_set ~link ~seed:wseed ~max_attempts ?run_deadline_us ~alice ~bob () with
+        match
+          R.reconcile_set ~link ~seed:wseed ~max_attempts ~rehash_attempts ~stash_capacity:stash
+            ?run_deadline_us ~alice ~bob ()
+        with
         | Ok (recovered, rep) -> (rep, `Verdict (Iset.equal recovered alice))
         | Error (`Transport_failure rep) -> (rep, `Failed)
         | Error (`Deadline_exceeded rep) -> (rep, `Timeout))
@@ -568,7 +572,7 @@ let run_faulty seed fault_seed drop corrupt truncate duplicate max_attempts runs
         let h = Parent.max_child_size alice + 4 in
         match
           R.reconcile_sos ~link ~kind ~seed:wseed ~u:universe ~h ~initial_d:d ~max_attempts
-            ?run_deadline_us ~alice ~bob ()
+            ~rehash_attempts ?run_deadline_us ~alice ~bob ()
         with
         | Ok (recovered, rep) -> (rep, `Verdict (Parent.equal recovered alice))
         | Error (`Transport_failure rep) -> (rep, `Failed)
@@ -639,6 +643,20 @@ let faulty_cmd =
          & info [ "max-attempts" ]
              ~doc:"Reconciliation attempts before degrading to direct transfer (and direct attempts after).")
   in
+  let rehash_attempts =
+    Arg.(value & opt int 2
+         & info [ "rehash-attempts" ]
+             ~doc:"Salted-rehash salvage attempts between the doubling reconciliation attempts \
+                   and the direct-transfer fallback; each attempt re-derives every hash schedule \
+                   from (seed, attempt) and reships only the residual difference. 0 disables the \
+                   rung.")
+  in
+  let stash =
+    Arg.(value & opt int 256
+         & info [ "stash" ]
+             ~doc:"Stash capacity in cells for un-peelable residual sketches kept across salted \
+                   rehash attempts (plain-set target only).")
+  in
   let runs =
     Arg.(value & opt int 100
          & info [ "runs" ] ~doc:"Independent runs, each with a fresh workload and fault stream.")
@@ -701,8 +719,8 @@ let faulty_cmd =
              virtual-time network simulator with ARQ.")
     (with_obs
        Term.(const run_faulty $ seed_term $ fault_seed $ drop $ corrupt $ truncate $ duplicate
-             $ max_attempts $ runs $ target $ protocol_term $ unframed $ latency $ reorder
-             $ partition $ deadline_ms))
+             $ max_attempts $ rehash_attempts $ stash $ runs $ target $ protocol_term $ unframed
+             $ latency $ reorder $ partition $ deadline_ms))
 
 (* ---- estimate ---- *)
 

@@ -1,0 +1,64 @@
+module Iset = Ssr_util.Iset
+module Prng = Ssr_util.Prng
+module Iblt = Ssr_sketch.Iblt
+
+(* Keys are accepted iff every one of their k schedule positions lands in
+   the first [confine] cells of its partition. d accepted keys then share
+   k * confine cells; with the default confinement that is an average load
+   of 2k keys per touched cell at the recommended table size, so no cell is
+   pure and peeling cannot start. Acceptance probability per candidate is
+   (confine / per_part)^k — the confinement auto-scales with the partition
+   so grinding stays ~thousands of hash evaluations per accepted key. *)
+
+let default_confine ~per_part = max 2 (per_part / 8)
+
+let grind_tag = 0xAD5A
+
+let colliding_ints ~prm ?confine ?(salt = 0) ~count () =
+  if count < 0 then invalid_arg "Adversarial.colliding_ints: negative count";
+  let probe = Iblt.create prm in
+  let nprm = Iblt.params probe in
+  let per_part = nprm.Iblt.cells / nprm.Iblt.k in
+  let confine = match confine with Some c -> max 1 (min c per_part) | None -> default_confine ~per_part in
+  let rng = Prng.create ~seed:(Prng.derive ~seed:nprm.Iblt.seed ~tag:(grind_tag + salt)) in
+  let seen = Hashtbl.create (2 * count) in
+  let accepted = ref [] in
+  let n = ref 0 in
+  (* Candidates come from a seeded stream, so families are deterministic in
+     (seed, salt) and disjoint families are a salt apart. The bound caps
+     runaway grinds if someone confines far below the default. *)
+  let budget = ref (1 + (count * 4_000_000)) in
+  while !n < count && !budget > 0 do
+    decr budget;
+    let x = Prng.int_below rng (1 lsl 40) in
+    if not (Hashtbl.mem seen x) then begin
+      Hashtbl.add seen x ();
+      let pos = Iblt.positions_int probe x in
+      let ok = ref true in
+      Array.iteri (fun i p -> if p - (i * per_part) >= confine then ok := false) pos;
+      if !ok then begin
+        accepted := x :: !accepted;
+        incr n
+      end
+    end
+  done;
+  if !n < count then invalid_arg "Adversarial.colliding_ints: grind budget exhausted";
+  List.rev !accepted
+
+let family ~prm ?confine ?salt ~count () =
+  Iset.of_list (colliding_ints ~prm ?confine ?salt ~count ())
+
+let workload ~prm ?confine ?(salt = 0) ~bob_size ~count () =
+  let nprm = (Iblt.params (Iblt.create prm) : Iblt.params) in
+  let diff = family ~prm ?confine ~salt ~count () in
+  (* Bob's base set is ordinary random keys from a disjoint range (above the
+     grinder's 2^40 candidate universe), so exactly the engineered family is
+     the difference the sketch must decode. *)
+  let rng = Prng.create ~seed:(Prng.derive ~seed:nprm.Iblt.seed ~tag:(grind_tag + 0x100 + salt)) in
+  let base = ref Iset.empty in
+  while Iset.cardinal !base < bob_size do
+    let x = (1 lsl 40) + Prng.int_below rng (1 lsl 40) in
+    base := Iset.add x !base
+  done;
+  let bob = !base in
+  (Iset.union bob diff, bob)

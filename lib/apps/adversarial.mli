@@ -1,0 +1,38 @@
+(** Adversarial key families: seeded sets engineered to stall IBLT peeling.
+
+    The generator grinds candidate integer keys against the concrete hash
+    schedule of a parameterized table (the same
+    {!Ssr_util.Hashing.hash_bytes_pair}-derived position walk the sketch
+    uses) and keeps only keys confined to a small fixed subset of cells in
+    every partition. A difference made of such keys overloads those cells —
+    no cell is ever pure, peeling cannot start, and the plain one-shot
+    protocol fails at a table size that decodes random differences with
+    high probability. This is the workload a long-lived public-seed
+    deployment must survive, and exactly what the salted-rehash escalation
+    ({!Ssr_setrecon.Set_recon.reconcile_salvage},
+    [Ssr_transport.Resilient]) is for: one attempt-salted reschedule makes
+    the family look random again.
+
+    Everything is a pure function of [(params.seed, salt)]; families are
+    reproducible and disjoint salts give disjoint families. *)
+
+val colliding_ints :
+  prm:Ssr_sketch.Iblt.params -> ?confine:int -> ?salt:int -> count:int -> unit -> int list
+(** [count] distinct keys (in [\[0, 2^40)]) whose [k] schedule positions
+    under [prm] all fall in the first [confine] cells of their partition.
+    [confine] defaults to [max 2 (per_part / 8)], keeping the grind at
+    roughly thousands of hash evaluations per key at any table size.
+    Raises [Invalid_argument] if the grind budget is exhausted (only
+    reachable with a confinement far below the default). *)
+
+val family :
+  prm:Ssr_sketch.Iblt.params -> ?confine:int -> ?salt:int -> count:int -> unit ->
+  Ssr_util.Iset.t
+(** {!colliding_ints} as a set. *)
+
+val workload :
+  prm:Ssr_sketch.Iblt.params -> ?confine:int -> ?salt:int -> bob_size:int -> count:int ->
+  unit -> Ssr_util.Iset.t * Ssr_util.Iset.t
+(** [(alice, bob)] where [bob] is an ordinary random set (disjoint from the
+    grinder's key range) and [alice = bob ∪ family], so the engineered
+    family is exactly the difference a reconciliation must decode. *)

@@ -16,6 +16,7 @@ let m_checksum_rejects = Metrics.counter "iblt.decode.checksum_rejects"
 let m_peels = Metrics.counter "iblt.decode.peels"
 let m_bad_int_keys = Metrics.counter "iblt.decode.bad_int_keys"
 let d_recovered = Metrics.dist "iblt.decode.recovered_keys"
+let d_residual = Metrics.dist "iblt.decode.residual"
 
 type params = { cells : int; k : int; key_len : int; seed : int64 }
 
@@ -131,8 +132,11 @@ let is_empty t =
 
 type decoded = { positives : Bytes.t list; negatives : Bytes.t list }
 
-let decode t =
-  Metrics.incr m_decode_attempts;
+(* Peel as far as the table allows, on a copy. Returns the worked table
+   (empty iff the decode completed) alongside the recovered keys; [decode]
+   keeps the all-or-nothing contract on top of this and [decode_partial]
+   turns the leftover into a salvageable residual. *)
+let peel t =
   let t = copy t in
   let cells = t.prm.cells and kl = t.prm.key_len in
   let positives = ref [] and negatives = ref [] in
@@ -177,15 +181,176 @@ let decode t =
       end
     end
   done;
-  if is_empty t then begin
+  (t, { positives = !positives; negatives = !negatives })
+
+let decode t =
+  Metrics.incr m_decode_attempts;
+  let worked, dec = peel t in
+  if is_empty worked then begin
     Metrics.incr m_decode_success;
-    Metrics.observe d_recovered (List.length !positives + List.length !negatives);
-    Ok { positives = !positives; negatives = !negatives }
+    Metrics.observe d_recovered (List.length dec.positives + List.length dec.negatives);
+    Ok dec
   end
   else begin
     Metrics.incr m_decode_stuck;
     Error `Peel_stuck
   end
+
+(* ---- Partial-decode salvage. ---- *)
+
+(* A stalled peel compacted to its live cells: the signed multiset of the
+   keys the decode could not extract, under the original parameters (and
+   therefore the original hash schedule). Indices are strictly increasing
+   so the wire form below is canonical. *)
+type residual = {
+  r_prm : params;
+  r_indices : int array;
+  r_counts : int array;
+  r_keys : Bytes.t; (* one key_len slot per live cell, flattened *)
+  r_checks : int array;
+}
+
+let residual_params r = r.r_prm
+let residual_cells r = Array.length r.r_indices
+
+let key_slot_is_zero keys ~pos ~len =
+  let rec go i = i >= len || (Bytes.get keys (pos + i) = '\000' && go (i + 1)) in
+  go 0
+
+let residual_of_worked t =
+  let kl = t.prm.key_len in
+  let live c =
+    t.counts.(c) <> 0 || t.checks.(c) <> 0
+    || not (key_slot_is_zero t.keys ~pos:(c * kl) ~len:kl)
+  in
+  let n = ref 0 in
+  for c = 0 to t.prm.cells - 1 do
+    if live c then incr n
+  done;
+  let n = !n in
+  let r =
+    {
+      r_prm = t.prm;
+      r_indices = Array.make n 0;
+      r_counts = Array.make n 0;
+      r_keys = Bytes.make (n * kl) '\000';
+      r_checks = Array.make n 0;
+    }
+  in
+  let j = ref 0 in
+  for c = 0 to t.prm.cells - 1 do
+    if live c then begin
+      r.r_indices.(!j) <- c;
+      r.r_counts.(!j) <- t.counts.(c);
+      Bytes.blit t.keys (c * kl) r.r_keys (!j * kl) kl;
+      r.r_checks.(!j) <- t.checks.(c);
+      incr j
+    end
+  done;
+  r
+
+let residual_to_table r =
+  let t = create r.r_prm in
+  let kl = t.prm.key_len in
+  Array.iteri
+    (fun j c ->
+      t.counts.(c) <- r.r_counts.(j);
+      Bytes.blit r.r_keys (j * kl) t.keys (c * kl) kl;
+      t.checks.(c) <- r.r_checks.(j))
+    r.r_indices;
+  t
+
+let decode_partial t =
+  Metrics.incr m_decode_attempts;
+  let worked, dec = peel t in
+  if is_empty worked then begin
+    Metrics.incr m_decode_success;
+    Metrics.observe d_recovered (List.length dec.positives + List.length dec.negatives);
+    `Decoded dec
+  end
+  else begin
+    Metrics.incr m_decode_stuck;
+    let r = residual_of_worked worked in
+    Metrics.observe d_residual (residual_cells r);
+    `Salvaged (dec, r)
+  end
+
+(* Residual wire format: u32 live-cell count, then per live cell a u32
+   index, an i32 signed count, the key XOR and the 8-byte checksum XOR.
+   Parameters are public coins and never travel. *)
+let residual_bytes r =
+  let kl = r.r_prm.key_len in
+  let n = residual_cells r in
+  let cell_bytes = 4 + 4 + kl + 8 in
+  let out = Bytes.create (4 + (n * cell_bytes)) in
+  Bytes.set_int32_le out 0 (Int32.of_int n);
+  for j = 0 to n - 1 do
+    let off = 4 + (j * cell_bytes) in
+    Bytes.set_int32_le out off (Int32.of_int r.r_indices.(j));
+    Bytes.set_int32_le out (off + 4) (Int32.of_int r.r_counts.(j));
+    Bytes.blit r.r_keys (j * kl) out (off + 8) kl;
+    Buf.set_int_le out (off + 8 + kl) r.r_checks.(j)
+  done;
+  out
+
+let residual_of_bytes_opt prm body =
+  (* Totality discipline of [of_body_bytes_opt]: the claimed live-cell
+     count is bounded by the (normalized, arithmetic-only) cell count and
+     cross-checked against the exact byte length before any storage sized
+     from it is allocated; indices must be strictly increasing and in
+     range, so the accepted language is exactly the canonical encodings. *)
+  let nprm = normalize_params prm in
+  let kl = nprm.key_len in
+  let cell_bytes = 4 + 4 + kl + 8 in
+  if Bytes.length body < 4 then None
+  else begin
+    let n = Int32.to_int (Bytes.get_int32_le body 0) in
+    if n < 0 || n > nprm.cells || Bytes.length body <> 4 + (n * cell_bytes) then None
+    else begin
+      let r =
+        {
+          r_prm = nprm;
+          r_indices = Array.make n 0;
+          r_counts = Array.make n 0;
+          r_keys = Bytes.make (n * kl) '\000';
+          r_checks = Array.make n 0;
+        }
+      in
+      let ok = ref true in
+      let prev = ref (-1) in
+      for j = 0 to n - 1 do
+        let off = 4 + (j * cell_bytes) in
+        let c = Int32.to_int (Bytes.get_int32_le body off) in
+        if c <= !prev || c >= nprm.cells then ok := false
+        else begin
+          prev := c;
+          r.r_indices.(j) <- c;
+          r.r_counts.(j) <- Int32.to_int (Bytes.get_int32_le body (off + 4));
+          Bytes.blit body (off + 8) r.r_keys (j * kl) kl;
+          r.r_checks.(j) <-
+            Int64.to_int (Bytes.get_int64_le body (off + 8 + kl)) land ((1 lsl 62) - 1)
+        end
+      done;
+      if !ok then Some r else None
+    end
+  end
+
+(* ---- Schedule introspection. ---- *)
+
+let positions t key =
+  if Bytes.length key <> t.prm.key_len then invalid_arg "Iblt.positions: key length mismatch";
+  let h1, h2 = Hashing.hash_bytes_pair t.fn key in
+  let out = Array.make t.prm.k 0 in
+  let s = ref h1 in
+  for i = 0 to t.prm.k - 1 do
+    s := Prng.mix_int (!s + h2);
+    out.(i) <- (i * t.per_part) + Hashing.reduce_fast !s t.per_part
+  done;
+  out
+
+let positions_int t x =
+  set_int_scratch t x;
+  positions t t.scratch
 
 let decode_ints t =
   match decode t with

@@ -74,6 +74,52 @@ val decode : t -> (decoded, [ `Peel_stuck ]) result
 (** Run the peeling process on a copy of the table. Succeeds iff the table
     empties completely. *)
 
+type residual
+(** What a stalled peel leaves behind, compacted to its live cells: the
+    signed multiset of exactly the keys the decode could not extract, still
+    under the original parameters and hash schedule. A residual is a
+    first-class sketch — it can be turned back into a table, shipped (the
+    salted-rehash escalation stashes residuals across attempts), and peeled
+    further once other attempts remove some of its keys. *)
+
+val decode_partial : t -> [ `Decoded of decoded | `Salvaged of decoded * residual ]
+(** Salvaging decode: peel as far as possible and never discard progress.
+    [`Decoded] is exactly {!decode}'s success; [`Salvaged (prefix, rest)]
+    returns the recovered prefix plus the residual of the stuck core, whose
+    live-cell count is recorded under the [iblt.decode.residual] metric.
+    The prefix is verified cell-by-cell (checksummed) but only the caller's
+    whole-set hash proves it globally, exactly as with {!decode}. *)
+
+val residual_params : residual -> params
+
+val residual_cells : residual -> int
+(** Number of live (nonzero) cells; [0] means the residual is empty. *)
+
+val residual_to_table : residual -> t
+(** Expand back to a full table (dead cells zero), e.g. to delete keys that
+    a later salted attempt recovered and then re-peel. *)
+
+val residual_bytes : residual -> Bytes.t
+(** Serialize: a u32 live-cell count, then per live cell a u32 index, i32
+    signed count, key XOR and 8-byte checksum XOR. Canonical for a given
+    residual (indices strictly increase). *)
+
+val residual_of_bytes_opt : params -> Bytes.t -> residual option
+(** Total, non-raising inverse of {!residual_bytes} under the shared
+    parameters. The claimed cell count is validated against the parameters
+    and the exact byte length before any allocation sized from it, and
+    indices must be strictly increasing and in range; checksums are masked
+    to 62 bits like {!of_body_bytes_opt}. Exactly the canonical encodings
+    are accepted. *)
+
+val positions : t -> Bytes.t -> int array
+(** The [k] cell indices the schedule maps this key to, in partition order.
+    Exposed for white-box tests and the adversarial workload generator;
+    not used on any hot path. *)
+
+val positions_int : t -> int -> int array
+(** {!positions} of an integer key ([key_len >= 8], little-endian). *)
+
 val decode_ints : t -> ((int list * int list), [ `Peel_stuck ]) result
 (** {!decode} followed by little-endian integer decoding of each key. Total
     even on hostile tables: a peeled key that is not a valid non-negative

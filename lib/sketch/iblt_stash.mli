@@ -1,0 +1,44 @@
+(** Bounded cross-attempt stash of stalled IBLT residuals.
+
+    The salted-rehash escalation (Belazzougui & Kucherov-style stash
+    augmentation, adapted to reconciliation) never throws a stalled decode
+    away: the un-peelable core of each attempt is offloaded here as an
+    {!Iblt.residual}, and every key a later attempt recovers is cancelled
+    out of every stashed residual — which can unstick it, recovering keys
+    no single attempt decoded. Recoveries cascade across entries to a
+    fixpoint ([iblt.stash.hits] counts the keys won this way).
+
+    The stash is bounded by a total live-cell budget; a residual that does
+    not fit is dropped (counted under [iblt.stash.overflow]) — losing only
+    a salvage opportunity, never correctness, because every protocol result
+    is still verified against the whole-set hash. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] (default 256) is the maximum total live cells stashed. *)
+
+val capacity : t -> int
+
+val cells : t -> int
+(** Total live cells currently stashed. *)
+
+val entry_count : t -> int
+
+val offload : t -> Iblt.residual -> int option
+(** Stash a stalled attempt's residual. Returns the entry's id, or [None]
+    when the residual is empty or the budget is exhausted (overflow). The
+    id names the entry in {!absorb}'s [except] argument. *)
+
+val absorb :
+  t -> ?except:int -> positives:Bytes.t list -> negatives:Bytes.t list -> unit ->
+  Bytes.t list * Bytes.t list
+(** Cancel a batch of newly recovered keys (in attempt-table orientation:
+    positives are Alice-side) out of every stashed entry, re-peel each, and
+    cascade any fresh recoveries through the other entries to a fixpoint.
+    Returns all newly recovered keys, excluding the input batch. [except]
+    exempts one entry — the one the batch was already peeled out of, i.e.
+    the residual just offloaded by the attempt that produced the batch.
+    Each key must be presented at most once over the stash's lifetime
+    (recoveries are applied destructively); the protocol layer's whole-set
+    hash guards the remaining failure modes. *)

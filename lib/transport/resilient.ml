@@ -1,5 +1,6 @@
 module Iset = Ssr_util.Iset
 module Prng = Ssr_util.Prng
+module Hashing = Ssr_util.Hashing
 module Buf = Ssr_util.Buf
 module Codec = Ssr_util.Codec
 module Comm = Ssr_setrecon.Comm
@@ -11,6 +12,7 @@ module Trace = Ssr_obs.Trace
 
 let m_attempts = Metrics.counter "resilient.attempts"
 let m_retries = Metrics.counter "resilient.retries"
+let m_salvage_attempts = Metrics.counter "resilient.salvage_attempts"
 let m_direct_fallbacks = Metrics.counter "resilient.direct_fallbacks"
 
 type link =
@@ -20,7 +22,14 @@ type link =
 let over_channel ?(framed = true) channel = Faulty_channel { channel; framed }
 let over_network arq = Simulated arq
 
-type attempt = { number : int; d : int; direct : bool; ok : bool; elapsed_us : int }
+type attempt = {
+  number : int;
+  d : int;
+  direct : bool;
+  salvage : bool;
+  ok : bool;
+  elapsed_us : int;
+}
 
 type timing = {
   elapsed_us : int;
@@ -163,12 +172,16 @@ let mk_report ctx ~attempts ~degraded =
   in
   { attempts = List.rev attempts; degraded; faults; stats = Comm.stats ctx.comm; timing }
 
-(* The shared self-healing loop: bounded reconciliation attempts with a
-   doubling difference bound, then bounded verified direct transfers; on a
-   network link every phase also respects the virtual-time deadlines and
-   backs off between attempts. [recon ~number ~d] and [direct ()] return the
-   verified result or [None] on any detected failure. *)
-let drive ctx ~max_attempts ~initial_d ~recon ~direct =
+(* The shared self-healing loop, an escalation ladder with three rungs:
+   bounded reconciliation attempts with a doubling difference bound, then
+   (when the protocol supports it) bounded salted-rehash salvage attempts,
+   then bounded verified direct transfers; on a network link every rung
+   also respects the virtual-time deadlines and backs off between attempts.
+   [recon ~number ~d] and [direct ()] return the verified result or [None]
+   on any detected failure; [rehash ~number ~d] additionally reports the
+   difference bound it actually used (salvage shrinks it with progress
+   rather than doubling). *)
+let drive ctx ~max_attempts ~rehash_attempts ~rehash ~initial_d ~recon ~direct =
   let rec direct_loop number tries acc =
     if run_deadline_exceeded ctx then
       Error (`Deadline_exceeded (mk_report ctx ~attempts:acc ~degraded:true))
@@ -181,24 +194,58 @@ let drive ctx ~max_attempts ~initial_d ~recon ~direct =
       let ta = now ctx in
       match direct () with
       | Some v ->
-        let a = { number; d = 0; direct = true; ok = true; elapsed_us = now ctx - ta } in
+        let a =
+          { number; d = 0; direct = true; salvage = false; ok = true; elapsed_us = now ctx - ta }
+        in
         Ok (v, mk_report ctx ~attempts:(a :: acc) ~degraded:true)
       | None ->
         Metrics.incr m_retries;
         Comm.send ctx.comm Comm.B_to_a ~label:"retry" ~bits:8;
         backoff_between ctx ~number;
         direct_loop (number + 1) (tries + 1)
-          ({ number; d = 0; direct = true; ok = false; elapsed_us = now ctx - ta } :: acc)
+          ({ number; d = 0; direct = true; salvage = false; ok = false; elapsed_us = now ctx - ta }
+          :: acc)
     end
+  in
+  let fall_back number acc =
+    Metrics.incr m_direct_fallbacks;
+    Trace.emit ~layer:"resilient" "direct-fallback";
+    direct_loop number 0 acc
+  in
+  let rec rehash_loop number d0 tries acc =
+    match rehash with
+    | None -> fall_back number acc
+    | Some rehash ->
+      if run_deadline_exceeded ctx then
+        Error (`Deadline_exceeded (mk_report ctx ~attempts:acc ~degraded:false))
+      else if tries >= rehash_attempts then fall_back number acc
+      else begin
+        begin_attempt ctx;
+        Metrics.incr m_attempts;
+        Metrics.incr m_salvage_attempts;
+        Trace.emit ~layer:"resilient" ~fields:[ ("number", Trace.I number) ] "rehash-attempt";
+        let ta = now ctx in
+        match rehash ~number ~d:d0 with
+        | Some v, d ->
+          let a =
+            { number; d; direct = false; salvage = true; ok = true; elapsed_us = now ctx - ta }
+          in
+          Ok (v, mk_report ctx ~attempts:(a :: acc) ~degraded:false)
+        | None, d ->
+          Metrics.incr m_retries;
+          (* The rehash retry request carries Bob's residual-difference
+             bound so Alice can size the next salted table. *)
+          Comm.send ctx.comm Comm.B_to_a ~label:"salvage-retry" ~bits:32;
+          backoff_between ctx ~number;
+          rehash_loop (number + 1) d0 (tries + 1)
+            ({ number; d; direct = false; salvage = true; ok = false; elapsed_us = now ctx - ta }
+            :: acc)
+      end
   in
   let rec attempt number d acc =
     if run_deadline_exceeded ctx then
       Error (`Deadline_exceeded (mk_report ctx ~attempts:acc ~degraded:false))
-    else if number >= max_attempts then begin
-      Metrics.incr m_direct_fallbacks;
-      Trace.emit ~layer:"resilient" "direct-fallback";
-      direct_loop number 0 acc
-    end
+    else if number >= max_attempts then rehash_loop number d 0 acc
     else begin
       begin_attempt ctx;
       Metrics.incr m_attempts;
@@ -208,14 +255,17 @@ let drive ctx ~max_attempts ~initial_d ~recon ~direct =
       let ta = now ctx in
       match recon ~number ~d with
       | Some v ->
-        let a = { number; d; direct = false; ok = true; elapsed_us = now ctx - ta } in
+        let a =
+          { number; d; direct = false; salvage = false; ok = true; elapsed_us = now ctx - ta }
+        in
         Ok (v, mk_report ctx ~attempts:(a :: acc) ~degraded:false)
       | None ->
         Metrics.incr m_retries;
         Comm.send ctx.comm Comm.B_to_a ~label:"retry" ~bits:8;
         backoff_between ctx ~number;
         attempt (number + 1) (2 * d)
-          ({ number; d; direct = false; ok = false; elapsed_us = now ctx - ta } :: acc)
+          ({ number; d; direct = false; salvage = false; ok = false; elapsed_us = now ctx - ta }
+          :: acc)
     end
   in
   attempt 0 (max 1 initial_d) []
@@ -252,20 +302,43 @@ let parse_direct_set ~seed delivered =
       | _ -> None)
   end
 
-let reconcile_set ~link ~seed ?(initial_d = 4) ?(max_attempts = 5) ?(k = 4) ?attempt_deadline_us
-    ?run_deadline_us ?backoff_us ~alice ~bob () =
+let reconcile_set ~link ~seed ?(initial_d = 4) ?(max_attempts = 5) ?(rehash_attempts = 2)
+    ?(stash_capacity = 256) ?(k = 4) ?attempt_deadline_us ?run_deadline_us ?backoff_us ~alice
+    ~bob () =
   let ctx = mk_ctx ~link ~seed ?attempt_deadline_us ?run_deadline_us ?backoff_us () in
   let direct_payload =
     lazy (Bytes.cat (Iset.canonical_bytes alice) (int62_bytes (Set_recon.set_hash ~seed alice)))
   in
-  drive ctx ~max_attempts ~initial_d
+  (* Cross-attempt salvage state, created when the ladder reaches the
+     rehash rung: the bound starts from the last size the doubling rung
+     actually tried, then shrinks with salvaged progress. *)
+  let sv = ref None in
+  let salvage_state ~d =
+    match !sv with
+    | Some s -> s
+    | None ->
+      let s = Set_recon.salvage_init ~stash_capacity ~d:(max initial_d (d / 2)) ~bob () in
+      sv := Some s;
+      s
+  in
+  drive ctx ~max_attempts ~rehash_attempts ~initial_d
     ~recon:(fun ~number ~d ->
       match
-        Set_recon.run_known_d ~comm:ctx.comm ~seed:(Prng.derive ~seed ~tag:(0x5EED + number)) ~d
-          ~k ~alice ~bob
+        Set_recon.run_known_d ~comm:ctx.comm ~seed:(Hashing.attempt_seed ~seed ~attempt:number)
+          ~d ~k ~alice ~bob
       with
       | Ok o -> Some o.Set_recon.recovered
       | Error `Decode_failure -> None)
+    ~rehash:
+      (Some
+         (fun ~number ~d ->
+           let s = salvage_state ~d in
+           let d_used = Set_recon.salvage_remaining s in
+           match
+             Set_recon.run_salvage_attempt ~comm:ctx.comm ~seed ~attempt:number ~k ~sv:s ~alice
+           with
+           | Ok o -> (Some o.Set_recon.recovered, d_used)
+           | Error `Progress -> (None, d_used)))
     ~direct:(fun () ->
       match Comm.xfer ctx.comm Comm.A_to_b ~label:"direct-transfer" (Lazy.force direct_payload) with
       | Error `Lost -> None
@@ -320,17 +393,26 @@ let parse_direct_sos ~seed delivered =
     go 0 []
 
 let reconcile_sos ~link ~kind ~seed ~u ~h ?(initial_d = 4) ?(max_attempts = 5)
-    ?attempt_deadline_us ?run_deadline_us ?backoff_us ~alice ~bob () =
+    ?(rehash_attempts = 2) ?attempt_deadline_us ?run_deadline_us ?backoff_us ~alice ~bob () =
   let ctx = mk_ctx ~link ~seed ?attempt_deadline_us ?run_deadline_us ?backoff_us () in
   let direct_payload = lazy (sos_direct_payload ~seed alice) in
-  drive ctx ~max_attempts ~initial_d
-    ~recon:(fun ~number ~d ->
-      match
-        Protocol.run_known kind ~comm:ctx.comm ~seed:(Prng.derive ~seed ~tag:(0x5EED + number)) ~d
-          ~u ~h ~alice ~bob
-      with
-      | Ok (o : Protocol.outcome) -> Some o.Protocol.recovered
-      | Error `Decode_failure -> None)
+  let run_attempt ~number ~d =
+    match
+      Protocol.run_known kind ~comm:ctx.comm ~seed:(Hashing.attempt_seed ~seed ~attempt:number)
+        ~d ~u ~h ~alice ~bob
+    with
+    | Ok (o : Protocol.outcome) -> Some o.Protocol.recovered
+    | Error `Decode_failure -> None
+  in
+  drive ctx ~max_attempts ~rehash_attempts ~initial_d ~recon:run_attempt
+    (* The nested protocols carry no cross-attempt salvage state; their
+       rehash rung re-runs at the last tried bound under fresh per-attempt
+       salts — escalating the schedule, not the size. *)
+    ~rehash:
+      (Some
+         (fun ~number ~d ->
+           let d_used = max 1 (d / 2) in
+           (run_attempt ~number ~d:d_used, d_used)))
     ~direct:(fun () ->
       match Comm.xfer ctx.comm Comm.A_to_b ~label:"direct-transfer" (Lazy.force direct_payload) with
       | Error `Lost -> None

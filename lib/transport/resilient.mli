@@ -14,9 +14,16 @@
       IBLT difference bound and a fresh derived seed; on a network link the
       driver also backs off between attempts (capped doubling with
       deterministic jitter), letting in-flight stragglers drain;
-    - {b graceful degradation} — when the attempt budget is exhausted the
-      driver falls back to a direct full transfer of Alice's data, itself
-      hash-verified and retried within the same budget;
+    - {b salted-rehash salvage} — when the retry budget is exhausted the
+      driver climbs to the middle rung of the escalation ladder: bounded
+      salted attempts that re-derive the hash schedule per attempt
+      ({!Ssr_util.Hashing.attempt_seed}) and, for plain sets, keep every
+      partially decoded key and stash the stuck cores
+      ({!Ssr_sketch.Iblt_stash}), reshipping tables sized for the residual
+      difference only;
+    - {b graceful degradation} — when the rehash budget is also exhausted
+      the driver falls back to a direct full transfer of Alice's data,
+      itself hash-verified and retried within the same budget;
     - {b deadlines} — on a network link every attempt and the whole run can
       carry a virtual-time deadline; exceeding the run deadline yields the
       typed [`Deadline_exceeded] failure (with the full report), never a
@@ -44,9 +51,13 @@ val over_network : Arq.t -> link
     always framed (the ARQ header needs integrity protection). *)
 
 type attempt = {
-  number : int;  (** 0-based, across reconciliation and direct attempts. *)
+  number : int;  (** 0-based, across reconciliation, rehash and direct attempts. *)
   d : int;  (** Difference bound of a reconciliation attempt; 0 when [direct]. *)
   direct : bool;  (** A degraded full-transfer attempt rather than reconciliation. *)
+  salvage : bool;
+      (** A salted-rehash salvage attempt (the ladder's middle rung); [d] is
+          then the residual bound the attempt sized its table for, which
+          shrinks with progress instead of doubling. *)
   ok : bool;
   elapsed_us : int;  (** Virtual time this attempt took (0 on a channel link). *)
 }
@@ -81,26 +92,33 @@ type error = [ `Transport_failure of report | `Deadline_exceeded of report ]
     virtual-time deadline passed first. *)
 
 val reconcile_set :
-  link:link -> seed:int64 -> ?initial_d:int -> ?max_attempts:int -> ?k:int ->
+  link:link -> seed:int64 -> ?initial_d:int -> ?max_attempts:int -> ?rehash_attempts:int ->
+  ?stash_capacity:int -> ?k:int ->
   ?attempt_deadline_us:int -> ?run_deadline_us:int -> ?backoff_us:int ->
   alice:Ssr_util.Iset.t -> bob:Ssr_util.Iset.t -> unit ->
   (Ssr_util.Iset.t * report, error) result
 (** Plain set reconciliation (Bob learns Alice's set) over the link.
     [initial_d] (default 4) doubles on every retry; [max_attempts]
     (default 5) bounds reconciliation attempts and direct-transfer attempts
-    separately. [attempt_deadline_us] caps each attempt's virtual time,
-    [run_deadline_us] the whole run (both ignored on a channel link);
-    [backoff_us] (default 50ms virtual) is the base inter-attempt backoff. *)
+    separately, and [rehash_attempts] (default 2) the salted-rehash salvage
+    attempts between them, whose stash holds up to [stash_capacity]
+    (default 256) residual cells. [attempt_deadline_us] caps each attempt's
+    virtual time, [run_deadline_us] the whole run (both ignored on a
+    channel link); [backoff_us] (default 50ms virtual) is the base
+    inter-attempt backoff. *)
 
 val reconcile_sos :
   link:link -> kind:Ssr_core.Protocol.kind -> seed:int64 -> u:int -> h:int ->
-  ?initial_d:int -> ?max_attempts:int ->
+  ?initial_d:int -> ?max_attempts:int -> ?rehash_attempts:int ->
   ?attempt_deadline_us:int -> ?run_deadline_us:int -> ?backoff_us:int ->
   alice:Ssr_core.Parent.t -> bob:Ssr_core.Parent.t -> unit ->
   (Ssr_core.Parent.t * report, error) result
 (** Set-of-sets reconciliation under any of the four protocols, same
     recovery discipline. [u] and [h] size the direct encodings where the
-    protocol needs them; [initial_d] defaults to 4. *)
+    protocol needs them; [initial_d] defaults to 4. The rehash rung
+    ([rehash_attempts], default 2) re-runs the protocol at the last tried
+    bound under fresh per-attempt salts — the nested sketches re-derive
+    every hash schedule from [(seed, attempt)]. *)
 
 (** Wire parsers of the direct-transfer payloads, exposed so the
     untrusted-size regression tests can feed them hostile byte strings

@@ -85,3 +85,12 @@ let reduce_fast s m = ((s land 0x7FFFFFFF) * m) lsr 31
 let truncate_bits x ~bits =
   if bits < 1 || bits > 62 then invalid_arg "Hashing.truncate_bits";
   x land ((1 lsl bits) - 1)
+
+(* The salted-rehash tag space. The constant matches the derivation the
+   resilient driver has always used for its per-attempt reconciliation
+   seeds, so routing those call sites through here changed no transcript. *)
+let attempt_tag = 0x5EED
+
+let attempt_seed ~seed ~attempt =
+  if attempt < 0 then invalid_arg "Hashing.attempt_seed: negative attempt";
+  Prng.derive ~seed ~tag:(attempt_tag + attempt)

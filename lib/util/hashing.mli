@@ -61,3 +61,11 @@ val truncate_bits : int -> bits:int -> int
     O(log s)-bit child hashes so that communication accounting (and hash
     collision behaviour) matches the stated bit budgets. [bits] must be in
     [\[1, 62\]]. *)
+
+val attempt_seed : seed:int64 -> attempt:int -> int64
+(** Deterministic per-attempt salt for rehash escalation: both parties
+    re-derive the whole hash schedule of retry [attempt] from the public
+    seed alone, so a peeling failure on one schedule is retried under an
+    independent-looking one with no extra coordination. [attempt] numbers
+    are protocol-wide (attempt 0 is the first transmission) and must be
+    non-negative; distinct attempts give independent-looking seeds. *)

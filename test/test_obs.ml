@@ -244,6 +244,52 @@ let test_multiset_pair_keys_opt_fuzz () =
     ignore (Multiset.of_pair_keys_opt [ random_bytes rng 16; random_bytes rng 16 ])
   done
 
+(* The stash/salvage residual wire format: total parsing, canonical-only
+   acceptance, and no allocation sized from an unvalidated claimed count. *)
+let test_residual_of_bytes_opt_fuzz () =
+  let prm : Iblt.params = { cells = 24; k = 4; key_len = 8; seed } in
+  let rng = Prng.create ~seed:(Prng.derive ~seed ~tag:0xE5) in
+  let t = Iblt.create prm in
+  for x = 1 to 60 do
+    Iblt.insert_int t (x * 104729)
+  done;
+  let good =
+    match Iblt.decode_partial t with
+    | `Decoded _ -> Alcotest.fail "expected a stalled table"
+    | `Salvaged (_, r) -> Iblt.residual_bytes r
+  in
+  Alcotest.(check bool) "canonical encoding parses" true
+    (Iblt.residual_of_bytes_opt prm good <> None);
+  (* Truncations and extensions of a genuine encoding. *)
+  for n = 0 to Bytes.length good - 1 do
+    if Iblt.residual_of_bytes_opt prm (Bytes.sub good 0 n) <> None then
+      Alcotest.failf "truncation to %d bytes accepted" n
+  done;
+  Alcotest.(check bool) "trailing byte rejected" true
+    (Iblt.residual_of_bytes_opt prm (Bytes.cat good (Bytes.make 1 'x')) = None);
+  (* A huge claimed cell count must be rejected before any allocation. *)
+  let huge = Bytes.copy good in
+  Bytes.set_int32_le huge 0 0xFFFF_FFFFl;
+  Alcotest.(check bool) "huge claimed count rejected" true
+    (Iblt.residual_of_bytes_opt prm huge = None);
+  (* Single-byte corruptions and pure noise: Some or None, never raise; any
+     accepted parse must stay within the parameter bounds. *)
+  let check_total b =
+    match Iblt.residual_of_bytes_opt prm b with
+    | None -> ()
+    | Some r ->
+      if Iblt.residual_cells r > prm.Iblt.cells then Alcotest.fail "parse exceeded cell bound"
+  in
+  for _ = 1 to 200 do
+    let b = Bytes.copy good in
+    let i = Prng.int_below rng (Bytes.length b) in
+    Bytes.set b i (Char.chr (Prng.int_below rng 256));
+    check_total b
+  done;
+  for _ = 1 to 200 do
+    check_total (random_bytes rng (Prng.int_below rng 200))
+  done
+
 let test_direct_payload_parsers_fuzz () =
   let rng = Prng.create ~seed:(Prng.derive ~seed ~tag:0xE5) in
   for _ = 1 to 200 do
@@ -360,6 +406,7 @@ let () =
           Alcotest.test_case "encoding decode_opt fuzz" `Quick test_encoding_decode_opt_fuzz;
           Alcotest.test_case "l0 of_bytes_opt fuzz" `Quick test_l0_of_bytes_opt_fuzz;
           Alcotest.test_case "multiset pair keys fuzz" `Quick test_multiset_pair_keys_opt_fuzz;
+          Alcotest.test_case "residual of_bytes_opt fuzz" `Quick test_residual_of_bytes_opt_fuzz;
           Alcotest.test_case "direct payload parsers fuzz" `Quick
             test_direct_payload_parsers_fuzz;
         ] );

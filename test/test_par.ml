@@ -159,6 +159,59 @@ let test_parallel_matches_serial_transcripts () =
         stacks)
     [ 0x11AL; 0x22BL; 0x33CL ]
 
+(* The salted-rehash rung must be exactly as deterministic as the rest of
+   the ladder: an adversarial family ground against the attempt-0 schedule
+   forces the set stack through stalled partial decodes, stash traffic and
+   salted retries (max_attempts:1 skips the doubling rung entirely), and
+   the wire transcript must still be byte-identical at 1 and 4 domains. *)
+let transcript_of_adversarial_set ~nseed =
+  let module Iblt = Ssr_sketch.Iblt in
+  let module Hashing = Ssr_util.Hashing in
+  let clock = Clock.create () in
+  let network = Network.create ~clock (Network.config_with ~seed:nseed ()) in
+  let arq = Arq.create ~clock ~network ~seed:nseed () in
+  let link = Resilient.over_network arq in
+  let d = 16 in
+  let prm : Iblt.params =
+    {
+      cells = Iblt.recommended_cells ~k:4 ~diff_bound:d;
+      k = 4;
+      key_len = 8;
+      seed = Hashing.attempt_seed ~seed:nseed ~attempt:0;
+    }
+  in
+  let alice, bob = Ssr_apps.Adversarial.workload ~prm ~bob_size:120 ~count:d () in
+  (match
+     Resilient.reconcile_set ~link ~seed:nseed ~initial_d:d ~max_attempts:1 ~rehash_attempts:3
+       ~alice ~bob ()
+   with
+  | Ok (got, rep) ->
+    Alcotest.(check bool) "adversarial set reconciled" true (Iset.equal got alice);
+    Alcotest.(check bool) "salvage rung exercised" true
+      (List.exists (fun (a : Resilient.attempt) -> a.Resilient.salvage && a.Resilient.ok)
+         rep.Resilient.attempts)
+  | Error _ -> Alcotest.fail "adversarial set reconciliation failed");
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun (e : Network.delivery) ->
+      Buffer.add_string b (string_of_int e.Network.delivered_us);
+      Buffer.add_char b ':';
+      Buffer.add_bytes b e.Network.bytes;
+      Buffer.add_char b '\n')
+    (Network.transcript network);
+  Buffer.contents b
+
+let test_adversarial_salted_rehash_deterministic () =
+  List.iter
+    (fun nseed ->
+      let serial = with_domains 1 (fun () -> transcript_of_adversarial_set ~nseed) in
+      let parallel = with_domains 4 (fun () -> transcript_of_adversarial_set ~nseed) in
+      Alcotest.(check bool)
+        (Printf.sprintf "salted-rehash transcript seed=0x%Lx (%d bytes)" nseed
+           (String.length serial))
+        true (String.equal serial parallel))
+    [ 0x44DL; 0x55EL ]
+
 let () =
   Alcotest.run "ssr_par"
     [
@@ -175,5 +228,7 @@ let () =
         [
           Alcotest.test_case "parallel = serial transcripts (3 seeds x 5 stacks)" `Quick
             test_parallel_matches_serial_transcripts;
+          Alcotest.test_case "salted rehash deterministic (2 seeds)" `Quick
+            test_adversarial_salted_rehash_deterministic;
         ] );
     ]

@@ -417,10 +417,12 @@ let test_resilient_retries_then_succeeds () =
   | Ok (recovered, rep) ->
     Alcotest.(check bool) "recovered" true (Iset.equal recovered alice);
     Alcotest.(check bool) "took retries" true (List.length rep.Resilient.attempts > 1);
-    (* Bounds double monotonically across reconciliation attempts. *)
+    (* Bounds double monotonically across reconciliation attempts (salvage
+       attempts shrink theirs with progress, so they are excluded). *)
     let ds =
       List.filter_map
-        (fun (a : Resilient.attempt) -> if a.Resilient.direct then None else Some a.Resilient.d)
+        (fun (a : Resilient.attempt) ->
+          if a.Resilient.direct || a.Resilient.salvage then None else Some a.Resilient.d)
         rep.Resilient.attempts
     in
     Alcotest.(check (list int)) "exponential doubling" (List.sort compare ds) ds
@@ -456,7 +458,11 @@ let test_resilient_total_loss_is_typed () =
   | Error (`Deadline_exceeded _) -> Alcotest.fail "no deadline on a channel link"
   | Error (`Transport_failure rep) ->
     Alcotest.(check bool) "degraded on the way down" true rep.Resilient.degraded;
-    Alcotest.(check bool) "attempts recorded" true (List.length rep.Resilient.attempts = 6);
+    (* The whole ladder is climbed and recorded: 3 reconciliation attempts,
+       2 salted-rehash salvage attempts (the default budget), 3 direct. *)
+    Alcotest.(check bool) "attempts recorded" true (List.length rep.Resilient.attempts = 8);
+    Alcotest.(check int) "salvage rung climbed" 2
+      (List.length (List.filter (fun (a : Resilient.attempt) -> a.Resilient.salvage) rep.Resilient.attempts));
     Alcotest.(check bool) "faults recorded" true (List.length rep.Resilient.faults > 0)
 
 let test_resilient_sos_sweep () =
