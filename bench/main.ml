@@ -299,13 +299,13 @@ let estimators () =
             let bob = Iset.union alice (Iset.random_subset rng ~universe:(1 lsl 41) ~size:d) in
             let est_seed = Prng.derive ~seed ~tag:((d * 31) + t) in
             let e = L0.create ~seed:est_seed () in
-            Iset.iter (fun x -> L0.update e L0.S1 x) alice;
-            Iset.iter (fun x -> L0.update e L0.S2 x) bob;
+            L0.update_all e L0.S1 (Iset.to_array alice);
+            L0.update_all e L0.S2 (Iset.to_array bob);
             let true_d = Iset.sym_diff_size alice bob in
             let r_l0 = float_of_int (L0.query e) /. float_of_int true_d in
             let sa = Strata.create ~seed:est_seed () and sb = Strata.create ~seed:est_seed () in
-            Iset.iter (Strata.add sa) alice;
-            Iset.iter (Strata.add sb) bob;
+            Strata.add_all sa (Iset.to_array alice);
+            Strata.add_all sb (Iset.to_array bob);
             let r_st =
               float_of_int (Strata.estimate ~local:sa ~remote:sb) /. float_of_int true_d
             in

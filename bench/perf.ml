@@ -63,6 +63,17 @@ let measure ~trials ?(batch_ns = 2e7) f =
   let reps = max 1 (min 1_000_000 (int_of_float (batch_ns /. once))) in
   measure_with ~trials ~reps f
 
+(* Minor-heap words allocated per call: the sketch hot paths are meant to
+   allocate nothing, and the committed rows make that a tracked number
+   rather than a hope. *)
+let minor_words_per_op ?(reps = 1024) f =
+  ignore (Sys.opaque_identity (f ()));
+  let w0 = Gc.minor_words () in
+  for _ = 1 to reps do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  (Gc.minor_words () -. w0) /. float_of_int reps
+
 (* ------------------------------------------------------------------ *)
 (* JSON output (hand-rolled; no JSON dependency in the tree)           *)
 (* ------------------------------------------------------------------ *)
@@ -137,21 +148,74 @@ let sketch_suite ~smoke ~trials =
            [ ("key_len", I key_len); ("mb_per_sec", F (float_of_int key_len /. ns *. 953.674)) ]))
     [ 8; 64 ];
 
-  (* IBLT insert throughput: cost per insert is independent of load, so we
-     hammer one preallocated table with a rotating key set. *)
-  let insert_cells = if smoke then [ 128; 1024 ] else [ 128; 1024; 8192 ] in
+  (* IBLT insert throughput: cost per insert is independent of load but
+     not of table size (cache misses), so the row set spans in-cache and
+     out-of-cache tables. mw_per_op tracks minor-heap allocation per
+     insert — the packed-cell fast path is designed to allocate zero. *)
+  let insert_cells =
+    if smoke then [ 128; 1024; 65536 ] else [ 128; 1024; 8192; 16384; 65536; 262144 ]
+  in
   List.iter
     (fun cells ->
       let prm : Iblt.params = { cells; k = 4; key_len = 8; seed } in
       let t = Iblt.create prm in
       let i = ref 0 in
-      let ns =
-        measure ~trials (fun () ->
-            incr i;
-            Iblt.insert_int t ((!i * 0x9E3779B1) land max_int))
+      let op () =
+        incr i;
+        Iblt.insert_int t ((!i * 0x9E3779B1) land max_int)
       in
-      push (ops_fields "iblt_insert" ~ns [ ("cells", I cells); ("k", I 4); ("key_len", I 8) ]))
+      let ns = measure ~trials op in
+      let mw = minor_words_per_op op in
+      push
+        (ops_fields "iblt_insert" ~ns
+           [ ("cells", I cells); ("k", I 4); ("key_len", I 8); ("mw_per_op", F mw) ]))
     insert_cells;
+
+  (* Narrow checksums shrink the cell, so more of the table fits per cache
+     line; one row pins the 16-bit-width insert cost next to the default. *)
+  (let prm : Iblt.params = { cells = 65536; k = 4; key_len = 8; seed } in
+   let t = Iblt.create ~check_bits:16 prm in
+   let i = ref 0 in
+   let op () =
+     incr i;
+     Iblt.insert_int t ((!i * 0x9E3779B1) land max_int)
+   in
+   let ns = measure ~trials op in
+   push
+     (ops_fields "iblt_insert" ~ns
+        [ ("cells", I 65536); ("k", I 4); ("key_len", I 8); ("check_bits", I 16) ]));
+
+  (* Whole-table build: serial insert loop vs the batched sweep
+     ({!Iblt.add_all_ints}), at a size where the table outsizes L2. The
+     batch figure includes its whole pipeline (hash schedules, bucket
+     partition, apply). *)
+  let build_shapes =
+    if smoke then [ (65536, 65536) ] else [ (65536, 100_000); (262144, 1_000_000) ]
+  in
+  List.iter
+    (fun (cells, n) ->
+      let prm : Iblt.params = { cells; k = 4; key_len = 8; seed } in
+      let xs = Array.init n (fun i -> (i * 0x9E3779B1) land max_int) in
+      let build_trials = max 3 (trials / 3) in
+      let ns_loop =
+        measure_with ~trials:build_trials ~reps:1 (fun () ->
+            let t = Iblt.create prm in
+            Array.iter (Iblt.insert_int t) xs;
+            t)
+      in
+      let ns_batch =
+        measure_with ~trials:build_trials ~reps:1 (fun () ->
+            let t = Iblt.create prm in
+            Iblt.add_all_ints t xs;
+            t)
+      in
+      push
+        (ops_fields "iblt_build" ~ns:(ns_loop /. float_of_int n)
+           [ ("cells", I cells); ("n", I n); ("method", S "loop") ]);
+      push
+        (ops_fields "iblt_build" ~ns:(ns_batch /. float_of_int n)
+           [ ("cells", I cells); ("n", I n); ("method", S "batch") ]))
+    build_shapes;
 
   (* Decode (peel) latency at the paper's ~2x cells-per-difference sizing. *)
   let decode_ds = if smoke then [ 32; 128 ] else [ 32; 128; 512 ] in
@@ -273,7 +337,7 @@ let field_suite ~smoke ~trials =
    trials than the committed smoke numbers, and their larger workloads
    have no baseline row at all. *)
 
-let measured_keys = [ "ns_per_op"; "ops_per_sec"; "ms_per_op"; "mb_per_sec" ]
+let measured_keys = [ "ns_per_op"; "ops_per_sec"; "ms_per_op"; "mb_per_sec"; "mw_per_op" ]
 
 (* Stable row key: name plus every string/int field, sorted. *)
 let identity_of_fields fields =
@@ -408,9 +472,11 @@ let check_suite_baseline ~suite results =
 
 let run ~smoke =
   let trials = if smoke then 3 else 9 in
-  Printf.printf "perf: %s mode, %d trials per point, monotonic clock\n%!"
+  let safe = Iblt.safe_cell_path () in
+  Printf.printf "perf: %s mode, %d trials per point, monotonic clock%s\n%!"
     (if smoke then "smoke" else "full")
-    trials;
+    trials
+    (if safe then ", safe cell path" else "");
   let t0 = now_ns () in
   let sketch = sketch_suite ~smoke ~trials in
   write_json ~path:"BENCH_sketch.json" ~suite:"sketch" ~smoke sketch;
@@ -421,5 +487,9 @@ let run ~smoke =
   Printf.printf "perf: done in %.1f s\n" (elapsed_ns t0 /. 1e9);
   (* The exit-2 gate applies to smoke mode only: that is what CI runs, and
      the committed baselines are smoke medians from the same machine class.
-     Full-mode comparisons above are informational. *)
-  if smoke && not (ok_sketch && ok_field) then exit 2
+     Full-mode comparisons above are informational, and so are runs on the
+     safe byte-wise cell path (SSR_SAFE_CELLS=1): the baselines time the
+     word-wide path, and the safe path exists for correctness checking,
+     not speed. *)
+  if safe then Printf.printf "perf: safe cell path - regression gate informational only\n%!"
+  else if smoke && not (ok_sketch && ok_field) then exit 2

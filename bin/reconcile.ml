@@ -732,11 +732,11 @@ let run_estimate seed n d =
   let bob = Iset.union alice extra in
   let true_d = Iset.sym_diff_size alice bob in
   let l0 = L0.create ~seed () in
-  Iset.iter (fun x -> L0.update l0 L0.S1 x) alice;
-  Iset.iter (fun x -> L0.update l0 L0.S2 x) bob;
+  L0.update_all l0 L0.S1 (Iset.to_array alice);
+  L0.update_all l0 L0.S2 (Iset.to_array bob);
   let sa = Strata.create ~seed () and sb = Strata.create ~seed () in
-  Iset.iter (Strata.add sa) alice;
-  Iset.iter (Strata.add sb) bob;
+  Strata.add_all sa (Iset.to_array alice);
+  Strata.add_all sb (Iset.to_array bob);
   start_wall ();
   let l0_est = L0.query l0 in
   let strata_est = Strata.estimate ~local:sa ~remote:sb in

@@ -76,14 +76,14 @@ let run ~comm ~seed ~d ~d_hat ~s_bound ~u ~h ~k ~alice ~bob =
         | None -> None
         | Some prm ->
           let table = Iblt.create prm in
-          List.iter (fun c -> Iblt.insert table (Encoding.encode cfgs.(i) c)) alice_children;
+          Iblt.add_all table (Array.of_list (List.map (Encoding.encode cfgs.(i)) alice_children));
           Some table)
   in
   let alice_star =
     Option.map
       (fun prm ->
         let table = Iblt.create prm in
-        List.iter (fun c -> Iblt.insert table (Direct.encode direct_cfg c)) alice_children;
+        Iblt.add_all table (Array.of_list (List.map (Direct.encode direct_cfg) alice_children));
         table)
       star_prm
   in
@@ -137,7 +137,7 @@ let run ~comm ~seed ~d ~d_hat ~s_bound ~u ~h ~k ~alice ~bob =
   let bob_enc1 =
     Par.map_list (fun c -> (Encoding.encode cfgs.(1) c, c)) bob_children
   in
-  List.iter (fun (key, _) -> Iblt.insert bob_l1 key) bob_enc1;
+  Iblt.add_all bob_l1 (Array.of_list (List.map fst bob_enc1));
   match Iblt.decode (Iblt.subtract level1 bob_l1) with
   | Error `Peel_stuck -> Error `Decode_failure
   | Ok { positives; negatives } -> (
@@ -170,10 +170,13 @@ let run ~comm ~seed ~d ~d_hat ~s_bound ~u ~h ~k ~alice ~bob =
       for i = 2 to t do
         let cfg = cfgs.(i) in
         let table = Iblt.copy (Option.get alice_tables.(i)) in
-        List.iter
-          (fun c -> if not (List.exists (Iset.equal c) db) then Iblt.delete table (Encoding.encode cfg c))
-          bob_children;
-        List.iter (fun c -> Iblt.delete table (Encoding.encode cfg c)) !da;
+        let dels =
+          List.filter_map
+            (fun c -> if List.exists (Iset.equal c) db then None else Some (Encoding.encode cfg c))
+            bob_children
+          @ List.map (Encoding.encode cfg) !da
+        in
+        Iblt.delete_all table (Array.of_list dels);
         match Iblt.decode table with
         | Error `Peel_stuck -> () (* recovered at a later level or T* *)
         | Ok { positives; negatives = _ } -> try_level i positives
@@ -182,11 +185,14 @@ let run ~comm ~seed ~d ~d_hat ~s_bound ~u ~h ~k ~alice ~bob =
       (match (alice_star, star_prm) with
       | Some star, Some _ ->
         let table = Iblt.copy star in
-        List.iter
-          (fun c ->
-            if not (List.exists (Iset.equal c) db) then Iblt.delete table (Direct.encode direct_cfg c))
-          bob_children;
-        List.iter (fun c -> Iblt.delete table (Direct.encode direct_cfg c)) !da;
+        let dels =
+          List.filter_map
+            (fun c ->
+              if List.exists (Iset.equal c) db then None else Some (Direct.encode direct_cfg c))
+            bob_children
+          @ List.map (Direct.encode direct_cfg) !da
+        in
+        Iblt.delete_all table (Array.of_list dels);
         (match Iblt.decode table with
         | Error `Peel_stuck -> ()
         | Ok { positives; negatives = _ } ->

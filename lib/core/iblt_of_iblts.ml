@@ -35,11 +35,11 @@ let run ~comm ~seed ~d ~d_hat ~s_bound ~k ~alice ~bob =
   in
   (* Alice: encode every child and ship the outer table as real bytes.
      Child encodings (an inner IBLT each) are pure and independent, so a
-     parallel pool builds them concurrently; inserts stay serial and in
-     child order. *)
+     parallel pool builds them concurrently; the inserts land in one
+     batched sweep (bit-identical to serial insertion). *)
   let outer = Iblt.create outer_prm in
-  List.iter (Iblt.insert outer)
-    (Par.map_list (Encoding.encode cfg) (Parent.children alice));
+  Iblt.add_all outer
+    (Array.of_list (Par.map_list (Encoding.encode cfg) (Parent.children alice)));
   let alice_hash = Parent.hash ~seed alice in
   let hash_bytes = Bytes.create 8 in
   Buf.set_int_le hash_bytes 0 alice_hash;
@@ -62,7 +62,7 @@ let run ~comm ~seed ~d ~d_hat ~s_bound ~k ~alice ~bob =
     Par.map_list (fun c -> (Encoding.encode cfg c, c)) (Parent.children bob)
   in
   let bob_outer = Iblt.create outer_prm in
-  List.iter (fun (key, _) -> Iblt.insert bob_outer key) bob_encodings;
+  Iblt.add_all bob_outer (Array.of_list (List.map fst bob_encodings));
   match Iblt.decode (Iblt.subtract outer bob_outer) with
   | Error `Peel_stuck -> Error `Decode_failure
   | Ok { positives; negatives } -> (

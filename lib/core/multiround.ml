@@ -103,7 +103,7 @@ let run ~comm ~seed ~d ~d_hat ~k ~shape ~primitive ~alice ~bob =
           Array.mapi
             (fun j child ->
               let e = L0.create ~seed:(Prng.derive ~seed ~tag:0xE57) ~shape () in
-              Iset.iter (fun x -> L0.update e L0.S1 x) child;
+              L0.update_all e L0.S1 (Iset.to_array child);
               ignore j;
               e)
             bob_diff_arr
@@ -143,7 +143,7 @@ let run ~comm ~seed ~d ~d_hat ~k ~shape ~primitive ~alice ~bob =
           List.map
             (fun child ->
               let mine = L0.create ~seed:(Prng.derive ~seed ~tag:0xE57) ~shape () in
-              Iset.iter (fun x -> L0.update mine L0.S2 x) child;
+              L0.update_all mine L0.S2 (Iset.to_array child);
               let best = ref (-1) and best_d = ref max_int in
               Array.iteri
                 (fun j be ->
@@ -182,7 +182,7 @@ let run ~comm ~seed ~d ~d_hat ~k ~shape ~primitive ~alice ~bob =
                   }
                 in
                 let table = Iblt.create prm in
-                Iset.iter (fun x -> Iblt.insert_int table x) child;
+                Iblt.add_all_ints table (Iset.to_array child);
                 `Iblt (j, bound, table, chash)
               end
               else begin
@@ -289,7 +289,7 @@ let run ~comm ~seed ~d ~d_hat ~k ~shape ~primitive ~alice ~bob =
             | `Iblt (j, alice_table, chash) ->
               let mine = bob_diff_arr.(j) in
               let bob_table = Iblt.create (Iblt.params alice_table) in
-              Iset.iter (fun x -> Iblt.insert_int bob_table x) mine;
+              Iblt.add_all_ints bob_table (Iset.to_array mine);
               (match Iblt.decode_ints (Iblt.subtract alice_table bob_table) with
               | Error `Peel_stuck -> None
               | Ok (add, del) ->

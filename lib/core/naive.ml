@@ -28,7 +28,7 @@ let run ~comm ~seed ~d_hat ~u ~h ~k ~alice ~bob =
     }
   in
   let table = Iblt.create prm in
-  List.iter (fun c -> Iblt.insert table (Direct.encode cfg c)) (Parent.children alice);
+  Iblt.add_all table (Array.of_list (List.map (Direct.encode cfg) (Parent.children alice)));
   let alice_hash = Parent.hash ~seed alice in
   let hash_bytes = Bytes.create 8 in
   Buf.set_int_le hash_bytes 0 alice_hash;
@@ -47,7 +47,7 @@ let run ~comm ~seed ~d_hat ~u ~h ~k ~alice ~bob =
   | None -> Error `Decode_failure
   | Some (table, alice_hash) -> (
   let bob_table = Iblt.create prm in
-  List.iter (fun c -> Iblt.insert bob_table (Direct.encode cfg c)) (Parent.children bob);
+  Iblt.add_all bob_table (Array.of_list (List.map (Direct.encode cfg) (Parent.children bob)));
   match Iblt.decode (Iblt.subtract table bob_table) with
   | Error `Peel_stuck -> Error `Decode_failure
   | Ok { positives; negatives } -> (

@@ -117,10 +117,10 @@ let level2_config ~seed ~d ~d2 ~s_bound ~k =
 
 let parent_table cfg parent =
   (* Child encodings are pure; build them concurrently under a parallel
-     pool and insert serially in child order. *)
+     pool, then land the inserts in one batched sweep. *)
   let table = Iblt.create cfg.parent_prm in
-  List.iter (Iblt.insert table)
-    (Par.map_list (Encoding.encode cfg.cfg1) (Parent.children parent));
+  Iblt.add_all table
+    (Array.of_list (Par.map_list (Encoding.encode cfg.cfg1) (Parent.children parent)));
   table
 
 let parent_key_length cfg = Iblt.body_length cfg.parent_prm + 8
@@ -202,7 +202,7 @@ let run ~comm ~seed ~d ~d2 ~d3 ~k ~alice ~bob =
   in
   (* Alice's single message: grandparent IBLT over parent encodings + hash. *)
   let outer = Iblt.create outer_prm in
-  Array.iter (Iblt.insert outer) (Par.map_array (encode_parent cfg) alice);
+  Iblt.add_all outer (Par.map_array (encode_parent cfg) alice);
   let alice_hash = hash ~seed alice in
   Comm.send comm Comm.A_to_b ~label:"sos3-iblt+hash" ~bits:(Iblt.size_bits outer + 64);
   (* Bob's side. *)
@@ -210,7 +210,7 @@ let run ~comm ~seed ~d ~d2 ~d3 ~k ~alice ~bob =
     Array.to_list (Par.map_array (fun p -> (encode_parent cfg p, p)) bob)
   in
   let bob_outer = Iblt.create outer_prm in
-  List.iter (fun (key, _) -> Iblt.insert bob_outer key) bob_encodings;
+  Iblt.add_all bob_outer (Array.of_list (List.map fst bob_encodings));
   match Iblt.decode (Iblt.subtract outer bob_outer) with
   | Error `Peel_stuck -> Error `Decode_failure
   | Ok { positives; negatives } -> (

@@ -34,7 +34,7 @@ let reconcile_broadcast ~seed ~d ?k:(hashes = 4) ~parties () =
     Array.map
       (fun s ->
         let t = Iblt.create prm in
-        Iset.iter (fun x -> Iblt.insert_int t x) s;
+        Iblt.add_all_ints t (Iset.to_array s);
         t)
       parties
   in

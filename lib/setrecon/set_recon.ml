@@ -43,7 +43,7 @@ let int62_bytes v =
 let run_known_d ~comm ~seed ~d ~k ~alice ~bob =
   let prm = iblt_params ~seed ~d ~k in
   let table = Iblt.create prm in
-  Iset.iter (fun x -> Iblt.insert_int table x) alice;
+  Iblt.add_all_ints table (Iset.to_array alice);
   let alice_hash = set_hash ~seed alice in
   let payload = Bytes.cat (Iblt.body_bytes table) (int62_bytes alice_hash) in
   match Comm.xfer comm Comm.A_to_b ~label:"iblt+hash" payload with
@@ -64,7 +64,7 @@ let run_known_d ~comm ~seed ~d ~k ~alice ~bob =
          same signed multiset as building a second table and subtracting
          (insert and delete are one operation with opposite signs), but
          skips allocating and copying a full table. *)
-      Iset.iter (fun x -> Iblt.delete_int table x) bob;
+      Iblt.delete_all_ints table (Iset.to_array bob);
       match Iblt.decode_ints table with
       | Error `Peel_stuck -> Error `Decode_failure
       | Ok (pos, neg) ->
@@ -85,7 +85,7 @@ let reconcile_unknown_d ~seed ?(k = 4) ?estimator_shape ?(headroom = 2) ~alice ~
   let comm = Comm.create () in
   (* Round 1: Bob -> Alice, a difference estimator holding Bob's set. *)
   let bob_est = L0.create ~seed ?shape:estimator_shape () in
-  Iset.iter (fun x -> L0.update bob_est L0.S1 x) bob;
+  L0.update_all bob_est L0.S1 (Iset.to_array bob);
   match Comm.xfer comm Comm.B_to_a ~label:"estimator" (L0.to_bytes bob_est) with
   | Error `Lost -> Error (`Decode_failure (Comm.stats comm))
   | Ok delivered -> (
@@ -93,7 +93,7 @@ let reconcile_unknown_d ~seed ?(k = 4) ?estimator_shape ?(headroom = 2) ~alice ~
     | None -> Error (`Decode_failure (Comm.stats comm))
     | Some bob_est -> (
       let alice_est = L0.create ~seed ?shape:estimator_shape () in
-      Iset.iter (fun x -> L0.update alice_est L0.S2 x) alice;
+      L0.update_all alice_est L0.S2 (Iset.to_array alice);
       let est = L0.query (L0.merge bob_est alice_est) in
       let d = max 4 (headroom * est) in
       (* Round 2: the known-d protocol under the estimated bound. *)
@@ -154,7 +154,7 @@ let run_salvage_attempt ~comm ~seed ~attempt ~k ~sv ~alice =
   let d = sv.remaining in
   let prm = iblt_params ~seed:aseed ~d ~k in
   let table = Iblt.create prm in
-  Iset.iter (fun x -> Iblt.insert_int table x) alice;
+  Iblt.add_all_ints table (Iset.to_array alice);
   (* The verification hash is salted with the protocol seed, not the
      attempt seed: it names the same target set across all attempts. *)
   let alice_hash = set_hash ~seed alice in
@@ -182,7 +182,7 @@ let run_salvage_attempt ~comm ~seed ~attempt ~k ~sv ~alice =
     match parsed with
     | None -> Error `Progress
     | Some (table, alice_hash) -> (
-      Iset.iter (fun x -> Iblt.delete_int table x) sv.bob_cur;
+      Iblt.delete_all_ints table (Iset.to_array sv.bob_cur);
       let dec, residual =
         match Iblt.decode_partial table with
         | `Decoded dec -> (dec, None)

@@ -18,11 +18,11 @@ let run ~comm ~seed ~d ~k ~alice ~bob =
     { cells = Iblt.recommended_cells ~k ~diff_bound:d; k; key_len = 8; seed }
   in
   let ta = Iblt.create prm in
-  Iset.iter (fun x -> Iblt.insert_int ta x) alice;
+  Iblt.add_all_ints ta (Iset.to_array alice);
   let alice_hash = Set_recon.set_hash ~seed alice in
   Comm.send comm Comm.A_to_b ~label:"iblt+hash" ~bits:(Iblt.size_bits ta + 64);
   let tb = Iblt.create prm in
-  Iset.iter (fun x -> Iblt.insert_int tb x) bob;
+  Iblt.add_all_ints tb (Iset.to_array bob);
   match Iblt.decode_ints (Iblt.subtract ta tb) with
   | Error `Peel_stuck -> Error `Decode_failure
   | Ok (pos, neg) ->
@@ -52,10 +52,10 @@ let reconcile_known_d ~seed ~d ?(k = 4) ~alice ~bob () =
 let reconcile_unknown_d ~seed ?(k = 4) ?estimator_shape ~alice ~bob () =
   let comm = Comm.create () in
   let bob_est = L0.create ~seed ?shape:estimator_shape () in
-  Iset.iter (fun x -> L0.update bob_est L0.S1 x) bob;
+  L0.update_all bob_est L0.S1 (Iset.to_array bob);
   Comm.send comm Comm.B_to_a ~label:"estimator" ~bits:(L0.size_bits bob_est);
   let alice_est = L0.create ~seed ?shape:estimator_shape () in
-  Iset.iter (fun x -> L0.update alice_est L0.S2 x) alice;
+  L0.update_all alice_est L0.S2 (Iset.to_array alice);
   let est = L0.query (L0.merge bob_est alice_est) in
   let d = max 4 (2 * est) in
   match run ~comm ~seed:(Prng.derive ~seed ~tag:0x2A) ~d ~k ~alice ~bob with

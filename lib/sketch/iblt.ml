@@ -20,19 +20,61 @@ let d_residual = Metrics.dist "iblt.decode.residual"
 
 type params = { cells : int; k : int; key_len : int; seed : int64 }
 
+(* ---- Safe/unsafe cell path selection. ----
+
+   The packed cell store is updated either through unchecked native-endian
+   word accessors (fast, little-endian hosts only) or through a byte-wise
+   reference implementation using only checked [Bytes] operations. The two
+   are differentially tested for byte-identical tables; big-endian hosts
+   are pinned to the reference path because the unchecked accessors read
+   host order while every cell field is little-endian on the wire. *)
+
+let env_requests_safe =
+  match Sys.getenv_opt "SSR_SAFE_CELLS" with
+  | Some ("1" | "true" | "yes" | "on") -> true
+  | _ -> false
+
+let safe_cells = ref (Sys.big_endian || env_requests_safe)
+let safe_cell_path () = !safe_cells
+let set_safe_cell_path b = safe_cells := b || Sys.big_endian
+
+(* ---- Packed cell store. ----
+
+   One buffer, one cell = one contiguous slice:
+
+     [ count : i32 LE | key XOR : key_len bytes | checksum XOR : cw LE ]
+
+   so a cell visit touches one cache line instead of three arrays' worth,
+   and the in-memory representation IS the wire representation —
+   [body_bytes] is a memcpy. The checksum width [cw] is 8 bytes at the
+   default 62-bit width (the historical wire format, byte-identical) and
+   can be narrowed to 1/2/4 bytes when the expected difference is small
+   enough that a shorter guard suffices. *)
+
 type t = {
   prm : params;
+  check_bits : int; (* 8, 16, 32 or 62 *)
+  check_bytes : int; (* 1, 2, 4 or 8 *)
+  check_mask : int; (* (1 lsl check_bits) - 1 *)
+  cell_bytes : int; (* 4 + key_len + check_bytes *)
   per_part : int;
-  counts : int array;
-  keys : Bytes.t; (* cells * key_len, flattened *)
-  checks : int array;
+  buf : Bytes.t; (* cells * cell_bytes, packed as above *)
   fn : Hashing.fn;
   scratch : Bytes.t; (* key_len bytes; integer fast path + decode probes *)
+  lanes : int array; (* 2 entries; hash-lane out-parameter, never escapes *)
 }
 
 let params t = t.prm
+let check_bits t = t.check_bits
 
 let hash_tag = 0x1B17
+
+let check_bytes_of_bits = function
+  | 8 -> 1
+  | 16 -> 2
+  | 32 -> 4
+  | 62 -> 8
+  | _ -> invalid_arg "Iblt: check_bits must be 8, 16, 32 or 62"
 
 let normalize_params prm =
   if prm.k < 2 then invalid_arg "Iblt: need at least 2 hash functions";
@@ -44,30 +86,107 @@ let normalize_params prm =
   if cells / prm.k > 1 lsl 31 then invalid_arg "Iblt: table too large";
   { prm with cells }
 
-let create prm =
+let create ?(check_bits = 62) prm =
+  let check_bytes = check_bytes_of_bits check_bits in
   let prm = normalize_params prm in
+  let cell_bytes = 4 + prm.key_len + check_bytes in
   {
     prm;
+    check_bits;
+    check_bytes;
+    check_mask = (1 lsl check_bits) - 1;
+    cell_bytes;
     per_part = prm.cells / prm.k;
-    counts = Array.make prm.cells 0;
-    keys = Bytes.make (prm.cells * prm.key_len) '\000';
-    checks = Array.make prm.cells 0;
+    buf = Bytes.make (prm.cells * cell_bytes) '\000';
     fn = Hashing.make ~seed:prm.seed ~tag:hash_tag;
     scratch = Bytes.make prm.key_len '\000';
+    lanes = Array.make 2 0;
   }
 
 let copy t =
+  (* Every mutable field is duplicated: a copy must never alias the
+     original's cell store or scratch state. *)
   {
     t with
-    counts = Array.copy t.counts;
-    keys = Bytes.copy t.keys;
-    checks = Array.copy t.checks;
+    buf = Bytes.copy t.buf;
     scratch = Bytes.make t.prm.key_len '\000';
+    lanes = Array.make 2 0;
   }
 
 let recommended_cells ~k ~diff_bound =
   let base = max (2 * k) ((2 * diff_bound) + 12) in
   Bits.ceil_div base k * k
+
+(* ---- Cell field accessors (checked; cold paths and the safe hot path). ---- *)
+
+let get_count t c = Int32.to_int (Bytes.get_int32_le t.buf (c * t.cell_bytes))
+let set_count t c v = Bytes.set_int32_le t.buf (c * t.cell_bytes) (Int32.of_int v)
+
+let get_check t c =
+  let off = (c * t.cell_bytes) + 4 + t.prm.key_len in
+  match t.check_bytes with
+  | 1 -> Bytes.get_uint8 t.buf off
+  | 2 -> Bytes.get_uint16_le t.buf off
+  | 4 -> Int32.to_int (Bytes.get_int32_le t.buf off) land 0xFFFFFFFF
+  | _ -> Int64.to_int (Bytes.get_int64_le t.buf off) land ((1 lsl 62) - 1)
+
+let xor_check t c cs =
+  let off = (c * t.cell_bytes) + 4 + t.prm.key_len in
+  match t.check_bytes with
+  | 1 -> Bytes.set_uint8 t.buf off (Bytes.get_uint8 t.buf off lxor cs)
+  | 2 -> Bytes.set_uint16_le t.buf off (Bytes.get_uint16_le t.buf off lxor cs)
+  | 4 ->
+    Bytes.set_int32_le t.buf off (Int32.logxor (Bytes.get_int32_le t.buf off) (Int32.of_int cs))
+  | _ ->
+    Bytes.set_int64_le t.buf off (Int64.logxor (Bytes.get_int64_le t.buf off) (Int64.of_int cs))
+
+(* XOR [key] and [cs] into cell [c] and add [sign] to its count — the
+   reference implementation: checked accesses, explicit little-endian,
+   correct on any host. Differential tests pin the unsafe path to this. *)
+let poke_safe t c key cs sign =
+  let base = c * t.cell_bytes in
+  let kl = t.prm.key_len in
+  Bytes.set_int32_le t.buf base (Int32.add (Bytes.get_int32_le t.buf base) (Int32.of_int sign));
+  for i = 0 to kl - 1 do
+    Bytes.set t.buf (base + 4 + i)
+      (Char.chr (Char.code (Bytes.get t.buf (base + 4 + i)) lxor Char.code (Bytes.get key i)))
+  done;
+  xor_check t c cs
+
+(* Same update through unchecked word accessors: the count and each whole
+   key word are single load-xor-store round trips. The key tail (when
+   [key_len] is not a multiple of 8) goes byte-wise — a word there would
+   clobber the adjacent checksum field. Little-endian hosts only. *)
+let poke_unsafe t c key cs sign =
+  let buf = t.buf in
+  let base = c * t.cell_bytes in
+  let kl = t.prm.key_len in
+  Buf.unsafe_set_int32_ne buf base
+    (Int32.of_int (Int32.to_int (Buf.unsafe_get_int32_ne buf base) + sign));
+  let words = kl / 8 in
+  for w = 0 to words - 1 do
+    let off = base + 4 + (w * 8) in
+    Buf.unsafe_set_int64_ne buf off
+      (Int64.logxor (Buf.unsafe_get_int64_ne buf off) (Buf.unsafe_get_int64_ne key (w * 8)))
+  done;
+  for i = words * 8 to kl - 1 do
+    Bytes.unsafe_set buf (base + 4 + i)
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get buf (base + 4 + i)) lxor Char.code (Bytes.unsafe_get key i)))
+  done;
+  let off = base + 4 + kl in
+  match t.check_bytes with
+  | 1 -> Bytes.unsafe_set buf off (Char.unsafe_chr (Char.code (Bytes.unsafe_get buf off) lxor cs))
+  | 2 -> Buf.unsafe_set_int16_ne buf off (Buf.unsafe_get_int16_ne buf off lxor cs)
+  | 4 ->
+    Buf.unsafe_set_int32_ne buf off
+      (Int32.logxor (Buf.unsafe_get_int32_ne buf off) (Int32.of_int cs))
+  | _ ->
+    Buf.unsafe_set_int64_ne buf off
+      (Int64.logxor (Buf.unsafe_get_int64_ne buf off) (Int64.of_int cs))
+
+let poke t c key cs sign =
+  if !safe_cells then poke_safe t c key cs sign else poke_unsafe t c key cs sign
 
 (* One hash pass per key: the native-int lanes (h1, h2) seed the position
    schedule — the state walks [s <- mix_int (s + h2)] from [s = h1] and
@@ -82,53 +201,423 @@ let recommended_cells ~k ~diff_bound =
    each step restores independent-looking positions; this is exactly a
    k-step SplitMix stream with gamma [h2]. *)
 
+(* Word-wide schedule walk for the dominant shape — keys whose data lives
+   entirely in their first 8-byte word ([key_len = 8] byte keys, or integer
+   keys at any [key_len >= 8]: the zero padding XORs away) at the default
+   8-byte checksum width. Each cell visit is three load-xor-store round
+   trips on one contiguous slice, every int64 stays in a register, and the
+   ubiquitous k = 4 case is unrolled so all four cells' positions are known
+   before the first update — the out-of-order window then overlaps their
+   cache misses instead of serializing them behind the mix chain.
+   Little-endian unsafe path only.
+
+   The key word travels as two 32-bit native-int halves and is reassembled
+   here: an [int64] crossing a function boundary is boxed (3 words per
+   call), and this function is exactly the allocation the zero-alloc
+   insert/delete contract forbids. *)
+let apply_words t ~h1 ~h2 ~kw_lo ~kw_hi ~cs sign =
+  let per_part = t.per_part and cb = t.cell_bytes in
+  let buf = t.buf in
+  let coff = 4 + t.prm.key_len in
+  let kw = Int64.logor (Int64.shift_left (Int64.of_int kw_hi) 32) (Int64.of_int kw_lo) in
+  let cw = Int64.of_int cs in
+  if t.prm.k = 4 then begin
+    let s1 = Prng.mix_int (h1 + h2) in
+    let s2 = Prng.mix_int (s1 + h2) in
+    let s3 = Prng.mix_int (s2 + h2) in
+    let s4 = Prng.mix_int (s3 + h2) in
+    let b0 = Hashing.reduce_fast s1 per_part * cb in
+    let b1 = (per_part + Hashing.reduce_fast s2 per_part) * cb in
+    let b2 = ((2 * per_part) + Hashing.reduce_fast s3 per_part) * cb in
+    let b3 = ((3 * per_part) + Hashing.reduce_fast s4 per_part) * cb in
+    Buf.unsafe_set_int32_ne buf b0
+      (Int32.of_int (Int32.to_int (Buf.unsafe_get_int32_ne buf b0) + sign));
+    Buf.unsafe_set_int64_ne buf (b0 + 4) (Int64.logxor (Buf.unsafe_get_int64_ne buf (b0 + 4)) kw);
+    Buf.unsafe_set_int64_ne buf (b0 + coff)
+      (Int64.logxor (Buf.unsafe_get_int64_ne buf (b0 + coff)) cw);
+    Buf.unsafe_set_int32_ne buf b1
+      (Int32.of_int (Int32.to_int (Buf.unsafe_get_int32_ne buf b1) + sign));
+    Buf.unsafe_set_int64_ne buf (b1 + 4) (Int64.logxor (Buf.unsafe_get_int64_ne buf (b1 + 4)) kw);
+    Buf.unsafe_set_int64_ne buf (b1 + coff)
+      (Int64.logxor (Buf.unsafe_get_int64_ne buf (b1 + coff)) cw);
+    Buf.unsafe_set_int32_ne buf b2
+      (Int32.of_int (Int32.to_int (Buf.unsafe_get_int32_ne buf b2) + sign));
+    Buf.unsafe_set_int64_ne buf (b2 + 4) (Int64.logxor (Buf.unsafe_get_int64_ne buf (b2 + 4)) kw);
+    Buf.unsafe_set_int64_ne buf (b2 + coff)
+      (Int64.logxor (Buf.unsafe_get_int64_ne buf (b2 + coff)) cw);
+    Buf.unsafe_set_int32_ne buf b3
+      (Int32.of_int (Int32.to_int (Buf.unsafe_get_int32_ne buf b3) + sign));
+    Buf.unsafe_set_int64_ne buf (b3 + 4) (Int64.logxor (Buf.unsafe_get_int64_ne buf (b3 + 4)) kw);
+    Buf.unsafe_set_int64_ne buf (b3 + coff)
+      (Int64.logxor (Buf.unsafe_get_int64_ne buf (b3 + coff)) cw)
+  end
+  else begin
+    let s = ref h1 in
+    for i = 0 to t.prm.k - 1 do
+      s := Prng.mix_int (!s + h2);
+      let base = ((i * per_part) + Hashing.reduce_fast !s per_part) * cb in
+      Buf.unsafe_set_int32_ne buf base
+        (Int32.of_int (Int32.to_int (Buf.unsafe_get_int32_ne buf base) + sign));
+      Buf.unsafe_set_int64_ne buf (base + 4)
+        (Int64.logxor (Buf.unsafe_get_int64_ne buf (base + 4)) kw);
+      Buf.unsafe_set_int64_ne buf (base + coff)
+        (Int64.logxor (Buf.unsafe_get_int64_ne buf (base + coff)) cw)
+    done
+  end
+
 (* Add [sign] copies of [key] (sign is +1 or -1), given its hash pair. *)
 let apply_hashed t key ~h1 ~h2 ~cs sign =
-  let s = ref h1 in
-  for i = 0 to t.prm.k - 1 do
-    s := Prng.mix_int (!s + h2);
-    let c = (i * t.per_part) + Hashing.reduce_fast !s t.per_part in
-    t.counts.(c) <- t.counts.(c) + sign;
-    t.checks.(c) <- t.checks.(c) lxor cs;
-    Buf.xor_key_into ~dst:t.keys ~pos:(c * t.prm.key_len) key
-  done
+  if (not !safe_cells) && t.prm.key_len = 8 && t.check_bytes = 8 then begin
+    let kw = Buf.unsafe_get_int64_ne key 0 in
+    let kw_lo = Int64.to_int (Int64.logand kw 0xFFFFFFFFL) in
+    let kw_hi = Int64.to_int (Int64.shift_right_logical kw 32) in
+    apply_words t ~h1 ~h2 ~kw_lo ~kw_hi ~cs sign
+  end
+  else begin
+    let per_part = t.per_part in
+    let s = ref h1 in
+    for i = 0 to t.prm.k - 1 do
+      s := Prng.mix_int (!s + h2);
+      poke t ((i * per_part) + Hashing.reduce_fast !s per_part) key cs sign
+    done
+  end
+
+let apply_raw t key sign =
+  Hashing.hash_bytes_into t.fn key t.lanes;
+  let h1 = t.lanes.(0) and h2 = t.lanes.(1) in
+  apply_hashed t key ~h1 ~h2 ~cs:(Hashing.mix_pair h1 h2 land t.check_mask) sign
 
 let apply t key sign =
   if Bytes.length key <> t.prm.key_len then invalid_arg "Iblt: key length mismatch";
   Metrics.incr (if sign >= 0 then m_inserts else m_deletes);
-  let h1, h2 = Hashing.hash_bytes_pair t.fn key in
-  apply_hashed t key ~h1 ~h2 ~cs:(Hashing.mix_pair h1 h2) sign
+  apply_raw t key sign
 
 let insert t key = apply t key 1
 let delete t key = apply t key (-1)
 
-(* Integer fast path: encode into the table's scratch key instead of
-   allocating a fresh buffer per call. *)
+(* Integer fast path: hash the value directly (the lanes of its
+   little-endian encoding are computable without the bytes) and, on the
+   word path, update cells straight from the value — no buffer is touched
+   at all. The safe/narrow-checksum fallback encodes into the table's
+   scratch key instead of allocating a fresh buffer per call. *)
 let set_int_scratch t x =
   if t.prm.key_len < 8 then invalid_arg "Iblt: integer keys need key_len >= 8";
   if t.prm.key_len > 8 then Bytes.fill t.scratch 8 (t.prm.key_len - 8) '\000';
   Buf.set_int_le t.scratch 0 x
 
-let insert_int t x =
-  set_int_scratch t x;
-  apply t t.scratch 1
+let apply_int_raw t x sign =
+  let kl = t.prm.key_len in
+  Hashing.hash_int_bytes_into t.fn x ~len:kl t.lanes;
+  let h1 = t.lanes.(0) and h2 = t.lanes.(1) in
+  let cs = Hashing.mix_pair h1 h2 land t.check_mask in
+  if (not !safe_cells) && t.check_bytes = 8 then begin
+    let kw = Int64.of_int x in
+    let kw_lo = Int64.to_int (Int64.logand kw 0xFFFFFFFFL) in
+    let kw_hi = Int64.to_int (Int64.shift_right_logical kw 32) in
+    apply_words t ~h1 ~h2 ~kw_lo ~kw_hi ~cs sign
+  end
+  else begin
+    set_int_scratch t x;
+    let per_part = t.per_part in
+    let s = ref h1 in
+    for i = 0 to t.prm.k - 1 do
+      s := Prng.mix_int (!s + h2);
+      poke t ((i * per_part) + Hashing.reduce_fast !s per_part) t.scratch cs sign
+    done
+  end
 
-let delete_int t x =
-  set_int_scratch t x;
-  apply t t.scratch (-1)
+let apply_int t x sign =
+  if t.prm.key_len < 8 then invalid_arg "Iblt: integer keys need key_len >= 8";
+  Metrics.incr (if sign >= 0 then m_inserts else m_deletes);
+  apply_int_raw t x sign
+
+let insert_int t x = apply_int t x 1
+let delete_int t x = apply_int t x (-1)
+
+(* Batch application. Phase 1 hashes every key and records its schedule
+   (k cell indices per key, plus each key's checksum); phase 2 radix-
+   partitions the incidences by "supercell" — a power-of-two run of cells
+   whose packed slice fits comfortably in L2 — and then applies each
+   bucket's updates back to back, so the random cell writes land in a
+   cache-resident region instead of missing across the whole table. Cell
+   updates commute (counts add, XOR fields XOR), so the result is
+   bit-identical to the serial loop while the miss cost per incidence
+   collapses. The phases run over fixed-size chunks of keys through
+   per-domain scratch that is grown once and reused across chunks and
+   calls: fresh memory is paid for at first touch, so O(n)-sized per-call
+   transients would cost far more than the misses they save. Below
+   [batch_threshold] keys, when the whole table already fits in cache, or
+   when the table is so large that a chunk's incidences no longer revisit
+   cache lines within a bucket (reuse per line scales with
+   [batch_chunk / cells]), the scaffolding costs more than the misses and
+   the batch degrades to the serial loop. *)
+
+let batch_threshold = 32
+
+(* Keys per chunk: bounds the scratch working set to a few MB. *)
+let batch_chunk = 65536
+
+(* Bucketing pays only while the apply pass still touches each cache line
+   of a bucket a few times per chunk; past [8 * batch_chunk] cells the
+   expected reuse drops under ~1.6 touches per line and the serial loop
+   wins again. *)
+let batch_max_cells = 8 * batch_chunk
+
+(* Largest power-of-two cell run whose packed bytes stay within ~256 KB. *)
+let bucket_shift t =
+  let s = ref 0 in
+  while (1 lsl (!s + 1)) * t.cell_bytes <= 262144 do incr s done;
+  !s
+
+(* Fill [pos] (k entries per key, starting at [j * k]) and [cs.(j)] from
+   the lanes currently in [t.lanes]. *)
+let schedule_of_lanes t pos cs j =
+  let h1 = t.lanes.(0) and h2 = t.lanes.(1) in
+  cs.(j) <- Hashing.mix_pair h1 h2 land t.check_mask;
+  let k = t.prm.k and per_part = t.per_part in
+  let s = ref h1 and base = j * k in
+  for i = 0 to k - 1 do
+    s := Prng.mix_int (!s + h2);
+    Array.unsafe_set pos (base + i) ((i * per_part) + Hashing.reduce_fast !s per_part)
+  done
+
+(* Bucket cursors from incidence counts: after this, [cnt.(b)] is the
+   start of bucket [b]'s slice and the scatter advances it to the end. *)
+let bucket_offsets cnt nbuckets =
+  let acc = ref 0 in
+  for b = 0 to nbuckets - 1 do
+    let d = Array.unsafe_get cnt b in
+    Array.unsafe_set cnt b !acc;
+    acc := !acc + d
+  done
+
+(* Reusable per-domain batch scratch (grown on demand, kept warm for the
+   next call). Domain-local so per-child batched builds under the domain
+   pool do not contend; a single table must not be batched from two
+   domains at once, which mutation already forbids. *)
+type batch_scratch = {
+  mutable s_pos : int array;  (* k cell indices per key in the chunk *)
+  mutable s_cs : int array;  (* checksum per key in the chunk *)
+  mutable s_rec : int array;  (* bucket-ordered interleaved incidence records *)
+  mutable s_cnt : int array;  (* per-bucket counts, then cursors *)
+}
+
+let batch_scratch_key =
+  Domain.DLS.new_key (fun () -> { s_pos = [||]; s_cs = [||]; s_rec = [||]; s_cnt = [||] })
+
+let ensure arr len = if Array.length arr >= len then arr else Array.make len 0
+
+let batch_apply_ints t xs sign =
+  let n = Array.length xs in
+  if n = 0 then ()
+  else begin
+    if t.prm.key_len < 8 then invalid_arg "Iblt: integer keys need key_len >= 8";
+    Metrics.incr ~by:n (if sign >= 0 then m_inserts else m_deletes);
+    let shift = bucket_shift t in
+    let nbuckets = ((t.prm.cells - 1) lsr shift) + 1 in
+    if n <= batch_threshold || nbuckets <= 2 || t.prm.cells > batch_max_cells then
+      for j = 0 to n - 1 do
+        apply_int_raw t xs.(j) sign
+      done
+    else begin
+      let k = t.prm.k and kl = t.prm.key_len in
+      let bs = Domain.DLS.get batch_scratch_key in
+      let c_max = if n < batch_chunk then n else batch_chunk in
+      bs.s_pos <- ensure bs.s_pos (c_max * k);
+      bs.s_cs <- ensure bs.s_cs c_max;
+      bs.s_rec <- ensure bs.s_rec (3 * c_max * k);
+      bs.s_cnt <- ensure bs.s_cnt nbuckets;
+      let pos = bs.s_pos and cs = bs.s_cs and rec_ = bs.s_rec and cnt = bs.s_cnt in
+      let j0 = ref 0 in
+      while !j0 < n do
+        let c = if n - !j0 < batch_chunk then n - !j0 else batch_chunk in
+        let mc = c * k in
+        let base0 = !j0 in
+        Array.fill cnt 0 nbuckets 0;
+        for j = 0 to c - 1 do
+          Hashing.hash_int_bytes_into t.fn xs.(base0 + j) ~len:kl t.lanes;
+          schedule_of_lanes t pos cs j;
+          let base = j * k in
+          for i = 0 to k - 1 do
+            let b = Array.unsafe_get pos (base + i) lsr shift in
+            Array.unsafe_set cnt b (Array.unsafe_get cnt b + 1)
+          done
+        done;
+        bucket_offsets cnt nbuckets;
+        (* Scatter the chunk's incidences bucket-wise as interleaved
+           (cell, x, cs) records — one contiguous write stream per bucket,
+           read back sequentially by the apply pass. *)
+        for j = 0 to c - 1 do
+          let x = Array.unsafe_get xs (base0 + j) and ck = Array.unsafe_get cs j in
+          let base = j * k in
+          for i = 0 to k - 1 do
+            let cell = Array.unsafe_get pos (base + i) in
+            let b = cell lsr shift in
+            let slot = Array.unsafe_get cnt b in
+            let r = 3 * slot in
+            Array.unsafe_set rec_ r cell;
+            Array.unsafe_set rec_ (r + 1) x;
+            Array.unsafe_set rec_ (r + 2) ck;
+            Array.unsafe_set cnt b (slot + 1)
+          done
+        done;
+        if (not !safe_cells) && t.check_bytes = 8 then begin
+          let buf = t.buf and cb = t.cell_bytes in
+          let coff = 4 + kl in
+          for e = 0 to mc - 1 do
+            let r = 3 * e in
+            let base = Array.unsafe_get rec_ r * cb in
+            let kw = Int64.of_int (Array.unsafe_get rec_ (r + 1)) in
+            let cw = Int64.of_int (Array.unsafe_get rec_ (r + 2)) in
+            Buf.unsafe_set_int32_ne buf base
+              (Int32.of_int (Int32.to_int (Buf.unsafe_get_int32_ne buf base) + sign));
+            Buf.unsafe_set_int64_ne buf (base + 4)
+              (Int64.logxor (Buf.unsafe_get_int64_ne buf (base + 4)) kw);
+            Buf.unsafe_set_int64_ne buf (base + coff)
+              (Int64.logxor (Buf.unsafe_get_int64_ne buf (base + coff)) cw)
+          done
+        end
+        else
+          for e = 0 to mc - 1 do
+            let r = 3 * e in
+            set_int_scratch t rec_.(r + 1);
+            poke t rec_.(r) t.scratch rec_.(r + 2) sign
+          done;
+        j0 := base0 + c
+      done
+    end
+  end
+
+let batch_apply t keys sign =
+  let n = Array.length keys in
+  let kl = t.prm.key_len in
+  if n = 0 then ()
+  else begin
+    for j = 0 to n - 1 do
+      if Bytes.length keys.(j) <> kl then invalid_arg "Iblt: key length mismatch"
+    done;
+    Metrics.incr ~by:n (if sign >= 0 then m_inserts else m_deletes);
+    let shift = bucket_shift t in
+    let nbuckets = ((t.prm.cells - 1) lsr shift) + 1 in
+    if n <= batch_threshold || nbuckets <= 2 || t.prm.cells > batch_max_cells then
+      for j = 0 to n - 1 do
+        apply_raw t keys.(j) sign
+      done
+    else begin
+      let k = t.prm.k in
+      let fast = (not !safe_cells) && kl = 8 && t.check_bytes = 8 in
+      let stride = if fast then 4 else 3 in
+      let bs = Domain.DLS.get batch_scratch_key in
+      let c_max = if n < batch_chunk then n else batch_chunk in
+      bs.s_pos <- ensure bs.s_pos (c_max * k);
+      bs.s_cs <- ensure bs.s_cs c_max;
+      bs.s_rec <- ensure bs.s_rec (stride * c_max * k);
+      bs.s_cnt <- ensure bs.s_cnt nbuckets;
+      let pos = bs.s_pos and cs = bs.s_cs and rec_ = bs.s_rec and cnt = bs.s_cnt in
+      let j0 = ref 0 in
+      while !j0 < n do
+        let c = if n - !j0 < batch_chunk then n - !j0 else batch_chunk in
+        let mc = c * k in
+        let base0 = !j0 in
+        Array.fill cnt 0 nbuckets 0;
+        for j = 0 to c - 1 do
+          Hashing.hash_bytes_into t.fn keys.(base0 + j) t.lanes;
+          schedule_of_lanes t pos cs j;
+          let base = j * k in
+          for i = 0 to k - 1 do
+            let b = Array.unsafe_get pos (base + i) lsr shift in
+            Array.unsafe_set cnt b (Array.unsafe_get cnt b + 1)
+          done
+        done;
+        bucket_offsets cnt nbuckets;
+        if fast then begin
+          (* 8-byte keys ride the scatter as two native-int word halves,
+             in interleaved (cell, lo, hi, cs) records. *)
+          for j = 0 to c - 1 do
+            let kw = Buf.unsafe_get_int64_ne (Array.unsafe_get keys (base0 + j)) 0 in
+            let lo = Int64.to_int (Int64.logand kw 0xFFFFFFFFL) in
+            let hi = Int64.to_int (Int64.shift_right_logical kw 32) in
+            let ck = Array.unsafe_get cs j in
+            let base = j * k in
+            for i = 0 to k - 1 do
+              let cell = Array.unsafe_get pos (base + i) in
+              let b = cell lsr shift in
+              let slot = Array.unsafe_get cnt b in
+              let r = 4 * slot in
+              Array.unsafe_set rec_ r cell;
+              Array.unsafe_set rec_ (r + 1) lo;
+              Array.unsafe_set rec_ (r + 2) hi;
+              Array.unsafe_set rec_ (r + 3) ck;
+              Array.unsafe_set cnt b (slot + 1)
+            done
+          done;
+          let buf = t.buf and cb = t.cell_bytes in
+          for e = 0 to mc - 1 do
+            let r = 4 * e in
+            let base = Array.unsafe_get rec_ r * cb in
+            let kw =
+              Int64.logor
+                (Int64.shift_left (Int64.of_int (Array.unsafe_get rec_ (r + 2))) 32)
+                (Int64.of_int (Array.unsafe_get rec_ (r + 1)))
+            in
+            let cw = Int64.of_int (Array.unsafe_get rec_ (r + 3)) in
+            Buf.unsafe_set_int32_ne buf base
+              (Int32.of_int (Int32.to_int (Buf.unsafe_get_int32_ne buf base) + sign));
+            Buf.unsafe_set_int64_ne buf (base + 4)
+              (Int64.logxor (Buf.unsafe_get_int64_ne buf (base + 4)) kw);
+            Buf.unsafe_set_int64_ne buf (base + 12)
+              (Int64.logxor (Buf.unsafe_get_int64_ne buf (base + 12)) cw)
+          done
+        end
+        else begin
+          (* Wide or narrow-checksum keys: scatter the key index and poke
+             through the generic cell update. *)
+          for j = 0 to c - 1 do
+            let ck = Array.unsafe_get cs j in
+            let base = j * k in
+            for i = 0 to k - 1 do
+              let cell = Array.unsafe_get pos (base + i) in
+              let b = cell lsr shift in
+              let slot = Array.unsafe_get cnt b in
+              let r = 3 * slot in
+              Array.unsafe_set rec_ r cell;
+              Array.unsafe_set rec_ (r + 1) (base0 + j);
+              Array.unsafe_set rec_ (r + 2) ck;
+              Array.unsafe_set cnt b (slot + 1)
+            done
+          done;
+          for e = 0 to mc - 1 do
+            let r = 3 * e in
+            poke t rec_.(r) keys.(rec_.(r + 1)) rec_.(r + 2) sign
+          done
+        end;
+        j0 := base0 + c
+      done
+    end
+  end
+
+let add_all t keys = batch_apply t keys 1
+let delete_all t keys = batch_apply t keys (-1)
+let add_all_ints t xs = batch_apply_ints t xs 1
+let delete_all_ints t xs = batch_apply_ints t xs (-1)
 
 let subtract a b =
-  if a.prm <> b.prm then invalid_arg "Iblt.subtract: parameter mismatch";
+  if a.prm <> b.prm || a.check_bits <> b.check_bits then
+    invalid_arg "Iblt.subtract: parameter mismatch";
   let out = copy a in
+  let cb = a.cell_bytes in
+  (* Key XOR and checksum XOR are adjacent, so one region XOR per cell
+     covers both; the count field subtracts as an i32. *)
+  let region = a.prm.key_len + a.check_bytes in
   for c = 0 to a.prm.cells - 1 do
-    out.counts.(c) <- a.counts.(c) - b.counts.(c);
-    out.checks.(c) <- a.checks.(c) lxor b.checks.(c)
+    let base = c * cb in
+    Bytes.set_int32_le out.buf base
+      (Int32.sub (Bytes.get_int32_le a.buf base) (Bytes.get_int32_le b.buf base));
+    Buf.xor_region_into ~dst:out.buf ~dst_pos:(base + 4) b.buf ~src_pos:(base + 4) ~len:region
   done;
-  Buf.xor_into ~dst:out.keys b.keys;
   out
 
-let is_empty t =
-  Array.for_all (( = ) 0) t.counts && Array.for_all (( = ) 0) t.checks && Buf.is_zero t.keys
+let is_empty t = Buf.is_zero t.buf
 
 type decoded = { positives : Bytes.t list; negatives : Bytes.t list }
 
@@ -150,18 +639,19 @@ let peel t =
     decr top;
     let c = stack.(!top) in
     Bytes.unsafe_set in_stack c '\000';
-    let count = t.counts.(c) in
+    let count = get_count t c in
     if count = 1 || count = -1 then begin
       Metrics.incr m_pure_candidates;
       (* Probe with the shared scratch key; only a cell that passes the
          checksum (i.e. is pure) pays for a fresh copy of its key. *)
-      Bytes.blit t.keys (c * kl) t.scratch 0 kl;
-      let h1, h2 = Hashing.hash_bytes_pair t.fn t.scratch in
-      let cs = Hashing.mix_pair h1 h2 in
-      if t.checks.(c) <> cs then Metrics.incr m_checksum_rejects
+      Bytes.blit t.buf ((c * t.cell_bytes) + 4) t.scratch 0 kl;
+      Hashing.hash_bytes_into t.fn t.scratch t.lanes;
+      let h1 = t.lanes.(0) and h2 = t.lanes.(1) in
+      let cs = Hashing.mix_pair h1 h2 land t.check_mask in
+      if get_check t c <> cs then Metrics.incr m_checksum_rejects
       else begin
         Metrics.incr m_peels;
-        let key = Bytes.sub t.keys (c * kl) kl in
+        let key = Bytes.sub t.buf ((c * t.cell_bytes) + 4) kl in
         if count = 1 then positives := key :: !positives else negatives := key :: !negatives;
         (* Remove the key and re-examine its k cells in one walk of the
            position schedule. *)
@@ -169,9 +659,7 @@ let peel t =
         for i = 0 to t.prm.k - 1 do
           s := Prng.mix_int (!s + h2);
           let c' = (i * t.per_part) + Hashing.reduce_fast !s t.per_part in
-          t.counts.(c') <- t.counts.(c') - count;
-          t.checks.(c') <- t.checks.(c') lxor cs;
-          Buf.xor_key_into ~dst:t.keys ~pos:(c' * kl) key;
+          poke t c' key cs (-count);
           if Bytes.unsafe_get in_stack c' = '\000' then begin
             Bytes.unsafe_set in_stack c' '\001';
             stack.(!top) <- c';
@@ -204,6 +692,7 @@ let decode t =
    so the wire form below is canonical. *)
 type residual = {
   r_prm : params;
+  r_check_bits : int;
   r_indices : int array;
   r_counts : int array;
   r_keys : Bytes.t; (* one key_len slot per live cell, flattened *)
@@ -220,8 +709,8 @@ let key_slot_is_zero keys ~pos ~len =
 let residual_of_worked t =
   let kl = t.prm.key_len in
   let live c =
-    t.counts.(c) <> 0 || t.checks.(c) <> 0
-    || not (key_slot_is_zero t.keys ~pos:(c * kl) ~len:kl)
+    get_count t c <> 0 || get_check t c <> 0
+    || not (key_slot_is_zero t.buf ~pos:((c * t.cell_bytes) + 4) ~len:kl)
   in
   let n = ref 0 in
   for c = 0 to t.prm.cells - 1 do
@@ -231,6 +720,7 @@ let residual_of_worked t =
   let r =
     {
       r_prm = t.prm;
+      r_check_bits = t.check_bits;
       r_indices = Array.make n 0;
       r_counts = Array.make n 0;
       r_keys = Bytes.make (n * kl) '\000';
@@ -241,22 +731,22 @@ let residual_of_worked t =
   for c = 0 to t.prm.cells - 1 do
     if live c then begin
       r.r_indices.(!j) <- c;
-      r.r_counts.(!j) <- t.counts.(c);
-      Bytes.blit t.keys (c * kl) r.r_keys (!j * kl) kl;
-      r.r_checks.(!j) <- t.checks.(c);
+      r.r_counts.(!j) <- get_count t c;
+      Bytes.blit t.buf ((c * t.cell_bytes) + 4) r.r_keys (!j * kl) kl;
+      r.r_checks.(!j) <- get_check t c;
       incr j
     end
   done;
   r
 
 let residual_to_table r =
-  let t = create r.r_prm in
+  let t = create ~check_bits:r.r_check_bits r.r_prm in
   let kl = t.prm.key_len in
   Array.iteri
     (fun j c ->
-      t.counts.(c) <- r.r_counts.(j);
-      Bytes.blit r.r_keys (j * kl) t.keys (c * kl) kl;
-      t.checks.(c) <- r.r_checks.(j))
+      set_count t c r.r_counts.(j);
+      Bytes.blit r.r_keys (j * kl) t.buf ((c * t.cell_bytes) + 4) kl;
+      xor_check t c r.r_checks.(j))
     r.r_indices;
   t
 
@@ -276,12 +766,15 @@ let decode_partial t =
   end
 
 (* Residual wire format: u32 live-cell count, then per live cell a u32
-   index, an i32 signed count, the key XOR and the 8-byte checksum XOR.
-   Parameters are public coins and never travel. *)
+   index, an i32 signed count, the key XOR and the checksum XOR at the
+   table's checksum width (8 bytes at the default 62-bit width — the
+   historical format, unchanged). Parameters are public coins and never
+   travel. *)
 let residual_bytes r =
   let kl = r.r_prm.key_len in
+  let cw = check_bytes_of_bits r.r_check_bits in
   let n = residual_cells r in
-  let cell_bytes = 4 + 4 + kl + 8 in
+  let cell_bytes = 4 + 4 + kl + cw in
   let out = Bytes.create (4 + (n * cell_bytes)) in
   Bytes.set_int32_le out 0 (Int32.of_int n);
   for j = 0 to n - 1 do
@@ -289,19 +782,24 @@ let residual_bytes r =
     Bytes.set_int32_le out off (Int32.of_int r.r_indices.(j));
     Bytes.set_int32_le out (off + 4) (Int32.of_int r.r_counts.(j));
     Bytes.blit r.r_keys (j * kl) out (off + 8) kl;
-    Buf.set_int_le out (off + 8 + kl) r.r_checks.(j)
+    (match cw with
+     | 1 -> Bytes.set_uint8 out (off + 8 + kl) r.r_checks.(j)
+     | 2 -> Bytes.set_uint16_le out (off + 8 + kl) r.r_checks.(j)
+     | 4 -> Bytes.set_int32_le out (off + 8 + kl) (Int32.of_int r.r_checks.(j))
+     | _ -> Buf.set_int_le out (off + 8 + kl) r.r_checks.(j))
   done;
   out
 
-let residual_of_bytes_opt prm body =
+let residual_of_bytes_opt ?(check_bits = 62) prm body =
   (* Totality discipline of [of_body_bytes_opt]: the claimed live-cell
      count is bounded by the (normalized, arithmetic-only) cell count and
      cross-checked against the exact byte length before any storage sized
      from it is allocated; indices must be strictly increasing and in
      range, so the accepted language is exactly the canonical encodings. *)
+  let cw = check_bytes_of_bits check_bits in
   let nprm = normalize_params prm in
   let kl = nprm.key_len in
-  let cell_bytes = 4 + 4 + kl + 8 in
+  let cell_bytes = 4 + 4 + kl + cw in
   if Bytes.length body < 4 then None
   else begin
     let n = Int32.to_int (Bytes.get_int32_le body 0) in
@@ -310,6 +808,7 @@ let residual_of_bytes_opt prm body =
       let r =
         {
           r_prm = nprm;
+          r_check_bits = check_bits;
           r_indices = Array.make n 0;
           r_counts = Array.make n 0;
           r_keys = Bytes.make (n * kl) '\000';
@@ -328,7 +827,12 @@ let residual_of_bytes_opt prm body =
           r.r_counts.(j) <- Int32.to_int (Bytes.get_int32_le body (off + 4));
           Bytes.blit body (off + 8) r.r_keys (j * kl) kl;
           r.r_checks.(j) <-
-            Int64.to_int (Bytes.get_int64_le body (off + 8 + kl)) land ((1 lsl 62) - 1)
+            (match cw with
+             | 1 -> Bytes.get_uint8 body (off + 8 + kl)
+             | 2 -> Bytes.get_uint16_le body (off + 8 + kl)
+             | 4 -> Int32.to_int (Bytes.get_int32_le body (off + 8 + kl)) land 0xFFFFFFFF
+             | _ ->
+               Int64.to_int (Bytes.get_int64_le body (off + 8 + kl)) land ((1 lsl 62) - 1))
         end
       done;
       if !ok then Some r else None
@@ -373,50 +877,51 @@ let decode_ints t =
        Metrics.incr m_bad_int_keys;
        Error `Peel_stuck)
 
-let body_length prm =
+let body_length ?(check_bits = 62) prm =
+  let cw = check_bytes_of_bits check_bits in
   let prm = normalize_params prm in
-  prm.cells * (4 + prm.key_len + 8)
+  prm.cells * (4 + prm.key_len + cw)
 
-let body_bytes t =
-  let cell_bytes = 4 + t.prm.key_len + 8 in
-  let out = Bytes.create (t.prm.cells * cell_bytes) in
-  for c = 0 to t.prm.cells - 1 do
-    let off = c * cell_bytes in
-    Bytes.set_int32_le out off (Int32.of_int t.counts.(c));
-    Bytes.blit t.keys (c * t.prm.key_len) out (off + 4) t.prm.key_len;
-    Buf.set_int_le out (off + 4 + t.prm.key_len) t.checks.(c)
-  done;
-  out
+(* The packed store is already in wire order (every field little-endian),
+   so serialization is a copy of the buffer. *)
+let body_bytes t = Bytes.copy t.buf
 
-let of_body_bytes_opt prm body =
+let of_body_bytes_opt ?(check_bits = 62) prm body =
   (* Length is validated against the (cheap, arithmetic-only) normalized
      parameters before any cell storage is allocated, so an absurd
      attacker-controlled size field cannot drive a huge allocation. *)
+  let cw = check_bytes_of_bits check_bits in
   let nprm = normalize_params prm in
-  let cell_bytes = 4 + nprm.key_len + 8 in
+  let cell_bytes = 4 + nprm.key_len + cw in
   if Bytes.length body <> nprm.cells * cell_bytes then None
   else begin
-    let t = create prm in
-    for c = 0 to t.prm.cells - 1 do
-      let off = c * cell_bytes in
-      t.counts.(c) <- Int32.to_int (Bytes.get_int32_le body off);
-      Bytes.blit body (off + 4) t.keys (c * t.prm.key_len) t.prm.key_len;
-      (* Checksums are 62-bit values; masking keeps deserialization total on
-         corrupted transports (the damage then surfaces as a checksum mismatch
-         during peeling, i.e. a detected decode failure). *)
-      t.checks.(c) <-
-        Int64.to_int (Bytes.get_int64_le body (off + 4 + t.prm.key_len)) land ((1 lsl 62) - 1)
-    done;
+    let t = create ~check_bits prm in
+    Bytes.blit body 0 t.buf 0 (Bytes.length body);
+    (* 62-bit checksums occupy a full wire word; masking the top two bits
+       keeps deserialization total on corrupted transports (the damage then
+       surfaces as a checksum mismatch during peeling, i.e. a detected
+       decode failure). Narrower widths use every bit of their field. *)
+    if cw = 8 then begin
+      let mask = 0x3FFF_FFFF_FFFF_FFFFL in
+      for c = 0 to nprm.cells - 1 do
+        let off = (c * cell_bytes) + 4 + nprm.key_len in
+        Bytes.set_int64_le t.buf off (Int64.logand (Bytes.get_int64_le t.buf off) mask)
+      done
+    end;
     Some t
   end
 
-let of_body_bytes prm body =
-  match of_body_bytes_opt prm body with
+let of_body_bytes ?check_bits prm body =
+  match of_body_bytes_opt ?check_bits prm body with
   | Some t -> t
   | None -> invalid_arg "Iblt.of_body_bytes: length mismatch"
 
-let size_bits t = 8 * body_length t.prm
+let size_bits t = 8 * Bytes.length t.buf
 
 let pp fmt t =
+  let nonzero = ref 0 in
+  for c = 0 to t.prm.cells - 1 do
+    if get_count t c <> 0 then incr nonzero
+  done;
   Format.fprintf fmt "iblt(cells=%d,k=%d,key_len=%d,nonzero=%d)" t.prm.cells t.prm.k t.prm.key_len
-    (Array.fold_left (fun acc c -> if c <> 0 then acc + 1 else acc) 0 t.counts)
+    !nonzero

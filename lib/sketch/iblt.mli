@@ -23,7 +23,17 @@
     Failure modes match the paper: peeling failures leave residue and are
     always detected ([Error `Peel_stuck]); checksum failures are made
     negligible by 62-bit checksums and are further guarded by whole-set
-    hashes at the protocol layer. *)
+    hashes at the protocol layer.
+
+    Memory layout: the cell store is a single packed buffer in which each
+    cell's count (i32 LE), key XOR and checksum XOR (LE, width set by
+    [check_bits]) are contiguous, so a cell visit touches one cache line
+    and {!body_bytes} is a straight copy of the store. Cell updates run
+    word-wide through unchecked accessors on little-endian hosts, with a
+    checked byte-wise reference path selectable via {!set_safe_cell_path}
+    (or the [SSR_SAFE_CELLS] environment variable) and forced on
+    big-endian hosts; the two are differentially tested to produce
+    byte-identical tables. *)
 
 type params = {
   cells : int;  (** Total number of cells; rounded up to a multiple of [k]. *)
@@ -36,10 +46,29 @@ type t
 
 val params : t -> params
 
-val create : params -> t
-(** Fresh empty table. *)
+val create : ?check_bits:int -> params -> t
+(** Fresh empty table. [check_bits] (default [62]) sets the per-cell
+    checksum width — one of [8], [16], [32] or [62] — trading undetected-
+    pure-cell probability (~[2^-check_bits] per stuck candidate) for
+    memory and wire bytes: a cell is [4 + key_len + check_bits/8 (rounded
+    up)] bytes. The default width is the historical wire format; both
+    parties must use the same width, like the parameters themselves. *)
+
+val check_bits : t -> int
+(** The checksum width this table was created with. *)
+
+val safe_cell_path : unit -> bool
+(** Whether cell updates currently run on the checked byte-wise reference
+    implementation instead of the unchecked word-wide one. On by default
+    only on big-endian hosts or when [SSR_SAFE_CELLS] is set. *)
+
+val set_safe_cell_path : bool -> unit
+(** Select the cell-update implementation (for tests and benchmarks; the
+    two produce byte-identical tables). Forcing [false] on a big-endian
+    host is ignored — the word-wide path is little-endian only. *)
 
 val copy : t -> t
+(** Deep copy: shares no mutable state with the original. *)
 
 val recommended_cells : k:int -> diff_bound:int -> int
 (** Cell count giving high decode probability for up to [diff_bound] keys;
@@ -58,9 +87,27 @@ val insert_int : t -> int -> unit
 
 val delete_int : t -> int -> unit
 
+val add_all : t -> Bytes.t array -> unit
+(** Batch {!insert}: hash every key first, then apply all cell updates in
+    one position-sorted sweep of the table, so the writes are
+    near-sequential instead of one random cache miss per cell. The
+    resulting table is bit-identical to inserting the keys one at a time
+    (cell updates commute), so transcripts are unaffected by batching. *)
+
+val delete_all : t -> Bytes.t array -> unit
+(** Batch {!delete}; same contract as {!add_all}. *)
+
+val add_all_ints : t -> int array -> unit
+(** Batch {!insert_int}: {!add_all} on little-endian-encoded integers
+    without materializing per-key buffers. *)
+
+val delete_all_ints : t -> int array -> unit
+(** Batch {!delete_int}. *)
+
 val subtract : t -> t -> t
 (** [subtract a b] is the cell-wise difference: a table representing the
-    signed multiset [a - b]. Both tables must have identical parameters. *)
+    signed multiset [a - b]. Both tables must have identical parameters
+    and checksum width. *)
 
 val is_empty : t -> bool
 (** All counts, key sums and checksums are zero. *)
@@ -101,10 +148,11 @@ val residual_to_table : residual -> t
 
 val residual_bytes : residual -> Bytes.t
 (** Serialize: a u32 live-cell count, then per live cell a u32 index, i32
-    signed count, key XOR and 8-byte checksum XOR. Canonical for a given
-    residual (indices strictly increase). *)
+    signed count, key XOR and the checksum XOR at the table's checksum
+    width (8 bytes at the default width — the historical format).
+    Canonical for a given residual (indices strictly increase). *)
 
-val residual_of_bytes_opt : params -> Bytes.t -> residual option
+val residual_of_bytes_opt : ?check_bits:int -> params -> Bytes.t -> residual option
 (** Total, non-raising inverse of {!residual_bytes} under the shared
     parameters. The claimed cell count is validated against the parameters
     and the exact byte length before any allocation sized from it, and
@@ -131,23 +179,25 @@ val body_bytes : t -> Bytes.t
 (** Serialize counts, key sums and checksums (not the parameters, which are
     public coins). Fixed length for fixed [params]; this is both the unit of
     communication accounting and the representation used when child IBLTs
-    become keys of an outer IBLT. *)
+    become keys of an outer IBLT. The packed cell store is already in wire
+    order, so this is a single copy of the buffer. *)
 
-val of_body_bytes : params -> Bytes.t -> t
-(** Inverse of {!body_bytes} given the shared parameters. Raises
-    [Invalid_argument] on a length mismatch; use {!of_body_bytes_opt} for
-    bytes that arrived off a channel. *)
+val of_body_bytes : ?check_bits:int -> params -> Bytes.t -> t
+(** Inverse of {!body_bytes} given the shared parameters (and checksum
+    width, default [62]). Raises [Invalid_argument] on a length mismatch;
+    use {!of_body_bytes_opt} for bytes that arrived off a channel. *)
 
-val of_body_bytes_opt : params -> Bytes.t -> t option
+val of_body_bytes_opt : ?check_bits:int -> params -> Bytes.t -> t option
 (** Non-raising {!of_body_bytes}: [None] when the length does not match the
     parameters (a truncated or padded transmission). All other corruption is
     representable and surfaces later as a detected peeling/checksum
     failure. *)
 
-val body_length : params -> int
-(** Length in bytes of {!body_bytes} for tables with these parameters. *)
+val body_length : ?check_bits:int -> params -> int
+(** Length in bytes of {!body_bytes} for tables with these parameters (and
+    checksum width, default [62]). *)
 
 val size_bits : t -> int
-(** [8 * body_length (params t)]. *)
+(** [8 * body_length ~check_bits:(check_bits t) (params t)]. *)
 
 val pp : Format.formatter -> t -> unit

@@ -71,6 +71,26 @@ let update t side x =
     t.words.(word) <- (t.words.(word) + (delta lsl off)) land data_mask
   done
 
+(* Batched {!update}: identical per-element semantics (including the
+   per-update mask that keeps the padding bits clear — counters saturate
+   per update, so the mask cannot be hoisted out of the loop), with the
+   side delta and field lookups hoisted. *)
+let update_all t side xs =
+  let delta = match side with S1 -> 1 | S2 -> 3 in
+  let reps = t.shape.reps and buckets = t.shape.buckets in
+  let words = t.words in
+  for i = 0 to Array.length xs - 1 do
+    let x = Array.unsafe_get xs i in
+    if x < 0 then invalid_arg "L0_estimator.update_all: negative element";
+    let level = level_of t x in
+    for rep = 0 to reps - 1 do
+      let bucket = Hashing.to_range t.bucket_fns.(rep) buckets x in
+      let word = sub_offset t level rep + (bucket / buckets_per_word) in
+      let off = 3 * (bucket mod buckets_per_word) in
+      words.(word) <- (words.(word) + (delta lsl off)) land data_mask
+    done
+  done
+
 let merge a b =
   if a.seed <> b.seed || a.shape <> b.shape then invalid_arg "L0_estimator.merge: shape/seed mismatch";
   let out = { a with words = Array.copy a.words } in
@@ -151,6 +171,8 @@ module Median = struct
         create ~seed:(Ssr_util.Prng.derive ~seed ~tag:(0x3ED1A + i)) ?shape ())
 
   let update t side x = Array.iter (fun e -> update e side x) t
+
+  let update_all t side xs = Array.iter (fun e -> update_all e side xs) t
 
   let merge a b =
     if Array.length a <> Array.length b then invalid_arg "L0_estimator.Median.merge: copy mismatch";

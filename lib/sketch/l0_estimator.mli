@@ -42,6 +42,10 @@ val create : seed:int64 -> ?shape:shape -> unit -> t
 val update : t -> side -> int -> unit
 (** Add element [x] to the given side. Elements must be non-negative. *)
 
+val update_all : t -> side -> int array -> unit
+(** Batched {!update}: same estimator state as updating one element at a
+    time, with per-side constants hoisted out of the loop. *)
+
 val merge : t -> t -> t
 (** The paper's merge: a new estimator representing the union of the two
     operand streams. O(words) = O(1)-per-word packed addition. The operands
@@ -82,6 +86,7 @@ module Median : sig
       choose copies = Theta(log(1/delta)). *)
 
   val update : t -> side -> int -> unit
+  val update_all : t -> side -> int array -> unit
   val merge : t -> t -> t
   val query : t -> int
   (** Median of the copies' queries. *)

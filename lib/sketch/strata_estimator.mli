@@ -18,6 +18,10 @@ val create : seed:int64 -> ?strata:int -> ?cells_per_stratum:int -> unit -> t
 val add : t -> int -> unit
 (** Add one element of the local set. *)
 
+val add_all : t -> int array -> unit
+(** Batched {!add}: classify all elements, then one batched insert per
+    stratum; the resulting tables are identical to serial adds. *)
+
 val estimate : local:t -> remote:t -> int
 (** One party's estimate of the set difference given the other's sketch.
     Both sketches must have been created with the same seed and shape. Each

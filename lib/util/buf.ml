@@ -50,10 +50,46 @@ let xor_key_into ~dst ~pos src =
          (Char.code (Bytes.unsafe_get dst (pos + i)) lxor Char.code (Bytes.unsafe_get src i)))
   done
 
+(* Native-endian unchecked word accessors. Declared as externals (here and
+   in the interface) so call sites compile to single load/store
+   instructions. Callers own two obligations: bounds, and — since these are
+   native-endian while every wire field is little-endian — only using them
+   on little-endian hardware (the sketch core forces its safe byte-wise
+   path when [Sys.big_endian]). *)
+external unsafe_get_int16_ne : Bytes.t -> int -> int = "%caml_bytes_get16u"
+external unsafe_set_int16_ne : Bytes.t -> int -> int -> unit = "%caml_bytes_set16u"
+external unsafe_get_int32_ne : Bytes.t -> int -> int32 = "%caml_bytes_get32u"
+external unsafe_set_int32_ne : Bytes.t -> int -> int32 -> unit = "%caml_bytes_set32u"
+external unsafe_get_int64_ne : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
+external unsafe_set_int64_ne : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64u"
+
+let xor_region_into ~dst ~dst_pos src ~src_pos ~len =
+  if
+    len < 0 || dst_pos < 0 || src_pos < 0
+    || dst_pos + len > Bytes.length dst
+    || src_pos + len > Bytes.length src
+  then invalid_arg "Buf.xor_region_into: out of bounds";
+  let words = len / 8 in
+  for w = 0 to words - 1 do
+    let off = w * 8 in
+    Bytes.set_int64_le dst (dst_pos + off)
+      (Int64.logxor (Bytes.get_int64_le dst (dst_pos + off)) (Bytes.get_int64_le src (src_pos + off)))
+  done;
+  for i = words * 8 to len - 1 do
+    Bytes.unsafe_set dst (dst_pos + i)
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get dst (dst_pos + i))
+         lxor Char.code (Bytes.unsafe_get src (src_pos + i))))
+  done
+
 let is_zero b =
   let len = Bytes.length b in
-  let rec go i = i >= len || (Bytes.unsafe_get b i = '\000' && go (i + 1)) in
-  go 0
+  let words = len / 8 in
+  let rec go_words w =
+    w >= words || (Int64.equal (Bytes.get_int64_le b (w * 8)) 0L && go_words (w + 1))
+  in
+  let rec go_tail i = i >= len || (Bytes.unsafe_get b i = '\000' && go_tail (i + 1)) in
+  go_words 0 && go_tail (words * 8)
 
 let append_all parts =
   let total = List.fold_left (fun acc b -> acc + Bytes.length b) 0 parts in

@@ -35,8 +35,31 @@ val xor_key_into : dst:Bytes.t -> pos:int -> Bytes.t -> unit
     primitive: keys live flattened in one slab, so the XOR must target a
     slice without slicing. Bounds are checked once up front. *)
 
+(** {2 Unchecked native-endian word accessors}
+
+    Declared as externals so cross-module call sites compile to single
+    load/store instructions — these back the IBLT packed-cell hot paths.
+    No bounds checks, and the byte order is the host's: wire fields are
+    little-endian, so code that must be portable either restricts these to
+    little-endian hosts (the sketch core forces its safe byte-wise path on
+    [Sys.big_endian]) or swaps explicitly. *)
+
+external unsafe_get_int16_ne : Bytes.t -> int -> int = "%caml_bytes_get16u"
+external unsafe_set_int16_ne : Bytes.t -> int -> int -> unit = "%caml_bytes_set16u"
+external unsafe_get_int32_ne : Bytes.t -> int -> int32 = "%caml_bytes_get32u"
+external unsafe_set_int32_ne : Bytes.t -> int -> int32 -> unit = "%caml_bytes_set32u"
+external unsafe_get_int64_ne : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
+external unsafe_set_int64_ne : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64u"
+
+val xor_region_into : dst:Bytes.t -> dst_pos:int -> Bytes.t -> src_pos:int -> len:int -> unit
+(** [xor_region_into ~dst ~dst_pos src ~src_pos ~len] XORs [len] bytes of
+    [src] starting at [src_pos] into [dst] starting at [dst_pos], 8 bytes
+    at a time with a byte-wise tail. Bounds are checked once up front.
+    Unlike {!xor_key_into} the source is also a slice, which is what
+    cell-wise table subtraction needs. *)
+
 val is_zero : Bytes.t -> bool
-(** Whether every byte is zero. *)
+(** Whether every byte is zero (checked a word at a time). *)
 
 val append_all : Bytes.t list -> Bytes.t
 (** Concatenate. *)

@@ -78,6 +78,84 @@ let hash_bytes_pair f b =
   let nk = Int64.to_int f.key in
   (Prng.mix_int (d + nk), Prng.mix_int (d lxor (nk + lane2)))
 
+(* [hash_bytes_pair] with the digest chain written out again and the lanes
+   delivered through an out-parameter: the tuple return above allocates,
+   and so does every [int64] that crosses a function boundary — so this
+   variant also inlines the word loads (a bounds-checked primitive, not
+   the stdlib wrapper) and the SplitMix64 finalizer ([Prng.mix64] verbatim;
+   local [int64] lets stay unboxed). Net: one IBLT insert allocates
+   nothing at all. Lane values are bit-identical to [hash_bytes_pair]. *)
+external bytes_get64 : Bytes.t -> int -> int64 = "%caml_bytes_get64"
+
+let swap64 v =
+  let open Int64 in
+  let v = logor (shift_left v 32) (shift_right_logical v 32) in
+  let v =
+    logor
+      (shift_left (logand v 0x0000FFFF0000FFFFL) 16)
+      (shift_right_logical (logand v 0xFFFF0000FFFF0000L) 16)
+  in
+  logor
+    (shift_left (logand v 0x00FF00FF00FF00FFL) 8)
+    (shift_right_logical (logand v 0xFF00FF00FF00FF00L) 8)
+
+let hash_bytes_into { key } b out =
+  let len = Bytes.length b in
+  let words = len / 8 in
+  let big = Sys.big_endian in
+  let acc = ref (Int64.logxor key (Int64.of_int len)) in
+  for w = 0 to words - 1 do
+    let data = bytes_get64 b (w * 8) in
+    let data = if big then swap64 data else data in
+    let z = Int64.logxor !acc data in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+    acc := Int64.logxor z (Int64.shift_right_logical z 31)
+  done;
+  if len mod 8 <> 0 then begin
+    let tail = ref 0L in
+    for i = words * 8 to len - 1 do
+      tail :=
+        Int64.logor (Int64.shift_left !tail 8) (Int64.of_int (Char.code (Bytes.unsafe_get b i)))
+    done;
+    let z = Int64.logxor !acc !tail in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+    acc := Int64.logxor z (Int64.shift_right_logical z 31)
+  end;
+  let d = Int64.to_int !acc in
+  let nk = Int64.to_int key in
+  out.(0) <- Prng.mix_int (d + nk);
+  out.(1) <- Prng.mix_int (d lxor (nk + lane2))
+
+(* Lanes of the little-endian [len]-byte encoding of [x] (zero padded),
+   computed without materializing the bytes: the first 8-byte word of that
+   encoding is exactly [Int64.of_int x], every further word is zero, and a
+   partial tail word is zero too. Bit-identical to [hash_bytes_into] on the
+   encoded buffer; this is the IBLT integer fast path's way of skipping
+   the scratch-buffer round trip. Requires [len >= 8]. *)
+let hash_int_bytes_into { key } x ~len out =
+  let z = Int64.logxor (Int64.logxor key (Int64.of_int len)) (Int64.of_int x) in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let acc = ref (Int64.logxor z (Int64.shift_right_logical z 31)) in
+  for _ = 2 to len / 8 do
+    let z = !acc in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+    acc := Int64.logxor z (Int64.shift_right_logical z 31)
+  done;
+  if len mod 8 <> 0 then begin
+    let z = !acc in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+    acc := Int64.logxor z (Int64.shift_right_logical z 31)
+  end;
+  let d = Int64.to_int !acc in
+  let nk = Int64.to_int key in
+  out.(0) <- Prng.mix_int (d + nk);
+  out.(1) <- Prng.mix_int (d lxor (nk + lane2))
+
 let mix_pair h1 h2 = Prng.mix_int (h1 lxor (h2 * lane2)) land ((1 lsl 62) - 1)
 
 let reduce_fast s m = ((s land 0x7FFFFFFF) * m) lsr 31

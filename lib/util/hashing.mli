@@ -44,6 +44,20 @@ val hash_bytes_pair : fn -> Bytes.t -> int * int
     position and the cell checksum, instead of [k + 1] separate scans.
     Lane values range over all native ints, including negatives. *)
 
+val hash_bytes_into : fn -> Bytes.t -> int array -> unit
+(** {!hash_bytes_pair} delivered through an out-parameter: lane 1 lands in
+    [out.(0)] and lane 2 in [out.(1)] ([out] must have length [>= 2]).
+    The pair return of {!hash_bytes_pair} allocates 3 words per call; the
+    IBLT insert/delete/peel paths use this instead so one sketch update
+    allocates nothing at all. Lane values are bit-identical to
+    {!hash_bytes_pair}. *)
+
+val hash_int_bytes_into : fn -> int -> len:int -> int array -> unit
+(** {!hash_bytes_into} of the little-endian [len]-byte encoding of [x]
+    (zero padded), computed without materializing the bytes. Bit-identical
+    to hashing the encoded buffer; requires [len >= 8]. Backs the IBLT
+    integer fast path. *)
+
 val mix_pair : int -> int -> int
 (** Mix the two lanes of {!hash_bytes_pair} into a non-negative 62-bit
     checksum value. Kept here so the mixing discipline lives next to the

@@ -687,7 +687,251 @@ let test_adversarial_family_rescued_by_salvage () =
     Alcotest.(check bool) "difference oriented" true
       (Ssr_util.Iset.equal o.Set_recon.alice_minus_bob (Ssr_util.Iset.diff alice bob))
 
+
+(* ---------- packed-cell layout: golden wire bytes, widths, paths ---------- *)
+
+let hex_of_bytes b =
+  String.concat ""
+    (List.init (Bytes.length b) (fun i -> Printf.sprintf "%02x" (Char.code (Bytes.get b i))))
+
+(* The default-width wire format is pinned byte-for-byte: these hex strings
+   were captured from the pre-packed-layout implementation, so any layout
+   or hash-schedule change that touches serialized bytes fails here before
+   it can break cross-version transcripts. *)
+let test_wire_golden () =
+  let prm : Iblt.params = { cells = 13; k = 4; key_len = 8; seed = 0x5EED0001L } in
+  let t = Iblt.create prm in
+  List.iter (Iblt.insert_int t) [ 1; 2; 42; 1_000_000_007 ];
+  Iblt.delete_int t 7;
+  Alcotest.(check string) "int keys" "010000000100000000000000f520b2421a887c220200000028ca9a3b000000000e5882a9ef2ba606000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000030000002cca9a3b000000006f87853827b4601700000000050000000000000094ffb5d3d217ba3300000000000000000000000000000000000000000200000028000000000000000be4c04c203096370100000007ca9a3b000000006146057bbf7cdd04ffffffff070000000000000064fa479e7067ed35010000000100000000000000f520b2421a887c22010000002a00000000000000fbe132018240c1310200000005ca9a3b000000009143f7361d0c8a02ffffffff070000000000000064fa479e7067ed35010000000100000000000000f520b2421a887c22" (hex_of_bytes (Iblt.body_bytes t));
+  let prm2 : Iblt.params = { cells = 8; k = 4; key_len = 13; seed = 0x5EED0002L } in
+  let t2 = Iblt.create prm2 in
+  List.iter
+    (fun x ->
+      let k = Bytes.make 13 '\000' in
+      Buf.set_int_le k 0 x;
+      Bytes.set k 12 (Char.chr (x land 0xFF));
+      Iblt.insert t2 k)
+    [ 3; 5; 9000 ];
+  Alcotest.(check string) "wide keys" "01000000050000000000000000000000052251f24ecd43ff08020000002b23000000000000000000002b771bcb55e4167b21030000002e23000000000000000000002e554a391b295584290000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000030000002e23000000000000000000002e554a391b2955842900000000000000000000000000000000000000000000000000030000002e23000000000000000000002e554a391b29558429" (hex_of_bytes (Iblt.body_bytes t2));
+  let prm3 : Iblt.params = { cells = 12; k = 4; key_len = 8; seed = 0x5EED0003L } in
+  let t3 = Iblt.create prm3 in
+  for x = 1 to 40 do
+    Iblt.insert_int t3 (x * 7919)
+  done;
+  match Iblt.decode_partial t3 with
+  | `Decoded _ -> Alcotest.fail "overloaded table unexpectedly decoded"
+  | `Salvaged (_, r) ->
+    Alcotest.(check string) "residual" "0c000000000000000c000000a8bb05000000000030c2928951291035010000000e000000ccce010000000000ee499f05de9c430a020000000e000000e42e030000000000c9eb2319564f271e03000000110000009e19070000000000ad319947092226300400000009000000c0bf0700000000009a0bce2ec4006f0a050000000e000000defd070000000000205a79fc14d83d1b060000000d000000ee9d020000000000f821aa1534838800070000000c00000044a40000000000004ca5638a8d78dc1d080000000f0000002a62050000000000a3e4e70a6001203c0900000010000000387107000000000033adc12700c087040a0000000c000000412502000000000045939fcf90a6c1310b0000000c000000f90f020000000000615e707d499c3214" (hex_of_bytes (Iblt.residual_bytes r))
+
+(* Narrow checksum widths change the cell layout but not the semantics:
+   random workloads must decode to the reference model's difference at
+   every width, and the body must roundtrip through the width-aware
+   parsers. *)
+let test_checksum_widths () =
+  let rng = Prng.create ~seed:(Prng.derive ~seed ~tag:0xC4EC) in
+  let agreements = ref 0 in
+  List.iter
+    (fun check_bits ->
+      for trial = 1 to 12 do
+        let key_len = [| 8; 9; 16; 23 |].(trial mod 4) in
+        let ops = 1 + Prng.int_below rng 16 in
+        let prm : Iblt.params =
+          {
+            cells = Iblt.recommended_cells ~k:4 ~diff_bound:(2 * ops);
+            k = 4;
+            key_len;
+            seed = Prng.derive ~seed ~tag:(0xC4EC00 + (check_bits * 100) + trial);
+          }
+        in
+        let ta = Iblt.create ~check_bits prm and tb = Iblt.create ~check_bits prm in
+        let ma = Ref_model.create () and mb = Ref_model.create () in
+        for _ = 1 to ops do
+          let key = random_key rng ~key_len in
+          match Prng.int_below rng 3 with
+          | 0 ->
+            Iblt.insert ta key;
+            Ref_model.bump ma key 1
+          | 1 ->
+            Iblt.insert tb key;
+            Ref_model.bump mb key 1
+          | _ ->
+            Iblt.insert ta key;
+            Iblt.insert tb key;
+            Ref_model.bump ma key 1;
+            Ref_model.bump mb key 1
+        done;
+        let body = Iblt.body_bytes ta in
+        Alcotest.(check int)
+          "body length" (Iblt.body_length ~check_bits prm) (Bytes.length body);
+        (match Iblt.of_body_bytes_opt ~check_bits prm body with
+        | None -> Alcotest.fail "width-aware body roundtrip failed"
+        | Some t' ->
+          Alcotest.(check bool) "roundtrip bytes" true (Bytes.equal body (Iblt.body_bytes t')));
+        match (Iblt.decode (Iblt.subtract ta tb), Ref_model.sides (Ref_model.subtract ma mb)) with
+        | Ok { Iblt.positives; negatives }, (mpos, mneg) ->
+          let str l = List.sort compare (List.map Bytes.to_string l) in
+          Alcotest.(check (list string)) "positives" mpos (str positives);
+          Alcotest.(check (list string)) "negatives" mneg (str negatives);
+          incr agreements
+        | Error `Peel_stuck, _ -> ()
+        | exception Exit -> ()
+      done)
+    [ 8; 16; 32; 62 ];
+  Alcotest.(check bool)
+    (Printf.sprintf "compared %d/48" !agreements)
+    true
+    (!agreements >= 30)
+
+(* The checked byte-wise reference path and the unchecked word-wide path
+   must produce byte-identical tables on any op sequence; this is the
+   guard the unsafe accessors live behind. *)
+let test_safe_unsafe_identical () =
+  let was_safe = Iblt.safe_cell_path () in
+  Fun.protect
+    ~finally:(fun () -> Iblt.set_safe_cell_path was_safe)
+    (fun () ->
+      let rng = Prng.create ~seed:(Prng.derive ~seed ~tag:0x5AFE) in
+      List.iter
+        (fun (key_len, check_bits) ->
+          let prm : Iblt.params =
+            { cells = 96; k = 4; key_len; seed = Prng.derive ~seed ~tag:(0x5AFE00 + key_len) }
+          in
+          let run safe =
+            Iblt.set_safe_cell_path safe;
+            let t = Iblt.create ~check_bits prm in
+            let rng = Prng.create ~seed:(Prng.derive ~seed ~tag:0x5AFE1) in
+            for _ = 1 to 300 do
+              let x = Prng.int_below rng max_int in
+              if key_len >= 8 then
+                if Prng.bool rng then Iblt.insert_int t x else Iblt.delete_int t x
+              else begin
+                let key = random_key rng ~key_len in
+                if Prng.bool rng then Iblt.insert t key else Iblt.delete t key
+              end
+            done;
+            Iblt.add_all_ints t (Array.init 64 (fun i -> i * 977));
+            Iblt.body_bytes t
+          in
+          ignore rng;
+          let safe_body = run true and unsafe_body = run false in
+          Alcotest.(check bool)
+            (Printf.sprintf "key_len=%d check_bits=%d" key_len check_bits)
+            true
+            (Bytes.equal safe_body unsafe_body))
+        [ (8, 62); (8, 16); (12, 62); (17, 32); (20, 8) ])
+
+(* Batched inserts/deletes must be bit-identical to the serial loop across
+   the batch threshold, key widths and checksum widths. *)
+let test_batch_matches_serial () =
+  List.iter
+    (fun (cells, k, key_len, check_bits) ->
+      List.iter
+        (fun n ->
+          let prm : Iblt.params =
+            { cells; k; key_len; seed = Prng.derive ~seed ~tag:(0xBA7C + cells + n) }
+          in
+          let xs = Array.init n (fun i -> (i * 0x9E3779B1) land max_int) in
+          let a = Iblt.create ~check_bits prm and b = Iblt.create ~check_bits prm in
+          Array.iter (Iblt.insert_int a) xs;
+          Iblt.add_all_ints b xs;
+          Alcotest.(check bool)
+            (Printf.sprintf "ints cells=%d kl=%d cb=%d n=%d" cells key_len check_bits n)
+            true
+            (Bytes.equal (Iblt.body_bytes a) (Iblt.body_bytes b));
+          let keys =
+            Array.init n (fun i ->
+                let key = Bytes.make key_len '\000' in
+                Buf.set_int_le key 0 xs.(i);
+                if key_len > 8 then Bytes.set key (key_len - 1) (Char.chr (i land 0xFF));
+                key)
+          in
+          let c = Iblt.create ~check_bits prm and d = Iblt.create ~check_bits prm in
+          Array.iter (Iblt.insert c) keys;
+          Iblt.add_all d keys;
+          Alcotest.(check bool)
+            (Printf.sprintf "bytes cells=%d kl=%d cb=%d n=%d" cells key_len check_bits n)
+            true
+            (Bytes.equal (Iblt.body_bytes c) (Iblt.body_bytes d));
+          Iblt.delete_all d keys;
+          Alcotest.(check bool) "delete_all empties" true (Iblt.is_empty d))
+        [ 5; 33; 600 ])
+    [ (128, 4, 8, 62); (1024, 3, 12, 62); (512, 4, 8, 16); (300, 5, 20, 32) ]
+
+(* A copy must share no mutable state with the original: mutating either
+   side afterwards cannot leak into the other. *)
+let test_copy_does_not_alias () =
+  let prm = params ~cells:64 () in
+  let t = Iblt.create prm in
+  List.iter (Iblt.insert_int t) [ 1; 2; 3 ];
+  let before = Iblt.body_bytes t in
+  let c = Iblt.copy t in
+  Iblt.insert_int c 99;
+  Iblt.insert c (int_key 123456);
+  Alcotest.(check bool) "original untouched" true (Bytes.equal before (Iblt.body_bytes t));
+  Iblt.insert_int t 7;
+  Iblt.delete_int c 99;
+  Iblt.delete c (int_key 123456);
+  Alcotest.(check bool) "copy untouched by original" true
+    (Bytes.equal before (Iblt.body_bytes c));
+  match Iblt.decode_ints c with
+  | Ok (pos, neg) ->
+    Alcotest.(check (list int)) "copy decodes original content" [ 1; 2; 3 ] (List.sort compare pos);
+    Alcotest.(check (list int)) "no negatives" [] neg
+  | Error `Peel_stuck -> Alcotest.fail "copy failed to decode"
+
+(* The integer insert/delete path is advertised allocation-free; a nonzero
+   minor-heap delta here is a regression even when it is too small to show
+   up in timings. *)
+let test_insert_int_zero_alloc () =
+  let was_safe = Iblt.safe_cell_path () in
+  Fun.protect
+    ~finally:(fun () -> Iblt.set_safe_cell_path was_safe)
+    (fun () ->
+      List.iter
+        (fun safe ->
+          Iblt.set_safe_cell_path safe;
+          let t = Iblt.create (params ~cells:256 ()) in
+          (* Warm up so any one-time allocation is off the books. *)
+          for i = 1 to 64 do
+            Iblt.insert_int t i;
+            Iblt.delete_int t i
+          done;
+          let w0 = Gc.minor_words () in
+          for i = 1 to 1000 do
+            Iblt.insert_int t (i * 7919);
+            Iblt.delete_int t (i * 7919)
+          done;
+          let dw = Gc.minor_words () -. w0 in
+          Alcotest.(check (float 0.0))
+            (Printf.sprintf "safe=%b minor words" safe)
+            0.0 dw)
+        [ true; false ])
+
+(* Residual serialization at a narrow width roundtrips through the
+   width-aware parser back to the same table bytes. *)
+let test_residual_narrow_width_roundtrip () =
+  let prm : Iblt.params = { cells = 12; k = 4; key_len = 8; seed = 0x5EED0004L } in
+  let t = Iblt.create ~check_bits:16 prm in
+  for x = 1 to 40 do
+    Iblt.insert_int t (x * 104729)
+  done;
+  match Iblt.decode_partial t with
+  | `Decoded _ -> Alcotest.fail "overloaded table unexpectedly decoded"
+  | `Salvaged (_, r) ->
+    let wire = Iblt.residual_bytes r in
+    (match Iblt.residual_of_bytes_opt ~check_bits:16 prm wire with
+    | None -> Alcotest.fail "residual parse failed"
+    | Some r' ->
+      Alcotest.(check bool) "same table" true
+        (Bytes.equal
+           (Iblt.body_bytes (Iblt.residual_to_table r))
+           (Iblt.body_bytes (Iblt.residual_to_table r')));
+      Alcotest.(check bool) "canonical bytes" true
+        (Bytes.equal wire (Iblt.residual_bytes r')))
+
 let qcheck_tests = List.map QCheck_alcotest.to_alcotest [ prop_subtract_decode ]
+
 
 let () =
   Alcotest.run "ssr_sketch"
@@ -708,6 +952,13 @@ let () =
           Alcotest.test_case "decode success rate" `Slow test_decode_success_rate;
           Alcotest.test_case "differential vs reference model" `Quick test_differential_vs_model;
           Alcotest.test_case "differential int fast path" `Quick test_differential_int_fast_path;
+          Alcotest.test_case "wire golden bytes" `Quick test_wire_golden;
+          Alcotest.test_case "checksum widths" `Quick test_checksum_widths;
+          Alcotest.test_case "safe = unsafe cell path" `Quick test_safe_unsafe_identical;
+          Alcotest.test_case "batch = serial" `Quick test_batch_matches_serial;
+          Alcotest.test_case "copy does not alias" `Quick test_copy_does_not_alias;
+          Alcotest.test_case "insert_int allocates nothing" `Quick test_insert_int_zero_alloc;
+          Alcotest.test_case "residual narrow width" `Quick test_residual_narrow_width_roundtrip;
         ] );
       ( "failure-injection",
         [

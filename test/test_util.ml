@@ -145,6 +145,60 @@ let test_buf_append () =
   let out = Buf.append_all [ Bytes.of_string "ab"; Bytes.of_string ""; Bytes.of_string "cd" ] in
   Alcotest.(check string) "concat" "abcd" (Bytes.to_string out)
 
+(* The word-wide XOR paths have a byte-wise tail; every length from 1 to
+   17 crosses the word/tail boundary differently (0, 1 and 2 full words,
+   all tail sizes), and a tail bug would silently corrupt the byte after
+   the region. Each case checks against a byte-wise oracle and checks the
+   surrounding bytes are untouched. *)
+let test_buf_xor_key_tails () =
+  let rng = Prng.create ~seed:51L in
+  for len = 1 to 17 do
+    let pad = 3 in
+    let dst = Bytes.init (pad + len + pad) (fun _ -> Char.chr (Prng.int_below rng 256)) in
+    let src = Bytes.init len (fun _ -> Char.chr (Prng.int_below rng 256)) in
+    let expect = Bytes.copy dst in
+    for i = 0 to len - 1 do
+      Bytes.set expect (pad + i)
+        (Char.chr (Char.code (Bytes.get expect (pad + i)) lxor Char.code (Bytes.get src i)))
+    done;
+    Buf.xor_key_into ~dst ~pos:pad src;
+    Alcotest.(check bytes) (Printf.sprintf "xor_key_into len=%d" len) expect dst
+  done
+
+let test_buf_xor_region_tails () =
+  let rng = Prng.create ~seed:52L in
+  for len = 1 to 17 do
+    let dpad = 5 and spad = 2 in
+    let dst = Bytes.init (dpad + len + dpad) (fun _ -> Char.chr (Prng.int_below rng 256)) in
+    let src = Bytes.init (spad + len + 1) (fun _ -> Char.chr (Prng.int_below rng 256)) in
+    let expect = Bytes.copy dst in
+    for i = 0 to len - 1 do
+      Bytes.set expect (dpad + i)
+        (Char.chr
+           (Char.code (Bytes.get expect (dpad + i)) lxor Char.code (Bytes.get src (spad + i))))
+    done;
+    Buf.xor_region_into ~dst ~dst_pos:dpad src ~src_pos:spad ~len;
+    Alcotest.(check bytes) (Printf.sprintf "xor_region_into len=%d" len) expect dst
+  done;
+  Alcotest.check_raises "region bounds"
+    (Invalid_argument "Buf.xor_region_into: out of bounds")
+    (fun () -> Buf.xor_region_into ~dst:(Bytes.create 8) ~dst_pos:4 (Bytes.create 8) ~src_pos:0 ~len:5)
+
+let test_buf_is_zero_tails () =
+  for len = 0 to 17 do
+    Alcotest.(check bool)
+      (Printf.sprintf "zero len=%d" len)
+      true
+      (Buf.is_zero (Bytes.make len '\000'));
+    (* Flip each byte in turn: a word-wide scan with a broken tail would
+       miss exactly the last [len mod 8] positions. *)
+    for i = 0 to len - 1 do
+      let b = Bytes.make len '\000' in
+      Bytes.set b i '\001';
+      Alcotest.(check bool) (Printf.sprintf "nonzero len=%d byte=%d" len i) false (Buf.is_zero b)
+    done
+  done
+
 (* ---------- Hashing ---------- *)
 
 let test_hash_deterministic () =
@@ -369,6 +423,9 @@ let () =
           Alcotest.test_case "int roundtrip" `Quick test_buf_roundtrip;
           Alcotest.test_case "xor involution" `Quick test_buf_xor;
           Alcotest.test_case "append" `Quick test_buf_append;
+          Alcotest.test_case "xor_key_into tails" `Quick test_buf_xor_key_tails;
+          Alcotest.test_case "xor_region_into tails" `Quick test_buf_xor_region_tails;
+          Alcotest.test_case "is_zero tails" `Quick test_buf_is_zero_tails;
         ] );
       ( "hashing",
         [
