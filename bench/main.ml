@@ -1156,6 +1156,7 @@ let sections =
     ("perf", fun () -> Perf.run ~smoke:(List.mem "--smoke" (Array.to_list Sys.argv)));
     ("obs", fun () -> Obs.run ~smoke:(List.mem "--smoke" (Array.to_list Sys.argv)));
     ("robust", fun () -> Robust.run ~smoke:(List.mem "--smoke" (Array.to_list Sys.argv)));
+    ("rateless", fun () -> Rateless_bench.run ~smoke:(List.mem "--smoke" (Array.to_list Sys.argv)));
   ]
 
 let () =
@@ -1183,7 +1184,8 @@ let () =
          check paper shapes. *)
       if chosen = [] then
         List.filter (fun (name, _) ->
-            name <> "perf" && name <> "transport" && name <> "obs" && name <> "robust")
+            name <> "perf" && name <> "transport" && name <> "obs" && name <> "robust"
+            && name <> "rateless")
           sections
       else List.filter (fun (name, _) -> List.mem name chosen) sections
     in

@@ -492,7 +492,7 @@ let parse_partition s =
 let us_of_ms ms = int_of_float (ms *. 1000.)
 
 let run_faulty seed fault_seed drop corrupt truncate duplicate max_attempts rehash_attempts stash
-    runs target kind unframed latency reorder partition deadline_ms =
+    rateless runs target kind unframed latency reorder partition deadline_ms =
   let module Channel = Ssr_transport.Channel in
   let module Network = Ssr_transport.Network in
   let module Clock = Ssr_transport.Clock in
@@ -506,7 +506,8 @@ let run_faulty seed fault_seed drop corrupt truncate duplicate max_attempts reha
   (* Replayable configuration in pasteable --flag=value form: every network
      shape flag prints back exactly as it must be passed to reproduce. *)
   let replay_suffix =
-    Printf.sprintf " --rehash-attempts=%d --stash=%d%s" rehash_attempts stash
+    Printf.sprintf " --rehash-attempts=%d --stash=%d%s%s" rehash_attempts stash
+      (if rateless then " --rateless" else "")
       (if not networked then ""
        else
          Printf.sprintf " --latency=%g:%g --reorder=%g%s%s" lat_ms jit_ms reorder_rate
@@ -518,7 +519,8 @@ let run_faulty seed fault_seed drop corrupt truncate duplicate max_attempts reha
            (match deadline_ms with Some d -> Printf.sprintf " --deadline-ms=%g" d | None -> ""))
   in
   let ok = ref 0 and degraded = ref 0 and tfail = ref 0 and timedout = ref 0 and silent = ref 0 in
-  let faults = ref 0 and retransmits = ref 0 in
+  let faults = ref 0 and retransmits = ref 0 and wire = ref 0 in
+  let strategy = if rateless then R.Rateless else R.Doubling in
   start_wall ();
   for r = 0 to runs - 1 do
     (* Run 0 uses the given seeds verbatim, so a failure printed below can be
@@ -557,8 +559,8 @@ let run_faulty seed fault_seed drop corrupt truncate duplicate max_attempts reha
         in
         let alice = Iset.apply_diff bob ~add:(Iset.random_subset rng ~universe ~size:5) ~del in
         match
-          R.reconcile_set ~link ~seed:wseed ~max_attempts ~rehash_attempts ~stash_capacity:stash
-            ?run_deadline_us ~alice ~bob ()
+          R.reconcile_set ~link ~seed:wseed ~strategy ~max_attempts ~rehash_attempts
+            ~stash_capacity:stash ?run_deadline_us ~alice ~bob ()
         with
         | Ok (recovered, rep) -> (rep, `Verdict (Iset.equal recovered alice))
         | Error (`Transport_failure rep) -> (rep, `Failed)
@@ -579,6 +581,7 @@ let run_faulty seed fault_seed drop corrupt truncate duplicate max_attempts reha
         | Error (`Deadline_exceeded rep) -> (rep, `Timeout))
     in
     faults := !faults + List.length rep.R.faults;
+    wire := !wire + rep.R.wire_bytes;
     (match rep.R.timing with
     | Some t -> retransmits := !retransmits + t.R.retransmissions
     | None -> ());
@@ -600,8 +603,9 @@ let run_faulty seed fault_seed drop corrupt truncate duplicate max_attempts reha
       Printf.printf "deadline exceeded at run %d (replay: --seed=%Ld --fault-seed=%Ld%s --runs 1)\n"
         r wseed cseed replay_suffix
   done;
-  Printf.printf "faulty %s: %d runs  drop=%.3f corrupt=%.3f truncate=%.3f duplicate=%.3f (%s)\n"
+  Printf.printf "faulty %s%s: %d runs  drop=%.3f corrupt=%.3f truncate=%.3f duplicate=%.3f (%s)\n"
     (match target with `Set -> "set" | `Sos -> Protocol.name kind)
+    (if rateless then " [rateless]" else "")
     runs drop corrupt truncate duplicate
     (if networked then
        Printf.sprintf "network: latency %g+-%g ms, reorder %g%s" lat_ms jit_ms reorder_rate
@@ -609,8 +613,8 @@ let run_faulty seed fault_seed drop corrupt truncate duplicate max_attempts reha
      else if unframed then "raw"
      else "framed");
   Printf.printf
-    "  recovered=%d (degraded=%d)  typed-failures=%d  deadline-exceeded=%d  faults-injected=%d  retransmissions=%d  silent-corruptions=%d  wall=%.1f ms\n"
-    !ok !degraded !tfail !timedout !faults !retransmits !silent (wall_ms ());
+    "  recovered=%d (degraded=%d)  typed-failures=%d  deadline-exceeded=%d  faults-injected=%d  retransmissions=%d  wire-bytes=%d  silent-corruptions=%d  wall=%.1f ms\n"
+    !ok !degraded !tfail !timedout !faults !retransmits !wire !silent (wall_ms ());
   push_report ~label:"faulty" ~ok:(!silent = 0) ();
   if !silent = 0 then begin
     print_endline "  invariant held: correct result or clean typed failure, never silent corruption";
@@ -656,6 +660,13 @@ let faulty_cmd =
          & info [ "stash" ]
              ~doc:"Stash capacity in cells for un-peelable residual sketches kept across salted \
                    rehash attempts (plain-set target only).")
+  in
+  let rateless =
+    Arg.(value & flag
+         & info [ "rateless" ]
+             ~doc:"Use the rateless coded-cell stream as the ladder's first rung instead of \
+                   doubling IBLT attempts: no difference bound to guess, forward progress under \
+                   loss without retransmitting cells (plain-set target only).")
   in
   let runs =
     Arg.(value & opt int 100
@@ -719,8 +730,8 @@ let faulty_cmd =
              virtual-time network simulator with ARQ.")
     (with_obs
        Term.(const run_faulty $ seed_term $ fault_seed $ drop $ corrupt $ truncate $ duplicate
-             $ max_attempts $ rehash_attempts $ stash $ runs $ target $ protocol_term $ unframed
-             $ latency $ reorder $ partition $ deadline_ms))
+             $ max_attempts $ rehash_attempts $ stash $ rateless $ runs $ target $ protocol_term
+             $ unframed $ latency $ reorder $ partition $ deadline_ms))
 
 (* ---- estimate ---- *)
 

@@ -1,0 +1,71 @@
+(** Rateless set reconciliation over the coded-cell stream of
+    {!Ssr_sketch.Rateless}.
+
+    The doubling and salvage drivers in {!Set_recon} escalate by shipping
+    whole IBLTs: guess a size, transmit, fail, double, reship — one bad
+    estimate or one lossy window wastes an entire sketch. Here Alice
+    instead streams windows of coded cells (each a pure function of the
+    shared seed and its index) and Bob ACKs cumulative peel progress;
+    because every fresh cell carries new parity, a lost window is never
+    retransmitted — the stream just moves forward — and communication
+    converges to ~1.35x the true difference with no size negotiation.
+
+    One cycle is [window A->B, ack B->A] (two {!Comm} rounds). The window
+    size doubles each cycle, so reaching difference [d] takes
+    [O(log d)] cycles against doubling's ladder of full-sketch attempts.
+    Completion requires both a clean peel and a whole-set hash match (the
+    hash rides in every window header), so a false decode candidate — or a
+    peeled phantom key — is never silently accepted; the stream simply
+    continues. All messages go through {!Comm.xfer}, so an attached
+    transport carries (and can damage or drop) exactly the wire bytes.
+
+    Wire formats (little-endian, parsed totally — hostile bytes yield
+    [None], never an exception, and claimed counts are validated against
+    the actual byte length before any allocation):
+    - window: [u32 lo | u32 count | int62 alice_hash | count * cell_bytes]
+    - ack: [u8 done (0|1) | u32 have] — exactly 5 bytes; [have] is the
+      receiver's {!Ssr_sketch.Rateless.next_index}. *)
+
+type error = [ `Decode_failure of Comm.stats ]
+
+val reconcile :
+  seed:int64 -> ?check_bits:int -> ?initial_window:int -> ?max_cells:int ->
+  alice:Ssr_util.Iset.t -> bob:Ssr_util.Iset.t -> unit ->
+  (Set_recon.outcome, error) result
+(** One-way rateless reconciliation: Bob ends up with Alice's set.
+    [check_bits] (default 32) is the per-cell checksum width — narrower
+    than the IBLT default because the whole-set hash arbitrates
+    completion. [initial_window] (default 32) cells in the first window,
+    doubling per cycle; [max_cells] (default 65536) bounds the stream
+    (exceeding it is a [`Decode_failure], as is an unserviceable
+    transport). *)
+
+val run :
+  comm:Comm.t -> seed:int64 -> ?check_bits:int -> ?initial_window:int ->
+  ?max_cells:int -> alice:Ssr_util.Iset.t -> bob:Ssr_util.Iset.t -> unit ->
+  (Set_recon.outcome, [ `Decode_failure ]) result
+(** {!reconcile} threaded through a caller-supplied recorder, for drivers
+    that embed the stream in a longer transcript (the {!Comm} transport
+    seam, retry ladders). The outcome's stats are cumulative for [comm]. *)
+
+(** {2 Wire codecs}
+
+    Exposed for the hostile-byte totality suite; protocol users never need
+    them. *)
+
+val encode_window :
+  cell_bytes:int -> lo:int -> alice_hash:int -> cells:Bytes.t -> Bytes.t
+(** [cells] is a packed window as produced by {!Ssr_sketch.Rateless.cells};
+    its length must be a multiple of [cell_bytes] (the count field is
+    derived from it; [Invalid_argument] otherwise). [alice_hash] must be a
+    non-negative 62-bit value. *)
+
+val window_of_bytes_opt : cell_bytes:int -> Bytes.t -> (int * int * Bytes.t) option
+(** [(lo, alice_hash, cells)] — total: [None] on truncation, trailing
+    bytes, a count that disagrees with the actual byte length, or a window
+    extending past {!Ssr_sketch.Rateless.max_index}. *)
+
+val encode_ack : done_:bool -> have:int -> Bytes.t
+
+val ack_of_bytes_opt : Bytes.t -> (bool * int) option
+(** Total: exactly 5 bytes, done flag strictly 0 or 1. *)

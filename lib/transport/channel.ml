@@ -39,11 +39,17 @@ let config_with ?(drop = 0.) ?(corrupt = 0.) ?(truncate = 0.) ?(duplicate = 0.)
   { seed; drop_rate = drop; corrupt_rate = corrupt; truncate_rate = truncate;
     duplicate_rate = duplicate; duplicate_copies }
 
-type t = { cfg : config; mutable sent : int; mutable events : event list }
+type t = {
+  cfg : config;
+  mutable sent : int;
+  mutable wire_bytes : int;
+  mutable events : event list;
+}
 
-let create cfg = { cfg; sent = 0; events = [] }
+let create cfg = { cfg; sent = 0; wire_bytes = 0; events = [] }
 let config t = t.cfg
 let messages_sent t = t.sent
+let bytes_sent t = t.wire_bytes
 let events t = List.rev t.events
 
 let record t index direction label fault =
@@ -90,6 +96,9 @@ let transmit t direction ~label payload =
   let rng = Prng.create ~seed:(Prng.derive ~seed:t.cfg.seed ~tag:(0xFA17 + index)) in
   if Prng.bernoulli rng t.cfg.drop_rate then begin
     record t index direction label Dropped;
+    (* The sender still put the full message on the wire; the drop happened
+       en route. *)
+    t.wire_bytes <- t.wire_bytes + Bytes.length payload;
     []
   end
   else begin
@@ -100,6 +109,9 @@ let transmit t direction ~label payload =
       end
       else 1
     in
+    (* Each copy traverses the wire whole; truncation is receive-side
+       damage, not fewer bytes sent. *)
+    t.wire_bytes <- t.wire_bytes + (copies * Bytes.length payload);
     List.init copies (fun copy -> damage t rng index direction label ~copy payload)
   end
 

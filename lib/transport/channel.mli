@@ -57,6 +57,12 @@ val config : t -> config
 
 val messages_sent : t -> int
 
+val bytes_sent : t -> int
+(** Total bytes put on the wire so far: every transmitted copy counts in
+    full (a dropped or truncated message was still sent whole; a
+    duplicated one traverses once per copy). Framed transports count frame
+    overhead because they transmit the framed bytes. *)
+
 val events : t -> event list
 (** Every fault injected so far, in occurrence order. *)
 

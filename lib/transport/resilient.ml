@@ -5,6 +5,7 @@ module Buf = Ssr_util.Buf
 module Codec = Ssr_util.Codec
 module Comm = Ssr_setrecon.Comm
 module Set_recon = Ssr_setrecon.Set_recon
+module Rateless_recon = Ssr_setrecon.Rateless_recon
 module Protocol = Ssr_core.Protocol
 module Parent = Ssr_core.Parent
 module Metrics = Ssr_obs.Metrics
@@ -47,10 +48,13 @@ type report = {
   degraded : bool;
   faults : Channel.event list;
   stats : Comm.stats;
+  wire_bytes : int;
   timing : timing option;
 }
 
 type error = [ `Transport_failure of report | `Deadline_exceeded of report ]
+
+type strategy = Doubling | Rateless
 
 (* ---- Link-generic driver scaffolding. ---- *)
 
@@ -64,6 +68,7 @@ type ctx = {
   backoff_us : int;  (** Base inter-attempt backoff; doubles, capped at 8x. *)
   base_faults : int;  (** Fault-log length at start, for delta reporting. *)
   base_arq : Arq.stats option;
+  base_channel_bytes : int;
   base_partition_drops : int;
   base_reordered : int;
   mutable backoff_total : int;
@@ -82,13 +87,15 @@ let mk_ctx ~link ~seed ?attempt_deadline_us ?run_deadline_us ?(backoff_us = 50_0
   let comm = Comm.create () in
   attach comm link;
   let t0 = match link with Simulated arq -> Clock.now_us (Arq.clock arq) | _ -> 0 in
-  let base_faults, base_arq, base_pd, base_ro =
+  let base_faults, base_arq, base_cb, base_pd, base_ro =
     match link with
-    | Faulty_channel { channel; _ } -> (List.length (Channel.events channel), None, 0, 0)
+    | Faulty_channel { channel; _ } ->
+      (List.length (Channel.events channel), None, Channel.bytes_sent channel, 0, 0)
     | Simulated arq ->
       let net = Arq.network arq in
       ( List.length (Network.faults net),
         Some (Arq.stats arq),
+        0,
         Network.partition_drops net,
         Network.reorder_count net )
   in
@@ -97,7 +104,8 @@ let mk_ctx ~link ~seed ?attempt_deadline_us ?run_deadline_us ?(backoff_us = 50_0
     run_deadline = Option.map (fun d -> t0 + d) run_deadline_us;
     attempt_deadline_us;
     backoff_us;
-    base_faults; base_arq; base_partition_drops = base_pd; base_reordered = base_ro;
+    base_faults; base_arq; base_channel_bytes = base_cb;
+    base_partition_drops = base_pd; base_reordered = base_ro;
     backoff_total = 0;
   }
 
@@ -150,14 +158,18 @@ let backoff_between ctx ~number =
 let drop_prefix n l = List.filteri (fun i _ -> i >= n) l
 
 let mk_report ctx ~attempts ~degraded =
-  let faults, timing =
+  let faults, wire_bytes, timing =
     match ctx.link with
-    | Faulty_channel { channel; _ } -> (Channel.events channel, None)
+    | Faulty_channel { channel; _ } ->
+      ( Channel.events channel,
+        Channel.bytes_sent channel - ctx.base_channel_bytes,
+        None )
     | Simulated arq ->
       let net = Arq.network arq in
       let s = Arq.stats arq in
       let b = Option.get ctx.base_arq in
       ( drop_prefix ctx.base_faults (Network.faults net),
+        s.Arq.wire_bytes - b.Arq.wire_bytes,
         Some
           {
             elapsed_us = Clock.now_us (Arq.clock arq) - ctx.t0;
@@ -170,7 +182,8 @@ let mk_report ctx ~attempts ~degraded =
             wire_bytes = s.Arq.wire_bytes - b.Arq.wire_bytes;
           } )
   in
-  { attempts = List.rev attempts; degraded; faults; stats = Comm.stats ctx.comm; timing }
+  { attempts = List.rev attempts; degraded; faults; stats = Comm.stats ctx.comm; wire_bytes;
+    timing }
 
 (* The shared self-healing loop, an escalation ladder with three rungs:
    bounded reconciliation attempts with a doubling difference bound, then
@@ -302,9 +315,9 @@ let parse_direct_set ~seed delivered =
       | _ -> None)
   end
 
-let reconcile_set ~link ~seed ?(initial_d = 4) ?(max_attempts = 5) ?(rehash_attempts = 2)
-    ?(stash_capacity = 256) ?(k = 4) ?attempt_deadline_us ?run_deadline_us ?backoff_us ~alice
-    ~bob () =
+let reconcile_set ~link ~seed ?(strategy = Doubling) ?(initial_d = 4) ?(max_attempts = 5)
+    ?(rehash_attempts = 2) ?(stash_capacity = 256) ?(k = 4) ?attempt_deadline_us
+    ?run_deadline_us ?backoff_us ~alice ~bob () =
   let ctx = mk_ctx ~link ~seed ?attempt_deadline_us ?run_deadline_us ?backoff_us () in
   let direct_payload =
     lazy (Bytes.cat (Iset.canonical_bytes alice) (int62_bytes (Set_recon.set_hash ~seed alice)))
@@ -323,12 +336,28 @@ let reconcile_set ~link ~seed ?(initial_d = 4) ?(max_attempts = 5) ?(rehash_atte
   in
   drive ctx ~max_attempts ~rehash_attempts ~initial_d
     ~recon:(fun ~number ~d ->
-      match
-        Set_recon.run_known_d ~comm:ctx.comm ~seed:(Hashing.attempt_seed ~seed ~attempt:number)
-          ~d ~k ~alice ~bob
-      with
-      | Ok o -> Some o.Set_recon.recovered
-      | Error `Decode_failure -> None)
+      match strategy with
+      | Doubling -> (
+        match
+          Set_recon.run_known_d ~comm:ctx.comm
+            ~seed:(Hashing.attempt_seed ~seed ~attempt:number) ~d ~k ~alice ~bob
+        with
+        | Ok o -> Some o.Set_recon.recovered
+        | Error `Decode_failure -> None)
+      | Rateless -> (
+        (* One rateless run is itself an open-ended escalation — the
+           stream keeps flowing until the peel verifies — so a failed run
+           means the transport is badly broken, and the ladder's salted
+           retry (fresh attempt seed, fresh stream) plus the lower rungs
+           take over. [d] doubles per drive attempt like every other rung;
+           here it scales the initial window instead of a table size. *)
+        match
+          Rateless_recon.run ~comm:ctx.comm
+            ~seed:(Hashing.attempt_seed ~seed ~attempt:number)
+            ~initial_window:(max 32 (2 * d)) ~alice ~bob ()
+        with
+        | Ok o -> Some o.Set_recon.recovered
+        | Error `Decode_failure -> None))
     ~rehash:
       (Some
          (fun ~number ~d ->

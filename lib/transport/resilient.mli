@@ -83,6 +83,13 @@ type report = {
       (** Faults injected during the run (on a network link, only this
           run's — the log delta since the driver started). *)
   stats : Ssr_setrecon.Comm.stats;  (** Cumulative, including retries. *)
+  wire_bytes : int;
+      (** Total bytes this run put on the wire, on either link kind: the
+          ARQ's wire counter (retransmissions and ACKs included) on a
+          network link, the channel's sent-byte counter (every copy, frame
+          overhead included) on a channel link. Present in failure reports
+          too, so the cost of a [`Deadline_exceeded] under one strategy is
+          comparable to another's. *)
   timing : timing option;
 }
 
@@ -91,14 +98,26 @@ type error = [ `Transport_failure of report | `Deadline_exceeded of report ]
     direct-transfer fallback. [`Deadline_exceeded]: the whole-run
     virtual-time deadline passed first. *)
 
+(** What the ladder's first rung runs. [Doubling] ships whole IBLTs with a
+    doubling difference bound ({!Ssr_setrecon.Set_recon.run_known_d} per
+    attempt). [Rateless] streams coded-cell windows with cumulative
+    peel-progress ACKs ({!Ssr_setrecon.Rateless_recon}): no size to guess,
+    and lost windows cost only their bytes because every fresh cell is
+    useful — the graceful-degradation choice for unknown [d] on lossy
+    links. Either way the salted-rehash and direct-transfer rungs below
+    are unchanged. *)
+type strategy = Doubling | Rateless
+
 val reconcile_set :
-  link:link -> seed:int64 -> ?initial_d:int -> ?max_attempts:int -> ?rehash_attempts:int ->
-  ?stash_capacity:int -> ?k:int ->
+  link:link -> seed:int64 -> ?strategy:strategy -> ?initial_d:int -> ?max_attempts:int ->
+  ?rehash_attempts:int -> ?stash_capacity:int -> ?k:int ->
   ?attempt_deadline_us:int -> ?run_deadline_us:int -> ?backoff_us:int ->
   alice:Ssr_util.Iset.t -> bob:Ssr_util.Iset.t -> unit ->
   (Ssr_util.Iset.t * report, error) result
 (** Plain set reconciliation (Bob learns Alice's set) over the link.
-    [initial_d] (default 4) doubles on every retry; [max_attempts]
+    [strategy] (default [Doubling]) selects the first rung. [initial_d]
+    (default 4) doubles on every retry (under [Rateless] it scales the
+    initial window instead of a table size); [max_attempts]
     (default 5) bounds reconciliation attempts and direct-transfer attempts
     separately, and [rehash_attempts] (default 2) the salted-rehash salvage
     attempts between them, whose stash holds up to [stash_capacity]

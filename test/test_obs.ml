@@ -12,8 +12,10 @@ module Prng = Ssr_util.Prng
 module Iset = Ssr_util.Iset
 module Buf = Ssr_util.Buf
 module Iblt = Ssr_sketch.Iblt
+module Rateless = Ssr_sketch.Rateless
 module L0 = Ssr_sketch.L0_estimator
 module Comm = Ssr_setrecon.Comm
+module Rateless_recon = Ssr_setrecon.Rateless_recon
 module Multiset = Ssr_setrecon.Multiset
 module Parent = Ssr_core.Parent
 module Protocol = Ssr_core.Protocol
@@ -298,6 +300,77 @@ let test_direct_payload_parsers_fuzz () =
     ignore (Resilient.For_tests.parse_direct_sos ~seed b)
   done
 
+(* The rateless cell-window and ACK wire formats: total parsing, exact
+   length agreement with the claimed count (validated before any
+   allocation), and no exception on any hostile input. *)
+let test_rateless_wire_fuzz () =
+  let rng = Prng.create ~seed:(Prng.derive ~seed ~tag:0xE6) in
+  let src = Rateless.source_of_ints ~seed (Array.init 64 (fun i -> i * 3)) in
+  let cell_bytes = Rateless.source_cell_bytes src in
+  let good =
+    Rateless_recon.encode_window ~cell_bytes ~lo:7 ~alice_hash:0x1234
+      ~cells:(Rateless.cells src ~lo:7 ~hi:19)
+  in
+  (match Rateless_recon.window_of_bytes_opt ~cell_bytes good with
+  | Some (7, 0x1234, cells) ->
+    Alcotest.(check int) "cells round-trip" (12 * cell_bytes) (Bytes.length cells)
+  | _ -> Alcotest.fail "canonical window must parse");
+  (* Truncations and a trailing byte. *)
+  for n = 0 to Bytes.length good - 1 do
+    if Rateless_recon.window_of_bytes_opt ~cell_bytes (Bytes.sub good 0 n) <> None then
+      Alcotest.failf "window truncation to %d bytes accepted" n
+  done;
+  Alcotest.(check bool) "window trailing byte rejected" true
+    (Rateless_recon.window_of_bytes_opt ~cell_bytes (Bytes.cat good (Bytes.make 1 'x')) = None);
+  (* A huge claimed count must be rejected before any allocation. *)
+  let huge = Bytes.copy good in
+  Bytes.set_int32_le huge 4 0xFFFF_FFFFl;
+  Alcotest.(check bool) "huge claimed count rejected" true
+    (Rateless_recon.window_of_bytes_opt ~cell_bytes huge = None);
+  (* A window claiming to extend past the stream bound is rejected. *)
+  let far = Bytes.copy good in
+  Bytes.set_int32_le far 0 (Int32.of_int (Rateless.max_index - 1));
+  Alcotest.(check bool) "window past max_index rejected" true
+    (Rateless_recon.window_of_bytes_opt ~cell_bytes far = None);
+  (* Single-byte corruptions of a genuine window, then pure noise: Some or
+     None, never raise; an accepted parse's cells stay length-consistent. *)
+  let check_total b =
+    match Rateless_recon.window_of_bytes_opt ~cell_bytes b with
+    | None -> ()
+    | Some (lo, _hash, cells) ->
+      if lo < 0 || Bytes.length cells mod cell_bytes <> 0 then
+        Alcotest.fail "accepted window is inconsistent"
+  in
+  for _ = 1 to 200 do
+    let b = Bytes.copy good in
+    let i = Prng.int_below rng (Bytes.length b) in
+    Bytes.set b i (Char.chr (Prng.int_below rng 256));
+    check_total b
+  done;
+  for _ = 1 to 200 do
+    check_total (random_bytes rng (Prng.int_below rng 300))
+  done;
+  (* The 5-byte ACK: canonical forms parse, everything else is None. *)
+  (match Rateless_recon.ack_of_bytes_opt (Rateless_recon.encode_ack ~done_:true ~have:42) with
+  | Some (true, 42) -> ()
+  | _ -> Alcotest.fail "canonical ack must parse");
+  (match Rateless_recon.ack_of_bytes_opt (Rateless_recon.encode_ack ~done_:false ~have:0) with
+  | Some (false, 0) -> ()
+  | _ -> Alcotest.fail "canonical not-done ack must parse");
+  let bad_flag = Rateless_recon.encode_ack ~done_:false ~have:9 in
+  Bytes.set_uint8 bad_flag 0 2;
+  Alcotest.(check bool) "non-boolean done flag rejected" true
+    (Rateless_recon.ack_of_bytes_opt bad_flag = None);
+  for n = 0 to 4 do
+    if Rateless_recon.ack_of_bytes_opt (Bytes.make n 'a') <> None then
+      Alcotest.failf "%d-byte ack accepted" n
+  done;
+  Alcotest.(check bool) "6-byte ack rejected" true
+    (Rateless_recon.ack_of_bytes_opt (Bytes.make 6 '\000') = None);
+  for _ = 1 to 200 do
+    ignore (Rateless_recon.ack_of_bytes_opt (random_bytes rng (Prng.int_below rng 12)))
+  done
+
 (* ---------- Metrics vs. network transcript (cross-layer accounting) ---------- *)
 
 (* Over a clean network every wire write is delivered exactly once, so three
@@ -409,6 +482,7 @@ let () =
           Alcotest.test_case "residual of_bytes_opt fuzz" `Quick test_residual_of_bytes_opt_fuzz;
           Alcotest.test_case "direct payload parsers fuzz" `Quick
             test_direct_payload_parsers_fuzz;
+          Alcotest.test_case "rateless wire fuzz" `Quick test_rateless_wire_fuzz;
         ] );
       ( "accounting",
         [

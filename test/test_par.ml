@@ -212,6 +212,68 @@ let test_adversarial_salted_rehash_deterministic () =
         true (String.equal serial parallel))
     [ 0x44DL; 0x55EL ]
 
+(* The rateless cell stream is a pure function of (seed, cell_index): the
+   bytes of any window must not depend on the pool size, even when the
+   pool is large enough that the per-element fold is chunked across
+   domains. Pool sizes straddle the chunking grain on purpose. *)
+let test_rateless_cells_parallel_identical () =
+  let module Rateless = Ssr_sketch.Rateless in
+  List.iter
+    (fun n ->
+      let rng = Prng.create ~seed:(Prng.derive ~seed:0x7A7EL ~tag:n) in
+      let keys = Array.init n (fun _ -> Prng.int_below rng (1 lsl 40)) in
+      let src = Rateless.source_of_ints ~seed:0x7A7E5EEDL keys in
+      let windows = [ (0, 1); (0, 33); (33, 100); (1000, 1064) ] in
+      let serial =
+        with_domains 1 (fun () -> List.map (fun (lo, hi) -> Rateless.cells src ~lo ~hi) windows)
+      in
+      let parallel =
+        with_domains 4 (fun () -> List.map (fun (lo, hi) -> Rateless.cells src ~lo ~hi) windows)
+      in
+      List.iter2
+        (fun s p ->
+          Alcotest.(check bool)
+            (Printf.sprintf "cells identical n=%d (%d bytes)" n (Bytes.length s))
+            true (Bytes.equal s p))
+        serial parallel)
+    [ 100; 2048; 5000 ]
+
+(* And the whole rateless protocol stack: same transcript battery as the
+   doubling strategy, windowed cell traffic and ACKs included. *)
+let transcript_of_rateless_set ~nseed =
+  let clock = Clock.create () in
+  let network = Network.create ~clock (Network.config_with ~seed:nseed ()) in
+  let arq = Arq.create ~clock ~network ~seed:nseed () in
+  let link = Resilient.over_network arq in
+  let rng = Prng.create ~seed:(Prng.derive ~seed:nseed ~tag:0x5F) in
+  let alice = Iset.random_subset rng ~universe:(1 lsl 30) ~size:400 in
+  let bob = Iset.union alice (Iset.random_subset rng ~universe:(1 lsl 31) ~size:12) in
+  (match
+     Resilient.reconcile_set ~link ~seed:nseed ~strategy:Resilient.Rateless ~alice ~bob ()
+   with
+  | Ok (got, _) -> Alcotest.(check bool) "rateless set reconciled" true (Iset.equal got alice)
+  | Error _ -> Alcotest.fail "rateless set reconciliation failed");
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun (e : Network.delivery) ->
+      Buffer.add_string b (string_of_int e.Network.delivered_us);
+      Buffer.add_char b ':';
+      Buffer.add_bytes b e.Network.bytes;
+      Buffer.add_char b '\n')
+    (Network.transcript network);
+  Buffer.contents b
+
+let test_rateless_stack_deterministic () =
+  List.iter
+    (fun nseed ->
+      let serial = with_domains 1 (fun () -> transcript_of_rateless_set ~nseed) in
+      let parallel = with_domains 4 (fun () -> transcript_of_rateless_set ~nseed) in
+      Alcotest.(check bool)
+        (Printf.sprintf "rateless transcript seed=0x%Lx (%d bytes)" nseed
+           (String.length serial))
+        true (String.equal serial parallel))
+    [ 0x66FL; 0x770L ]
+
 let () =
   Alcotest.run "ssr_par"
     [
@@ -230,5 +292,9 @@ let () =
             test_parallel_matches_serial_transcripts;
           Alcotest.test_case "salted rehash deterministic (2 seeds)" `Quick
             test_adversarial_salted_rehash_deterministic;
+          Alcotest.test_case "rateless cells parallel = serial (3 pool sizes)" `Quick
+            test_rateless_cells_parallel_identical;
+          Alcotest.test_case "rateless stack deterministic (2 seeds)" `Quick
+            test_rateless_stack_deterministic;
         ] );
     ]

@@ -930,6 +930,147 @@ let test_residual_narrow_width_roundtrip () =
       Alcotest.(check bool) "canonical bytes" true
         (Bytes.equal wire (Iblt.residual_bytes r')))
 
+(* ---------- Rateless coded-cell stream ---------- *)
+
+module Rateless = Ssr_sketch.Rateless
+
+let rl_seed = 0x7A7E5EEDL
+
+let test_rateless_slicing_stable () =
+  let src = Rateless.source_of_ints ~seed:rl_seed (Array.init 500 (fun i -> (i * 7) + 1)) in
+  let cb = Rateless.source_cell_bytes src in
+  let whole = Rateless.cells src ~lo:0 ~hi:96 in
+  Alcotest.(check int) "window width" (96 * cb) (Bytes.length whole);
+  let buf = Buffer.create (96 * cb) in
+  List.iter
+    (fun (lo, hi) -> Buffer.add_bytes buf (Rateless.cells src ~lo ~hi))
+    [ (0, 1); (1, 17); (17, 40); (40, 96) ];
+  Alcotest.(check bool) "re-slicing stable" true
+    (Bytes.equal whole (Buffer.to_bytes buf));
+  (* Cell 0 has degree 1: it sums the whole pool. *)
+  Alcotest.(check int32) "cell 0 counts everything" 500l (Bytes.get_int32_le whole 0);
+  for e = 0 to 499 do
+    Alcotest.(check bool) "member agrees" true (Rateless.member src ~key_index:e 0)
+  done
+
+(* Drive a decode: Alice = [0, n), Bob = [d, n + d), windows of [w] cells,
+   [drop] selects lost windows by window number. Returns the sorted decoded
+   difference and the prefix length consumed. *)
+let rl_drive ?(drop = fun _ -> false) ?(w = 16) ~n ~d () =
+  let alice = Array.init n (fun i -> i) in
+  let bob = Array.init n (fun i -> i + d) in
+  let src = Rateless.source_of_ints ~seed:rl_seed alice in
+  let dec = Rateless.decoder_of_ints ~seed:rl_seed bob in
+  let rec go lo =
+    if lo > 8192 then Alcotest.fail "rateless: no decode within 8192 cells"
+    else begin
+      if not (drop (lo / w)) then
+        ignore (Rateless.absorb dec ~lo (Rateless.cells src ~lo ~hi:(lo + w)));
+      match Rateless.decoded_ints dec with
+      | Some (pos, neg) ->
+        (List.sort compare pos, List.sort compare neg, Rateless.next_index dec)
+      | None -> go (lo + w)
+    end
+  in
+  go 0
+
+let test_rateless_decodes_difference () =
+  List.iter
+    (fun (n, d) ->
+      let pos, neg, _ = rl_drive ~n ~d () in
+      Alcotest.(check (list int)) "alice-only" (List.init d (fun i -> i)) pos;
+      Alcotest.(check (list int)) "bob-only" (List.init d (fun i -> n + i)) neg)
+    [ (200, 1); (200, 8); (1000, 40); (64, 64) ]
+
+let test_rateless_equal_pools () =
+  let keys = Array.init 300 (fun i -> i * 3 ) in
+  let src = Rateless.source_of_ints ~seed:rl_seed keys in
+  let dec = Rateless.decoder_of_ints ~seed:rl_seed keys in
+  ignore (Rateless.absorb dec ~lo:0 (Rateless.cells src ~lo:0 ~hi:1));
+  (match Rateless.decoded_ints dec with
+  | Some ([], []) -> ()
+  | _ -> Alcotest.fail "equal pools should decode empty from one cell");
+  Alcotest.(check int) "one cell absorbed" 1 (Rateless.absorbed dec)
+
+let test_rateless_monotone_in_prefix () =
+  let n = 400 and d = 24 in
+  let alice = Array.init n (fun i -> i) in
+  let bob = Array.init n (fun i -> i + d) in
+  let src = Rateless.source_of_ints ~seed:rl_seed alice in
+  (* Find the minimal decodable prefix, one cell at a time. *)
+  let dec = Rateless.decoder_of_ints ~seed:rl_seed bob in
+  let norm (pos, neg) = (List.sort compare pos, List.sort compare neg) in
+  let rec find lo =
+    if lo > 8192 then Alcotest.fail "no decode"
+    else begin
+      ignore (Rateless.absorb dec ~lo (Rateless.cells src ~lo ~hi:(lo + 1)));
+      match Rateless.decoded_ints dec with
+      | Some diff -> (lo + 1, norm diff)
+      | None -> find (lo + 1)
+    end
+  in
+  let m, diff = find 0 in
+  Alcotest.(check bool) "needs more than one cell" true (m > 1);
+  (* Every longer prefix decodes, to the same difference, under any
+     window chunking. *)
+  List.iter
+    (fun (extra, w) ->
+      let dec = Rateless.decoder_of_ints ~seed:rl_seed bob in
+      let rec feed lo =
+        if lo < m + extra then begin
+          let hi = min (m + extra) (lo + w) in
+          ignore (Rateless.absorb dec ~lo (Rateless.cells src ~lo ~hi));
+          feed hi
+        end
+      in
+      feed 0;
+      match Rateless.decoded_ints dec with
+      | Some diff' ->
+        Alcotest.(check bool)
+          (Printf.sprintf "superset (+%d cells, w=%d) decodes identically" extra w)
+          true (diff = norm diff')
+      | None -> Alcotest.fail "superset of a decodable prefix must decode")
+    [ (0, 1); (0, 7); (1, 3); (16, 5); (128, 32) ];
+  (* And no shorter prefix hands back a wrong difference. *)
+  let dec = Rateless.decoder_of_ints ~seed:rl_seed bob in
+  for lo = 0 to m - 2 do
+    ignore (Rateless.absorb dec ~lo (Rateless.cells src ~lo ~hi:(lo + 1)));
+    match Rateless.decoded_ints dec with
+    | None -> ()
+    | Some diff' ->
+      Alcotest.(check bool) "early candidate can only be the true difference" true
+        (norm diff' = diff)
+  done
+
+let test_rateless_tolerates_loss () =
+  (* Drop every third window: decoding still completes (later cells carry
+     fresh parity; nothing is retransmitted) to the exact difference. *)
+  let n = 600 and d = 32 in
+  let pos, neg, consumed = rl_drive ~n ~d ~drop:(fun w -> w mod 3 = 2) () in
+  Alcotest.(check (list int)) "alice-only under loss" (List.init d (fun i -> i)) pos;
+  Alcotest.(check (list int)) "bob-only under loss" (List.init d (fun i -> n + i)) neg;
+  let _, _, clean = rl_drive ~n ~d () in
+  Alcotest.(check bool) "loss costs a longer stream, not failure" true (consumed >= clean)
+
+let test_rateless_duplicate_windows_harmless () =
+  let n = 250 and d = 10 in
+  let alice = Array.init n (fun i -> i) in
+  let bob = Array.init n (fun i -> i + d) in
+  let src = Rateless.source_of_ints ~seed:rl_seed alice in
+  let dec = Rateless.decoder_of_ints ~seed:rl_seed bob in
+  let w0 = Rateless.cells src ~lo:0 ~hi:8 in
+  Alcotest.(check int) "first absorb fresh" 8 (Rateless.absorb dec ~lo:0 w0);
+  Alcotest.(check int) "duplicate absorb is a no-op" 0 (Rateless.absorb dec ~lo:0 w0);
+  (* Overlapping window: only the unseen tail counts. *)
+  Alcotest.(check int) "overlap absorbs the tail" 4
+    (Rateless.absorb dec ~lo:4 (Rateless.cells src ~lo:4 ~hi:12));
+  Alcotest.(check int) "next_index tracks the high-water mark" 12 (Rateless.next_index dec);
+  Alcotest.(check bool) "misaligned window rejected" true
+    (try
+       ignore (Rateless.absorb dec ~lo:12 (Bytes.create 5));
+       false
+     with Invalid_argument _ -> true)
+
 let qcheck_tests = List.map QCheck_alcotest.to_alcotest [ prop_subtract_decode ]
 
 
@@ -1002,6 +1143,16 @@ let () =
           Alcotest.test_case "stash absorb cascades" `Quick test_stash_absorb_cancels_and_cascades;
           Alcotest.test_case "adversarial family rescued" `Quick
             test_adversarial_family_rescued_by_salvage;
+        ] );
+      ( "rateless",
+        [
+          Alcotest.test_case "slicing stable" `Quick test_rateless_slicing_stable;
+          Alcotest.test_case "decodes the difference" `Quick test_rateless_decodes_difference;
+          Alcotest.test_case "equal pools decode empty" `Quick test_rateless_equal_pools;
+          Alcotest.test_case "monotone in prefix" `Quick test_rateless_monotone_in_prefix;
+          Alcotest.test_case "tolerates window loss" `Quick test_rateless_tolerates_loss;
+          Alcotest.test_case "duplicate windows harmless" `Quick
+            test_rateless_duplicate_windows_harmless;
         ] );
       ("properties", qcheck_tests);
     ]

@@ -853,6 +853,12 @@ let test_resilient_network_deadline_exceeded () =
   | Error (`Transport_failure _) -> Alcotest.fail "run deadline must fire before the budget"
   | Error (`Deadline_exceeded rep) ->
     Alcotest.(check bool) "attempts recorded" true (List.length rep.Resilient.attempts > 0);
+    (* The failure report prices the run: the bytes burned before the
+       deadline are what makes a rateless failure comparable to a doubling
+       one. The ARQ kept (re)transmitting into the partition, so they are
+       nonzero. *)
+    Alcotest.(check bool) "failure report carries wire bytes" true
+      (rep.Resilient.wire_bytes > 0);
     (match rep.Resilient.timing with
     | Some t ->
       Alcotest.(check bool) "partition exposure recorded" true (t.Resilient.partition_drops > 0);
@@ -888,6 +894,82 @@ let test_resilient_network_replay () =
   let a2, t2, tr2 = run () in
   Alcotest.(check bool) "attempts replay" true (a1 = a2);
   Alcotest.(check bool) "timing replays" true (t1 = t2);
+  Alcotest.(check bool) "delivery schedule replays byte-identically" true (tr1 = tr2)
+
+(* ---------- Rateless strategy ---------- *)
+
+let test_rateless_strategy_channel () =
+  (* The rateless rung over a lossy, corrupting channel: correct result,
+     and the report carries bytes-on-wire even though a channel link
+     reports no timing. *)
+  let rng = Prng.create ~seed in
+  let alice, bob = small_sets rng in
+  let ch = Channel.create (Channel.config_with ~drop:0.15 ~corrupt:0.1 ~seed:0x2A7L ()) in
+  match
+    Resilient.reconcile_set ~link:(Resilient.over_channel ch) ~strategy:Resilient.Rateless
+      ~seed ~alice ~bob ()
+  with
+  | Ok (recovered, rep) ->
+    Alcotest.(check bool) "recovered" true (Iset.equal recovered alice);
+    Alcotest.(check bool) "not degraded" false rep.Resilient.degraded;
+    Alcotest.(check bool) "no timing on a channel link" true (rep.Resilient.timing = None);
+    Alcotest.(check bool) "wire bytes reported on a channel link" true
+      (rep.Resilient.wire_bytes > 0);
+    Alcotest.(check int) "channel counter matches the report" (Channel.bytes_sent ch)
+      rep.Resilient.wire_bytes
+  | Error (`Transport_failure _ | `Deadline_exceeded _) ->
+    Alcotest.fail "rateless over a lossy channel must converge"
+
+let test_rateless_strategy_network () =
+  (* Over the full simulated stack with drop + reorder + latency jitter:
+     the stream converges without ever retransmitting a cell window, and
+     the report's top-level wire bytes agree with the ARQ's accounting. *)
+  let rng = Prng.create ~seed in
+  let alice, bob = small_sets rng in
+  let link = resilient_net_link ~drop:0.1 0x2A7E1E55L in
+  match
+    Resilient.reconcile_set ~link ~strategy:Resilient.Rateless ~seed
+      ~run_deadline_us:60_000_000 ~alice ~bob ()
+  with
+  | Ok (recovered, rep) -> (
+    Alcotest.(check bool) "recovered over network" true (Iset.equal recovered alice);
+    match rep.Resilient.timing with
+    | Some t ->
+      Alcotest.(check bool) "virtual time elapsed" true (t.Resilient.elapsed_us > 0);
+      Alcotest.(check int) "report wire bytes = timing wire bytes" t.Resilient.wire_bytes
+        rep.Resilient.wire_bytes
+    | None -> Alcotest.fail "network link must report timing")
+  | Error (`Transport_failure _ | `Deadline_exceeded _) ->
+    Alcotest.fail "rateless over the simulated network must converge"
+
+let test_rateless_strategy_replay () =
+  (* The rateless stream is as replay-deterministic as everything else:
+     same seeds, same attempts, same delivery schedule. *)
+  let run () =
+    let clock = Clock.create () in
+    let network =
+      Network.create ~clock
+        (Network.config_with ~drop:0.2 ~corrupt:0.05 ~duplicate:0.1 ~latency_us:1_500
+           ~jitter_us:600 ~reorder:0.2 ~seed:0x7A7E11L ())
+    in
+    let arq = Arq.create ~clock ~network ~seed:0x7A7E11L () in
+    let rng = Prng.create ~seed in
+    let alice, bob = small_sets rng in
+    let result =
+      Resilient.reconcile_set ~link:(Resilient.over_network arq) ~strategy:Resilient.Rateless
+        ~seed ~run_deadline_us:60_000_000 ~alice ~bob ()
+    in
+    let rep =
+      match result with
+      | Ok (_, rep) -> rep
+      | Error (`Transport_failure rep | `Deadline_exceeded rep) -> rep
+    in
+    (rep.Resilient.attempts, rep.Resilient.wire_bytes, Network.transcript network)
+  in
+  let a1, w1, tr1 = run () in
+  let a2, w2, tr2 = run () in
+  Alcotest.(check bool) "attempts replay" true (a1 = a2);
+  Alcotest.(check int) "wire bytes replay" w1 w2;
   Alcotest.(check bool) "delivery schedule replays byte-identically" true (tr1 = tr2)
 
 (* ---------- Untrusted size fields (hardening regressions) ---------- *)
@@ -1035,6 +1117,12 @@ let () =
           Alcotest.test_case "deadline exceeded is typed" `Quick
             test_resilient_network_deadline_exceeded;
           Alcotest.test_case "whole-stack replay" `Quick test_resilient_network_replay;
+        ] );
+      ( "rateless",
+        [
+          Alcotest.test_case "strategy over lossy channel" `Quick test_rateless_strategy_channel;
+          Alcotest.test_case "strategy over network" `Quick test_rateless_strategy_network;
+          Alcotest.test_case "strategy replay by seed" `Quick test_rateless_strategy_replay;
         ] );
       ( "hardening",
         [
