@@ -1157,6 +1157,7 @@ let sections =
     ("obs", fun () -> Obs.run ~smoke:(List.mem "--smoke" (Array.to_list Sys.argv)));
     ("robust", fun () -> Robust.run ~smoke:(List.mem "--smoke" (Array.to_list Sys.argv)));
     ("rateless", fun () -> Rateless_bench.run ~smoke:(List.mem "--smoke" (Array.to_list Sys.argv)));
+    ("server", fun () -> Server_bench.run ~smoke:(List.mem "--smoke" (Array.to_list Sys.argv)));
   ]
 
 let () =
@@ -1185,7 +1186,7 @@ let () =
       if chosen = [] then
         List.filter (fun (name, _) ->
             name <> "perf" && name <> "transport" && name <> "obs" && name <> "robust"
-            && name <> "rateless")
+            && name <> "rateless" && name <> "server")
           sections
       else List.filter (fun (name, _) -> List.mem name chosen) sections
     in

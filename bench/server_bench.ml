@@ -1,0 +1,218 @@
+(* Server bench: incremental sketch maintenance vs rebuild-from-scratch,
+   and trace-driven load through the reconciliation daemon.
+
+   Two workloads:
+
+   - [maintenance]: a 10^5-element shard. The per-reconcile sketch cost
+     of the daemon is one epoch snapshot (deep copy of the O(d)-cell
+     ladder); the naive alternative rebuilds the ladder from the member
+     set on every request. Both are timed; the committed claim is the
+     speedup. Also ns/mutation through [Shard.apply] (the O(k) hot
+     path).
+
+   - [load]: the seeded load generator — hundreds to thousands of
+     simulated clients with staggered arrivals and a concurrent mutation
+     stream, over per-client lossy links sharing one virtual clock.
+     Reports sessions/sec and p50/p99 virtual-time latency, plus the
+     transcript digest that pins run-for-run determinism.
+
+   Gates (exit 2): snapshot not >= 10x cheaper than rebuild; any session
+   failing inside the generator's deadline; metrics registry
+   disagreeing with the generator's ground-truth counts (under
+   [--domains N] this is the lost-update check); and vs the committed
+   baseline (bench/baseline/BENCH_server.json), >10% regression in
+   p50/p99 virtual latency or completed sessions. Virtual-time figures
+   are deterministic, so the baseline gate is noise-free.
+
+   Run:   dune exec bench/main.exe -- server [--smoke] [--domains 4]   *)
+
+module Metrics = Ssr_obs.Metrics
+module Shard = Ssr_server.Shard
+module Iblt = Ssr_sketch.Iblt
+module Load_gen = Ssr_server.Load_gen
+
+let seed = 0x5EA5E11L
+
+let baseline_path = "bench/baseline/BENCH_server.json"
+
+(* ------------------------------------------------------------------ *)
+(* Incremental maintenance vs rebuild                                  *)
+(* ------------------------------------------------------------------ *)
+
+let maintenance_row () =
+  let n = 100_000 in
+  let sh = Shard.create ~server_seed:seed ~id:0 () in
+  for i = 0 to n - 1 do
+    ignore (Shard.apply sh (Shard.Add (1_000_000 + i)))
+  done;
+  let members = Shard.members sh in
+  let caps = Shard.rung_caps sh in
+  let snapshot_ns = Perf.measure ~trials:5 (fun () -> Shard.snapshot sh) in
+  let rebuild_ns =
+    Perf.measure ~trials:5 (fun () ->
+        Array.mapi
+          (fun r cap ->
+            let t =
+              Iblt.create ~check_bits:32 (Shard.rung_params ~server_seed:seed ~shard:0 ~rung:r ~cap)
+            in
+            Iblt.add_all_ints t members;
+            t)
+          caps)
+  in
+  (* Mutation cost, two flavours: the pure O(k) sketch path (epoch
+     thresholds pushed out of reach) and the amortized cost with the
+     default thresholds, where periodic O(n) estimator refreshes are
+     part of the price. *)
+  let sh_hot =
+    Shard.create ~server_seed:seed ~id:1 ~refresh_every:max_int ~tainted_max:max_int ()
+  in
+  for i = 0 to n - 1 do
+    ignore (Shard.apply sh_hot (Shard.Add (1_000_000 + i)))
+  done;
+  let toggle s =
+    ignore (Shard.apply s (Shard.Add 900_000_000));
+    ignore (Shard.apply s (Shard.Remove 900_000_000))
+  in
+  let apply_hot_ns = Perf.measure ~trials:5 (fun () -> toggle sh_hot) /. 2.0 in
+  let apply_ns = Perf.measure ~trials:5 (fun () -> toggle sh) /. 2.0 in
+  let speedup = rebuild_ns /. Float.max 1.0 snapshot_ns in
+  Printf.printf
+    "server: maintenance @ %d elems | snapshot %.0f ns | rebuild %.0f ns | speedup %.0fx | apply %.0f ns hot, %.0f ns amortized\n%!"
+    n snapshot_ns rebuild_ns speedup apply_hot_ns apply_ns;
+  ( [ ("name", Perf.S "maintenance"); ("shard_elems", Perf.I n);
+      ("snapshot_ns", Perf.I (int_of_float snapshot_ns));
+      ("rebuild_ns", Perf.I (int_of_float rebuild_ns));
+      ("speedup_x", Perf.I (int_of_float speedup));
+      ("apply_ns_hot", Perf.I (int_of_float apply_hot_ns));
+      ("apply_ns_amortized", Perf.I (int_of_float apply_ns)) ],
+    speedup )
+
+(* ------------------------------------------------------------------ *)
+(* Load generator                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let load_row ~smoke =
+  let cfg = if smoke then Load_gen.smoke_cfg ~seed else Load_gen.default_cfg ~seed in
+  let cfg = { cfg with Load_gen.drop = 0.01 } in
+  let before = Metrics.snapshot () in
+  let t0 = Perf.now_ns () in
+  let r = Load_gen.run cfg in
+  let wall_ms = Int64.to_float (Int64.sub (Perf.now_ns ()) t0) /. 1e6 in
+  let d = Metrics.diff ~before ~after:(Metrics.snapshot ()) in
+  Printf.printf
+    "server: load %d clients | %d ok %d failed | %.0f sessions/s | p50 %d us p99 %d us | wall %.0f ms\n%!"
+    r.Load_gen.clients r.Load_gen.completed r.Load_gen.failed r.Load_gen.sessions_per_sec
+    r.Load_gen.p50_us r.Load_gen.p99_us wall_ms;
+  let metrics_ok =
+    Metrics.counter_value d "server.mutations.applied" = r.Load_gen.mutations_applied
+    && Metrics.counter_value d "server.sessions.completed" = r.Load_gen.completed
+  in
+  if not metrics_ok then
+    Printf.printf
+      "server: metrics mismatch - counters (%d applied, %d completed) vs ground truth (%d, %d)\n%!"
+      (Metrics.counter_value d "server.mutations.applied")
+      (Metrics.counter_value d "server.sessions.completed")
+      r.Load_gen.mutations_applied r.Load_gen.completed;
+  ( [ ("name", Perf.S "load"); ("clients", Perf.I r.Load_gen.clients);
+      ("completed", Perf.I r.Load_gen.completed); ("failed", Perf.I r.Load_gen.failed);
+      ("rejected_tries", Perf.I r.Load_gen.rejected_tries);
+      ("escalations", Perf.I r.Load_gen.escalations);
+      ("mutations_applied", Perf.I r.Load_gen.mutations_applied);
+      ("elapsed_virtual_ms", Perf.I (r.Load_gen.elapsed_us / 1000));
+      ("sessions_per_sec", Perf.F r.Load_gen.sessions_per_sec);
+      ("p50_us", Perf.I r.Load_gen.p50_us); ("p99_us", Perf.I r.Load_gen.p99_us);
+      ("wall_ms", Perf.F wall_ms);
+      ("transcript_digest", Perf.S r.Load_gen.transcript_digest) ],
+    (r, metrics_ok) )
+
+(* ------------------------------------------------------------------ *)
+(* Baseline comparison (same discipline as bench/rateless_bench.ml)    *)
+(* ------------------------------------------------------------------ *)
+
+let substr_index s pat =
+  let n = String.length s and m = String.length pat in
+  let rec go i = if i + m > n then None else if String.sub s i m = pat then Some i else go (i + 1) in
+  go 0
+
+let int_field line key =
+  match substr_index line (Printf.sprintf "\"%s\": " key) with
+  | None -> None
+  | Some i ->
+    let start = i + String.length key + 4 in
+    let stop = ref start in
+    while !stop < String.length line && (match line.[!stop] with '0' .. '9' -> true | _ -> false) do
+      incr stop
+    done;
+    if !stop = start then None else int_of_string_opt (String.sub line start (!stop - start))
+
+let read_baseline path =
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in path in
+    let row = ref None in
+    (try
+       while true do
+         let line = input_line ic in
+         if substr_index line "\"name\": \"load\"" <> None then
+           row :=
+             Some
+               ( Option.value (int_field line "completed") ~default:0,
+                 Option.value (int_field line "p50_us") ~default:0,
+                 Option.value (int_field line "p99_us") ~default:0 )
+       done
+     with End_of_file -> ());
+    close_in ic;
+    !row
+  end
+
+let check_baseline (r : Load_gen.report) =
+  match read_baseline baseline_path with
+  | None ->
+    Printf.printf "server: no baseline at %s - skipping regression check\n" baseline_path;
+    Printf.printf
+      "        (generate one: dune exec bench/main.exe -- server --smoke, then commit %s)\n%!"
+      baseline_path;
+    true
+  | Some (b_completed, b_p50, b_p99) ->
+    (* Virtual-time latencies and completion counts are deterministic
+       functions of the seed, so any drift here is a code change. *)
+    let bad_p50 = 10 * r.Load_gen.p50_us > 11 * b_p50 in
+    let bad_p99 = 10 * r.Load_gen.p99_us > 11 * b_p99 in
+    let bad_completed = 10 * r.Load_gen.completed < 9 * b_completed in
+    if bad_p50 || bad_p99 || bad_completed then begin
+      Printf.printf
+        "server: REGRESSION vs baseline: completed %d->%d p50 %d->%d p99 %d->%d\n%!" b_completed
+        r.Load_gen.completed b_p50 r.Load_gen.p50_us b_p99 r.Load_gen.p99_us;
+      false
+    end
+    else begin
+      Printf.printf "server: baseline check OK (threshold 10%%)\n%!";
+      true
+    end
+
+(* ------------------------------------------------------------------ *)
+
+let run ~smoke =
+  Printf.printf "server: reconciliation daemon - incremental maintenance + trace-driven load%s\n%!"
+    (if smoke then " (smoke)" else "");
+  let maint_row, speedup = maintenance_row () in
+  let load_fields, (report, metrics_ok) = load_row ~smoke in
+  Perf.write_json ~command:"dune exec bench/main.exe -- server" ~path:"BENCH_server.json"
+    ~suite:"server" ~smoke [ maint_row; load_fields ];
+  if speedup < 10.0 then begin
+    Printf.printf "server: FAIL - snapshot not >= 10x cheaper than ladder rebuild (%.1fx)\n%!"
+      speedup;
+    exit 2
+  end;
+  if report.Load_gen.failed > 0 then begin
+    Printf.printf "server: FAIL - %d sessions failed inside the generator deadline\n%!"
+      report.Load_gen.failed;
+    exit 2
+  end;
+  if not metrics_ok then begin
+    Printf.printf "server: FAIL - metrics registry lost updates vs ground truth\n%!";
+    exit 2
+  end;
+  Printf.printf "server: all gates passed (speedup %.0fx, 0 failed sessions, metrics exact)\n%!"
+    speedup;
+  if smoke && not (check_baseline report) then exit 2

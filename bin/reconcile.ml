@@ -766,6 +766,67 @@ let estimate_cmd =
   Cmd.v (Cmd.info "estimate" ~doc:"Set-difference estimators (paper Theorem 3.1 / Appendix A)")
     (with_obs Term.(const run_estimate $ seed_term $ n $ d))
 
+(* ---- server ---- *)
+
+let run_server seed clients shards shard_size delta batches drop smoke =
+  let module Load_gen = Ssr_server.Load_gen in
+  let base = if smoke then Load_gen.smoke_cfg ~seed else Load_gen.default_cfg ~seed in
+  let cfg =
+    {
+      base with
+      Load_gen.clients = Option.value clients ~default:base.Load_gen.clients;
+      shards = Option.value shards ~default:base.Load_gen.shards;
+      shard_size = Option.value shard_size ~default:base.Load_gen.shard_size;
+      client_delta = Option.value delta ~default:base.Load_gen.client_delta;
+      mutation_batches = Option.value batches ~default:base.Load_gen.mutation_batches;
+      drop = Option.value drop ~default:base.Load_gen.drop;
+    }
+  in
+  Printf.printf "server: %d clients over %d shards x %d elems (delta %d, drop %g)\n%!"
+    cfg.Load_gen.clients cfg.Load_gen.shards cfg.Load_gen.shard_size cfg.Load_gen.client_delta
+    cfg.Load_gen.drop;
+  start_wall ();
+  let r = Load_gen.run cfg in
+  let ok = r.Load_gen.failed = 0 in
+  Printf.printf
+    "server: %s  %d/%d sessions ok, %d rejected tries, %d escalations, %d mutations\n"
+    (if ok then "RECOVERED" else "FAILED")
+    r.Load_gen.completed r.Load_gen.clients r.Load_gen.rejected_tries r.Load_gen.escalations
+    r.Load_gen.mutations_applied;
+  Printf.printf
+    "server: %.0f sessions/s (virtual)  p50=%d us  p99=%d us  elapsed=%d ms (virtual)  \
+     wall=%.2f ms\n"
+    r.Load_gen.sessions_per_sec r.Load_gen.p50_us r.Load_gen.p99_us
+    (r.Load_gen.elapsed_us / 1000) (wall_ms ());
+  Printf.printf "server: transcript digest %s\n" r.Load_gen.transcript_digest;
+  if ok then 0 else 1
+
+let server_cmd =
+  let clients = Arg.(value & opt (some int) None & info [ "clients" ] ~doc:"Simulated clients.") in
+  let shards = Arg.(value & opt (some int) None & info [ "shards" ] ~doc:"Server shards.") in
+  let shard_size =
+    Arg.(value & opt (some int) None & info [ "shard-size" ] ~doc:"Initial elements per shard.")
+  in
+  let delta =
+    Arg.(value & opt (some int) None
+         & info [ "delta" ] ~doc:"Per-client divergence (half added, half removed).")
+  in
+  let batches =
+    Arg.(value & opt (some int) None & info [ "batches" ] ~doc:"Concurrent mutation batches.")
+  in
+  let drop =
+    Arg.(value & opt (some float) None & info [ "drop" ] ~doc:"Per-packet drop probability.")
+  in
+  let smoke =
+    Arg.(value & flag & info [ "smoke" ] ~doc:"Scaled-down defaults (hundreds of clients).")
+  in
+  Cmd.v
+    (Cmd.info "server"
+       ~doc:"Long-lived reconciliation daemon under trace-driven load (extension)")
+    (with_obs
+       Term.(const run_server $ seed_term $ clients $ shards $ shard_size $ delta $ batches
+             $ drop $ smoke))
+
 let () =
   let info = Cmd.info "reconcile" ~doc:"Protocols from 'Reconciling Graphs and Sets of Sets'" in
   exit
@@ -773,5 +834,5 @@ let () =
        (Cmd.group info
           [
             sets_cmd; sos_cmd; db_cmd; graph_cmd; forest_cmd; estimate_cmd; sos3_cmd; faulty_cmd;
-            multiparty_cmd; twoway_cmd;
+            multiparty_cmd; twoway_cmd; server_cmd;
           ]))

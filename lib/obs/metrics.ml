@@ -1,8 +1,14 @@
-type counter = int ref
+type counter = int Atomic.t
 
-type gauge = int ref
+type gauge = int Atomic.t
 
+(* Distributions update several fields per sample; a per-cell mutex keeps the
+   (n, sum, min, max) tuple internally consistent under concurrent observers.
+   Uncontended OCaml mutexes are a couple of atomic ops — cheap enough for
+   instrumentation, and [observe] sits outside the zero-alloc sketch inner
+   loops (which use counters). *)
 type dist = {
+  lock : Mutex.t;
   mutable n : int;
   mutable sum : int;
   mutable min_v : int;
@@ -13,46 +19,61 @@ type cell = C of counter | G of gauge | D of dist
 
 let registry : (string, cell) Hashtbl.t = Hashtbl.create 64
 
+(* Guards first-touch registration and snapshot/reset iteration. Stdlib
+   [Hashtbl] is not domain-safe: concurrent add + resize can corrupt the
+   bucket array, and iteration during an add can miss or duplicate
+   entries. Updates to already-registered cells never take this lock. *)
+let registry_lock = Mutex.create ()
+
+let with_registry f =
+  Mutex.lock registry_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
+
 let kind_clash name = invalid_arg ("Metrics: " ^ name ^ " already registered with another kind")
 
 let counter name =
-  match Hashtbl.find_opt registry name with
-  | Some (C r) -> r
-  | Some _ -> kind_clash name
-  | None ->
-    let r = ref 0 in
-    Hashtbl.add registry name (C r);
-    r
+  with_registry (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (C r) -> r
+      | Some _ -> kind_clash name
+      | None ->
+        let r = Atomic.make 0 in
+        Hashtbl.add registry name (C r);
+        r)
 
-let incr ?(by = 1) c = c := !c + by
+let incr ?(by = 1) c = ignore (Atomic.fetch_and_add c by)
 
 let gauge name =
-  match Hashtbl.find_opt registry name with
-  | Some (G r) -> r
-  | Some _ -> kind_clash name
-  | None ->
-    let r = ref 0 in
-    Hashtbl.add registry name (G r);
-    r
+  with_registry (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (G r) -> r
+      | Some _ -> kind_clash name
+      | None ->
+        let r = Atomic.make 0 in
+        Hashtbl.add registry name (G r);
+        r)
 
-let set g v = g := v
+let set g v = Atomic.set g v
 
-let fresh_dist () = { n = 0; sum = 0; min_v = max_int; max_v = min_int }
+let fresh_dist () = { lock = Mutex.create (); n = 0; sum = 0; min_v = max_int; max_v = min_int }
 
 let dist name =
-  match Hashtbl.find_opt registry name with
-  | Some (D d) -> d
-  | Some _ -> kind_clash name
-  | None ->
-    let d = fresh_dist () in
-    Hashtbl.add registry name (D d);
-    d
+  with_registry (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (D d) -> d
+      | Some _ -> kind_clash name
+      | None ->
+        let d = fresh_dist () in
+        Hashtbl.add registry name (D d);
+        d)
 
 let observe d v =
+  Mutex.lock d.lock;
   d.n <- d.n + 1;
   d.sum <- d.sum + v;
   if v < d.min_v then d.min_v <- v;
-  if v > d.max_v then d.max_v <- v
+  if v > d.max_v then d.max_v <- v;
+  Mutex.unlock d.lock
 
 type value =
   | Counter of int
@@ -62,16 +83,21 @@ type value =
 type snapshot = (string * value) list
 
 let snapshot () =
-  Hashtbl.fold
-    (fun name cell acc ->
-      let v =
-        match cell with
-        | C r -> Counter !r
-        | G r -> Gauge !r
-        | D d -> Dist { count = d.n; sum = d.sum; min = d.min_v; max = d.max_v }
-      in
-      (name, v) :: acc)
-    registry []
+  with_registry (fun () ->
+      Hashtbl.fold
+        (fun name cell acc ->
+          let v =
+            match cell with
+            | C r -> Counter (Atomic.get r)
+            | G r -> Gauge (Atomic.get r)
+            | D d ->
+              Mutex.lock d.lock;
+              let v = Dist { count = d.n; sum = d.sum; min = d.min_v; max = d.max_v } in
+              Mutex.unlock d.lock;
+              v
+          in
+          (name, v) :: acc)
+        registry [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let diff ~before ~after =
@@ -146,13 +172,16 @@ let pp fmt snap =
     snap
 
 let reset () =
-  Hashtbl.iter
-    (fun _ cell ->
-      match cell with
-      | C r | G r -> r := 0
-      | D d ->
-        d.n <- 0;
-        d.sum <- 0;
-        d.min_v <- max_int;
-        d.max_v <- min_int)
-    registry
+  with_registry (fun () ->
+      Hashtbl.iter
+        (fun _ cell ->
+          match cell with
+          | C r | G r -> Atomic.set r 0
+          | D d ->
+            Mutex.lock d.lock;
+            d.n <- 0;
+            d.sum <- 0;
+            d.min_v <- max_int;
+            d.max_v <- min_int;
+            Mutex.unlock d.lock)
+        registry)

@@ -4,8 +4,16 @@
     The hot path is a single find-or-create at registration time (module
     initialization, typically) and an O(1) unboxed update per event, so
     instrumented inner loops — IBLT cell updates, peeling, framing — pay a
-    couple of memory writes and nothing else. No I/O, no locks, no
-    allocation on update.
+    couple of memory writes and nothing else. No I/O, no allocation on
+    update.
+
+    Every operation is domain-safe: counters and gauges are [Atomic.t]
+    cells (a lost-update-free [fetch_and_add] per {!incr}), distribution
+    samples take a per-cell mutex so the (count, sum, min, max) tuple stays
+    internally consistent, and first-touch registration plus
+    {!snapshot}/{!reset} iteration hold a registry mutex — so workers in an
+    [Ssr_util.Par] pool may register and update cells freely. Updates to
+    already-registered cells never touch the registry lock.
 
     Cells are global state, deliberately: protocols thread a [Comm.t]
     recorder for their own transcript accounting, but cross-cutting
@@ -30,7 +38,8 @@ val counter : string -> counter
     kind. *)
 
 val incr : ?by:int -> counter -> unit
-(** Add [by] (default 1) to the counter. O(1), non-allocating. *)
+(** Add [by] (default 1) to the counter. O(1), non-allocating, atomic —
+    concurrent increments from multiple domains all land. *)
 
 val gauge : string -> gauge
 

@@ -24,27 +24,42 @@ let ring : event option array ref = ref (Array.make !capacity None)
 
 let next = ref 0 (* total events ever written since last clear *)
 
+(* One mutex guards the (ring, next) pair: [emit] is a write-then-increment
+   that must be atomic with respect to concurrent emitters (two domains
+   landing on the same [next] would lose an event) and with respect to
+   [set_capacity] swapping the array out from under a write. *)
+let ring_lock = Mutex.create ()
+
+let with_ring f =
+  Mutex.lock ring_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock ring_lock) f
+
 let emit ~layer ?(fields = []) name =
-  let cap = Array.length !ring in
-  !ring.(!next mod cap) <- Some { t_us = !now (); layer; name; fields };
-  incr next
+  let t_us = !now () in
+  with_ring (fun () ->
+      let cap = Array.length !ring in
+      !ring.(!next mod cap) <- Some { t_us; layer; name; fields };
+      incr next)
 
 let events () =
-  let cap = Array.length !ring in
-  let first = max 0 (!next - cap) in
-  List.filter_map (fun i -> !ring.(i mod cap)) (List.init (!next - first) (fun k -> first + k))
+  with_ring (fun () ->
+      let cap = Array.length !ring in
+      let first = max 0 (!next - cap) in
+      List.filter_map (fun i -> !ring.(i mod cap)) (List.init (!next - first) (fun k -> first + k)))
 
-let dropped () = max 0 (!next - Array.length !ring)
+let dropped () = with_ring (fun () -> max 0 (!next - Array.length !ring))
 
 let clear () =
-  Array.fill !ring 0 (Array.length !ring) None;
-  next := 0
+  with_ring (fun () ->
+      Array.fill !ring 0 (Array.length !ring) None;
+      next := 0)
 
 let set_capacity n =
   if n < 1 then invalid_arg "Trace.set_capacity: capacity must be positive";
-  capacity := n;
-  ring := Array.make n None;
-  next := 0
+  with_ring (fun () ->
+      capacity := n;
+      ring := Array.make n None;
+      next := 0)
 
 let field_to_json = function
   | I i -> string_of_int i

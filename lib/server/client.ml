@@ -1,0 +1,281 @@
+module Iblt = Ssr_sketch.Iblt
+module L0 = Ssr_sketch.L0_estimator
+module Hashing = Ssr_util.Hashing
+module Clock = Ssr_transport.Clock
+
+module Base = struct
+  type t = {
+    server_seed : int64;
+    shard : int;
+    rung_caps : int array;
+    check_bits : int;
+    rungs : Iblt.t array;
+    l0 : L0.t;
+    fn : Hashing.fn;
+    xor : int;
+    n : int;
+  }
+
+  let create ~server_seed ~shard ~rung_caps ~check_bits ~members =
+    let rungs =
+      Array.init (Array.length rung_caps) (fun r ->
+          let t =
+            Iblt.create ~check_bits
+              (Shard.rung_params ~server_seed ~shard ~rung:r ~cap:rung_caps.(r))
+          in
+          Iblt.add_all_ints t members;
+          t)
+    in
+    let l0 = L0.create ~seed:(Shard.l0_seed ~server_seed ~shard) () in
+    L0.update_all l0 L0.S2 members;
+    let fn = Shard.hash_fn ~server_seed ~shard in
+    let xor = Array.fold_left (fun acc x -> acc lxor Hashing.hash_int fn x) 0 members in
+    { server_seed; shard; rung_caps; check_bits; rungs; l0; fn; xor; n = Array.length members }
+
+  let cardinality t = t.n
+end
+
+type outcome =
+  | Pending
+  | Succeeded of { latency_us : int; diff : int; rejects : int; escalations : int }
+  | Failed of string
+
+type state = Idle | Awaiting_sketch | Awaiting_fin | Terminal
+
+type t = {
+  clock : Clock.t;
+  send : Bytes.t -> unit;
+  base : Base.t;
+  session : int;
+  added : int array;
+  removed : int array;
+  l0_bytes : Bytes.t;
+  my_xor : int;
+  my_n : int;
+  req_timeout_us : int;
+  max_retries : int;
+  mutable state : state;
+  mutable rung : int;  (* last rung received; -1 before the first Sketch *)
+  mutable outstanding : Bytes.t option;
+  mutable timer_gen : int;
+  mutable first_send_us : int;
+  mutable rejects : int;
+  mutable escalations : int;
+  mutable retries : int;
+  mutable done_ok : bool;
+  mutable fail_reason : string;
+  mutable outcome : outcome;
+  mutable diff : (int list * int list) option;
+  mutable mut_ack : int option;
+  (* The epoch the server pinned for this session, from the first Sketch. *)
+  mutable epoch_version : int;
+  mutable epoch_xor : int;
+  mutable epoch_n : int;
+}
+
+let xor_fold fn acc xs = List.fold_left (fun a x -> a lxor Hashing.hash_int fn x) acc xs
+
+let create ~clock ~send ~base ~session ~added ~removed ?(req_timeout_us = 500_000)
+    ?(max_retries = 10) () =
+  let l0 = L0.merge base.Base.l0 (L0.create ~seed:(Shard.l0_seed ~server_seed:base.Base.server_seed ~shard:base.Base.shard) ()) in
+  Array.iter (fun x -> L0.update l0 L0.S2 x) added;
+  (* An [S1] tick is the mod-4 inverse of the base's [S2] tick, so a
+     removal cancels exactly once. *)
+  Array.iter (fun x -> L0.update l0 L0.S1 x) removed;
+  let fn = base.Base.fn in
+  let delta_xor acc xs = Array.fold_left (fun a x -> a lxor Hashing.hash_int fn x) acc xs in
+  {
+    clock;
+    send;
+    base;
+    session;
+    added;
+    removed;
+    l0_bytes = L0.to_bytes l0;
+    my_xor = delta_xor (delta_xor base.Base.xor added) removed;
+    my_n = base.Base.n + Array.length added - Array.length removed;
+    req_timeout_us;
+    max_retries;
+    state = Idle;
+    rung = -1;
+    outstanding = None;
+    timer_gen = 0;
+    first_send_us = -1;
+    rejects = 0;
+    escalations = 0;
+    retries = 0;
+    done_ok = false;
+    fail_reason = "";
+    outcome = Pending;
+    diff = None;
+    mut_ack = None;
+    epoch_version = -1;
+    epoch_xor = 0;
+    epoch_n = -1;
+  }
+
+let outcome t = t.outcome
+let recovered_diff t = t.diff
+let last_mut_ack t = t.mut_ack
+
+let invalidate_timer t = t.timer_gen <- t.timer_gen + 1
+
+let fail t reason =
+  invalidate_timer t;
+  t.outstanding <- None;
+  t.state <- Terminal;
+  t.outcome <- Failed reason
+
+(* Retransmit loop: any in-flight protocol message is resent until its
+   reply arrives or the retry budget runs out. Server handling is
+   idempotent, so late copies of a superseded message are harmless. *)
+let rec arm_timer t =
+  invalidate_timer t;
+  let gen = t.timer_gen in
+  ignore
+    (Clock.schedule t.clock
+       ~at_us:(Clock.now_us t.clock + t.req_timeout_us)
+       (fun () ->
+         if t.timer_gen = gen && t.state <> Terminal then
+           match t.outstanding with
+           | None -> ()
+           | Some b ->
+             if t.retries >= t.max_retries then fail t "timeout"
+             else begin
+               t.retries <- t.retries + 1;
+               t.send b;
+               arm_timer t
+             end))
+
+let send_proto t bytes =
+  t.outstanding <- Some bytes;
+  t.send bytes;
+  arm_timer t
+
+let packet t msg = Wire.encode { shard = t.base.Base.shard; session = t.session; msg }
+
+let send_req t =
+  if t.first_send_us < 0 then t.first_send_us <- Clock.now_us t.clock;
+  t.state <- Awaiting_sketch;
+  send_proto t (packet t (Wire.Req { l0 = t.l0_bytes }))
+
+let start t = if t.state = Idle && t.outcome = Pending then send_req t
+
+let mutate t ~add ~key = t.send (packet t (Wire.Mutate { add; key }))
+
+let num_rungs t = Array.length t.base.Base.rung_caps
+
+let send_done t ok =
+  t.done_ok <- ok;
+  if not ok then t.fail_reason <- "ladder exhausted";
+  t.state <- Awaiting_fin;
+  send_proto t (packet t (Wire.Done { ok }))
+
+let escalate t =
+  let next = t.rung + 1 in
+  if next >= num_rungs t then send_done t false
+  else begin
+    t.escalations <- t.escalations + 1;
+    t.state <- Awaiting_sketch;
+    send_proto t (packet t (Wire.Escalate { rung = next }))
+  end
+
+(* Build this client's copy of rung [r]: base table + delta, O(cells +
+   |delta| * k) — never a rebuild from the member set. *)
+let my_rung t r =
+  let table = Iblt.copy t.base.Base.rungs.(r) in
+  Iblt.add_all_ints table t.added;
+  Iblt.delete_all_ints table t.removed;
+  table
+
+let handle_sketch t ~rung ~version ~n ~xor_hash ~cells ~k ~check_bits ~body =
+  if rung <= t.rung || rung >= num_rungs t then () (* duplicate or nonsense: drop *)
+  else if t.rung >= 0 && (version <> t.epoch_version || xor_hash <> t.epoch_xor || n <> t.epoch_n)
+  then fail t "epoch changed mid-session"
+  else begin
+    if t.rung < 0 then begin
+      t.epoch_version <- version;
+      t.epoch_xor <- xor_hash;
+      t.epoch_n <- n
+    end;
+    let prm =
+      Shard.rung_params ~server_seed:t.base.Base.server_seed ~shard:t.base.Base.shard ~rung
+        ~cap:t.base.Base.rung_caps.(rung)
+    in
+    if cells <> prm.cells || k <> prm.k || check_bits <> t.base.Base.check_bits then
+      fail t "sketch params mismatch"
+    else
+      match Iblt.of_body_bytes_opt ~check_bits prm body with
+      | None -> fail t "undecodable sketch body"
+      | Some server_table ->
+        t.rung <- rung;
+        invalidate_timer t;
+        t.outstanding <- None;
+        let delta = Iblt.subtract (my_rung t rung) server_table in
+        (match Iblt.decode_ints delta with
+        | Error `Peel_stuck -> escalate t
+        | Ok (client_only, server_only) ->
+          let fn = t.base.Base.fn in
+          let xor_ok =
+            xor_fold fn (xor_fold fn t.my_xor client_only) server_only = t.epoch_xor
+          in
+          let n_ok = t.my_n - List.length client_only + List.length server_only = t.epoch_n in
+          if xor_ok && n_ok then begin
+            t.diff <- Some (List.sort compare client_only, List.sort compare server_only);
+            send_done t true
+          end
+          else
+            (* The peel produced a consistent-looking but wrong answer
+               (checksum-width collision): a larger rung decides. *)
+            escalate t)
+  end
+
+let on_receive t bytes =
+  match Wire.decode_opt bytes with
+  | None -> ()
+  | Some p ->
+    if p.Wire.shard <> t.base.Base.shard || p.Wire.session <> t.session then ()
+    else begin
+      match (p.Wire.msg, t.state) with
+      | Wire.Mut_ack { version }, _ -> t.mut_ack <- Some version
+      | Wire.Reject { retry_after_us }, Awaiting_sketch ->
+        t.rejects <- t.rejects + 1;
+        invalidate_timer t;
+        t.outstanding <- None;
+        t.state <- Idle;
+        ignore
+          (Clock.schedule t.clock
+             ~at_us:(Clock.now_us t.clock + retry_after_us)
+             (fun () -> if t.state = Idle && t.outcome = Pending then send_req t))
+      | Wire.Sketch { rung; version; n; xor_hash; cells; k; check_bits; body }, Awaiting_sketch
+        ->
+        handle_sketch t ~rung ~version ~n ~xor_hash ~cells ~k ~check_bits ~body
+      | Wire.Fin _, Awaiting_fin ->
+        (* Correctness was decided locally (XOR + cardinality check);
+           Fin only closes the session. A Fin{ok=false} for a
+           retransmitted Done after the server already dropped the
+           session must not turn a verified success into a failure. *)
+        invalidate_timer t;
+        t.outstanding <- None;
+        t.state <- Terminal;
+        if t.done_ok then
+          t.outcome <-
+            Succeeded
+              {
+                latency_us = Clock.now_us t.clock - t.first_send_us;
+                diff =
+                  (match t.diff with
+                  | Some (a, b) -> List.length a + List.length b
+                  | None -> 0);
+                rejects = t.rejects;
+                escalations = t.escalations;
+              }
+        else t.outcome <- Failed (if t.fail_reason = "" then "gave up" else t.fail_reason)
+      | Wire.Fin { ok = false }, Awaiting_sketch -> fail t "server closed session"
+      | (Wire.Req _ | Wire.Escalate _ | Wire.Done _ | Wire.Mutate _), _
+      | Wire.Reject _, _
+      | Wire.Sketch _, _
+      | Wire.Fin _, _ ->
+        (* Stale, duplicated or client-to-server traffic: drop. *)
+        ()
+    end

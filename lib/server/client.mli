@@ -1,0 +1,75 @@
+(** Simulated reconciliation client for the server protocol.
+
+    Thousands of clients must be cheap to set up, so per-shard work is
+    shared: a {!Base.t} holds the client-side rung ladder, L0 estimator
+    and XOR hash of a reference member set, built once per shard. Each
+    client is the base plus a small delta ([added] keys disjoint from
+    the base, [removed] keys drawn from it): its rung tables are an
+    [Iblt.copy] of the base rung plus O(|delta| * k) updates, its L0 a
+    merge-copy with the delta applied (removals cancel the base's [S2]
+    count with an [S1] update), its hash two XOR folds.
+
+    The session state machine is driven entirely by virtual-clock events
+    and {!on_receive}: send [Req] (with retransmission timers for lossy
+    links), honour [Reject] by retrying after the server's
+    [retry_after_us], decode each [Sketch] against the pinned epoch the
+    server advertises, escalate up the ladder on a failed peel, verify
+    the decoded difference against the XOR hashes, and close with
+    [Done]/[Fin]. All messages are idempotent on both sides, so
+    duplicated or retransmitted packets are harmless. *)
+
+module Base : sig
+  type t
+
+  val create :
+    server_seed:int64 ->
+    shard:int ->
+    rung_caps:int array ->
+    check_bits:int ->
+    members:int array ->
+    t
+  (** Build the shared client-side structures for a shard whose
+      reference set is [members] (distinct, non-negative). *)
+
+  val cardinality : t -> int
+end
+
+type outcome =
+  | Pending
+  | Succeeded of { latency_us : int; diff : int; rejects : int; escalations : int }
+  | Failed of string
+
+type t
+
+val create :
+  clock:Ssr_transport.Clock.t ->
+  send:(Bytes.t -> unit) ->
+  base:Base.t ->
+  session:int ->
+  added:int array ->
+  removed:int array ->
+  ?req_timeout_us:int ->
+  ?max_retries:int ->
+  unit ->
+  t
+(** A client whose set is [base + added - removed]. [send] puts bytes on
+    the client->server wire. [added] must be disjoint from the base and
+    [removed] a subset of it. *)
+
+val start : t -> unit
+(** Send the opening [Req] at the current virtual time. *)
+
+val on_receive : t -> Bytes.t -> unit
+(** Feed server->client bytes (hostile input tolerated: unparseable or
+    out-of-protocol packets are dropped). *)
+
+val outcome : t -> outcome
+
+val recovered_diff : t -> (int list * int list) option
+(** After success: (client-only, server-only) keys, each sorted. *)
+
+val mutate : t -> add:bool -> key:int -> unit
+(** Fire-and-forget write-path message ([Mutate]) on this connection. *)
+
+val last_mut_ack : t -> int option
+(** Version from the most recent [Mut_ack], if any. *)

@@ -1,0 +1,80 @@
+(** The long-lived reconciliation daemon.
+
+    A server owns an array of {!Shard.t} and a per-shard session table,
+    and processes wire packets in {e pump rounds}: bytes arriving from
+    any connection (via {!receive}, typically wired to a simulated
+    {!Ssr_transport.Network}'s deliver handler) are enqueued, and a pump
+    event scheduled at the same virtual instant drains the queue, groups
+    the packets by shard — the shard id is in every packet header, so
+    grouping is a pure function of the bytes — and hands each shard's
+    packets to an [Ssr_util.Par] worker. A worker touches only its own
+    shard and that shard's sessions, replies are collected into
+    per-shard slots and sent after the join in (shard, arrival) order,
+    so every session observes a byte-identical transcript at any domain
+    pool size.
+
+    Sessions are pinned to an epoch {!Shard.snapshot} taken when their
+    [Req] is admitted: later mutations never change what a running
+    session is told. Admission is bounded per shard (session-table size
+    and per-round admissions); an over-limit [Req] is answered with a
+    deterministic [Reject] carrying [retry_after_us]. Every reply is
+    cached per session, so a retransmitted request is answered
+    idempotently. Idle sessions are swept by a periodic virtual-time
+    event. *)
+
+type config = {
+  seed : int64;
+  shards : int;
+  rung_caps : int array;
+  check_bits : int;
+  max_sessions_per_shard : int;  (** Session-table bound per shard. *)
+  admissions_per_round : int;  (** New sessions admitted per shard per pump round. *)
+  retry_after_us : int;  (** Returned in [Reject]. *)
+  session_idle_timeout_us : int;  (** Idle sessions are dropped after this. *)
+  refresh_every : int;  (** Estimator epoch length, in mutations per shard. *)
+  tainted_max : int;  (** Absorbed removals forcing an early estimator refresh. *)
+}
+
+val default_config : seed:int64 -> ?shards:int -> unit -> config
+
+type t
+type conn
+
+val create : clock:Ssr_transport.Clock.t -> config -> t
+val config : t -> config
+
+val connect : t -> reply:(Bytes.t -> unit) -> conn
+(** Register a client connection; [reply] carries server->client bytes
+    (e.g. [Network.send net B_to_a]). *)
+
+val conn_id : conn -> int
+
+val receive : t -> conn -> Bytes.t -> unit
+(** Hand the server raw (untrusted) bytes from this connection. Parsing
+    and processing happen in the next pump round at the current virtual
+    time; malformed packets are counted and dropped. *)
+
+val apply : t -> shard:int -> Shard.mutation -> bool
+(** Direct ingest of one mutation (the write path the load generator
+    drives); O(k) sketch work. Raises [Invalid_argument] on a bad shard
+    id. *)
+
+val apply_batch : t -> (int * Shard.mutation) array -> int
+(** Apply a batch, grouped by shard and fanned out across the domain
+    pool; per-shard application order preserves batch order. Returns the
+    number of effective (non-no-op) mutations. *)
+
+val shard : t -> int -> Shard.t
+
+val active_sessions : t -> int
+
+type stats = {
+  opened : int;
+  completed : int;
+  rejected : int;
+  expired : int;
+  failed : int;
+  escalations : int;
+}
+
+val stats : t -> stats

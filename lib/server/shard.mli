@@ -1,0 +1,106 @@
+(** Persistent per-shard state with incrementally maintained sketches.
+
+    A shard owns a member set and a sketch bundle kept in lock-step with
+    it: a ladder of IBLTs at doubling difference capacities (XOR-linear,
+    so {!apply} is O(k) per rung via the packed-store [insert_int] /
+    [delete_int] hot path), an L0 difference estimator, a strata
+    estimator, and a whole-set XOR hash for O(1) incremental
+    verification. A reconcile session never rebuilds anything: it pins a
+    {!snapshot} — a deep copy of the O(d)-cell ladder, not of the set —
+    and the shard keeps mutating underneath it.
+
+    The estimators' saturating counters cannot express deletion, so they
+    are refreshed epoch-style: a removal marks its key {e tainted}
+    (still counted, no longer a member) and the bundle rebuilds both
+    estimators from the member set once the tainted count or the
+    mutation count since the last refresh crosses its threshold. Between
+    refreshes {!estimate_diff} adds the tainted count as slack, so the
+    estimate stays an upper bound on the error it could have absorbed.
+
+    All seed derivations live here so a client can build byte-compatible
+    sketches for any (server seed, shard, rung) without a [t]. *)
+
+type mutation = Add of int | Remove of int
+
+type t
+
+val default_rung_caps : int array
+(** Difference capacities of the ladder rungs: [16; 64; 256; 1024]. *)
+
+val create :
+  server_seed:int64 ->
+  id:int ->
+  ?rung_caps:int array ->
+  ?check_bits:int ->
+  ?refresh_every:int ->
+  ?tainted_max:int ->
+  unit ->
+  t
+(** An empty shard. [refresh_every] (default 4096) and [tainted_max]
+    (default 64) bound the epoch length in mutations and in absorbed
+    removals respectively. *)
+
+val id : t -> int
+val version : t -> int
+(** Total mutations applied (the epoch coordinate sessions pin). *)
+
+val cardinality : t -> int
+val xor_hash : t -> int
+(** XOR of the keyed 62-bit hashes of every member: updates in O(1) per
+    mutation and composes over symmetric differences. *)
+
+val mem : t -> int -> bool
+val members : t -> int array
+
+val apply : t -> mutation -> bool
+(** Apply one mutation in O(k) sketch work per rung. Set semantics:
+    adding a present key or removing an absent one is a no-op returning
+    [false] (and does not advance {!version}). *)
+
+val num_rungs : t -> int
+val rung_caps : t -> int array
+val refreshes : t -> int
+(** Epoch refreshes performed so far (test hook). *)
+
+val tainted_count : t -> int
+val strata : t -> Ssr_sketch.Strata_estimator.t
+(** The epoch-refreshed strata estimator (consumed by strata-based
+    estimation paths; tainted keys are still counted until the next
+    refresh). *)
+
+(** {1 Seed derivation shared with clients} *)
+
+val rung_seed : server_seed:int64 -> shard:int -> rung:int -> int64
+val rung_params : server_seed:int64 -> shard:int -> rung:int -> cap:int -> Ssr_sketch.Iblt.params
+val hash_fn : server_seed:int64 -> shard:int -> Ssr_util.Hashing.fn
+val l0_seed : server_seed:int64 -> shard:int -> int64
+val strata_seed : server_seed:int64 -> shard:int -> int64
+
+(** {1 Estimation} *)
+
+val l0_of_client_bytes_opt : t -> Bytes.t -> Ssr_sketch.L0_estimator.t option
+(** Total parse of a client's serialized L0 (built with this shard's
+    {!l0_seed} and the default shape, members updated on side [S2]). *)
+
+val estimate_diff : t -> client_l0:Ssr_sketch.L0_estimator.t -> int
+(** Estimated |server Δ client| from the merged L0 pair, plus the
+    tainted-count slack. *)
+
+(** {1 Epoch snapshots} *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+(** Pin the current epoch: deep-copies every ladder rung (O(total
+    cells), independent of cardinality) plus the version, cardinality
+    and XOR hash. The shard may keep mutating; the snapshot does not
+    change. *)
+
+val snap_version : snapshot -> int
+val snap_cardinality : snapshot -> int
+val snap_xor_hash : snapshot -> int
+val snap_rung : snapshot -> int -> Ssr_sketch.Iblt.t
+(** The pinned copy of rung [i]; raises [Invalid_argument] outside
+    [0 .. num_rungs - 1]. *)
+
+val snap_num_rungs : snapshot -> int

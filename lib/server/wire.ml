@@ -1,0 +1,182 @@
+module Buf = Ssr_util.Buf
+
+type msg =
+  | Req of { l0 : Bytes.t }
+  | Reject of { retry_after_us : int }
+  | Sketch of {
+      rung : int;
+      version : int;
+      n : int;
+      xor_hash : int;
+      cells : int;
+      k : int;
+      check_bits : int;
+      body : Bytes.t;
+    }
+  | Escalate of { rung : int }
+  | Done of { ok : bool }
+  | Fin of { ok : bool }
+  | Mutate of { add : bool; key : int }
+  | Mut_ack of { version : int }
+
+type packet = { shard : int; session : int; msg : msg }
+
+(* Default L0 shape is 24 levels x 3 reps x 80 buckets of 2-bit counters
+   plus framing; 8 KiB leaves generous headroom for custom shapes while
+   still bounding what a hostile Req can make the server parse. *)
+let max_l0_bytes = 8192
+
+let header_len = 7
+
+let tag_of_msg = function
+  | Req _ -> 1
+  | Reject _ -> 2
+  | Sketch _ -> 3
+  | Escalate _ -> 4
+  | Done _ -> 5
+  | Fin _ -> 6
+  | Mutate _ -> 7
+  | Mut_ack _ -> 8
+
+let check_u ~what v bits =
+  if v < 0 || (bits < 62 && v lsr bits <> 0) then
+    invalid_arg (Printf.sprintf "Wire.encode: %s out of range" what)
+
+let set_u32 b off v = Bytes.set_int32_le b off (Int32.of_int v)
+
+let encode { shard; session; msg } =
+  check_u ~what:"shard" shard 16;
+  check_u ~what:"session" session 32;
+  let body_len =
+    match msg with
+    | Req { l0 } ->
+      if Bytes.length l0 > max_l0_bytes then invalid_arg "Wire.encode: oversized l0";
+      2 + Bytes.length l0
+    | Reject _ -> 4
+    | Sketch { body; _ } -> 1 + 8 + 4 + 8 + 4 + 1 + 1 + 4 + Bytes.length body
+    | Escalate _ | Done _ | Fin _ -> 1
+    | Mutate _ -> 9
+    | Mut_ack _ -> 8
+  in
+  let b = Bytes.create (header_len + body_len) in
+  Bytes.set_uint8 b 0 (tag_of_msg msg);
+  Bytes.set_uint16_le b 1 shard;
+  set_u32 b 3 session;
+  (match msg with
+  | Req { l0 } ->
+    Bytes.set_uint16_le b 7 (Bytes.length l0);
+    Bytes.blit l0 0 b 9 (Bytes.length l0)
+  | Reject { retry_after_us } ->
+    check_u ~what:"retry_after_us" retry_after_us 32;
+    set_u32 b 7 retry_after_us
+  | Sketch { rung; version; n; xor_hash; cells; k; check_bits; body } ->
+    check_u ~what:"rung" rung 8;
+    check_u ~what:"version" version 62;
+    check_u ~what:"n" n 32;
+    check_u ~what:"xor_hash" xor_hash 62;
+    check_u ~what:"cells" cells 32;
+    check_u ~what:"k" k 8;
+    if not (List.mem check_bits [ 8; 16; 32; 62 ]) then
+      invalid_arg "Wire.encode: bad check_bits";
+    Bytes.set_uint8 b 7 rung;
+    Buf.set_int_le b 8 version;
+    set_u32 b 16 n;
+    Buf.set_int_le b 20 xor_hash;
+    set_u32 b 28 cells;
+    Bytes.set_uint8 b 32 k;
+    Bytes.set_uint8 b 33 check_bits;
+    set_u32 b 34 (Bytes.length body);
+    Bytes.blit body 0 b 38 (Bytes.length body)
+  | Escalate { rung } ->
+    check_u ~what:"rung" rung 8;
+    Bytes.set_uint8 b 7 rung
+  | Done { ok } -> Bytes.set_uint8 b 7 (if ok then 1 else 0)
+  | Fin { ok } -> Bytes.set_uint8 b 7 (if ok then 1 else 0)
+  | Mutate { add; key } ->
+    check_u ~what:"key" key 62;
+    Bytes.set_uint8 b 7 (if add then 1 else 0);
+    Buf.set_int_le b 8 key
+  | Mut_ack { version } ->
+    check_u ~what:"version" version 62;
+    Buf.set_int_le b 7 version);
+  b
+
+(* ---- Total decoding. Lengths first, then values, then ranges. ---- *)
+
+let get_u32 b off = Int32.to_int (Bytes.get_int32_le b off) land 0xFFFFFFFF
+
+let ( let* ) o f = match o with None -> None | Some v -> f v
+
+let bool_of_u8 = function 0 -> Some false | 1 -> Some true | _ -> None
+
+let nonneg v = if v >= 0 then Some v else None
+
+let decode_opt b =
+  let len = Bytes.length b in
+  if len < header_len then None
+  else begin
+    let tag = Bytes.get_uint8 b 0 in
+    let shard = Bytes.get_uint16_le b 1 in
+    let session = get_u32 b 3 in
+    let* msg =
+      match tag with
+      | 1 ->
+        if len < header_len + 2 then None
+        else begin
+          let l0_len = Bytes.get_uint16_le b 7 in
+          if l0_len > max_l0_bytes || len <> 9 + l0_len then None
+          else Some (Req { l0 = Bytes.sub b 9 l0_len })
+        end
+      | 2 -> if len <> 11 then None else Some (Reject { retry_after_us = get_u32 b 7 })
+      | 3 ->
+        if len < 38 then None
+        else begin
+          let rung = Bytes.get_uint8 b 7 in
+          let* version = Buf.get_int_le_opt b 8 in
+          let* version = nonneg version in
+          let n = get_u32 b 16 in
+          let* xor_hash = Buf.get_int_le_opt b 20 in
+          let* xor_hash = nonneg xor_hash in
+          let cells = get_u32 b 28 in
+          let k = Bytes.get_uint8 b 32 in
+          let check_bits = Bytes.get_uint8 b 33 in
+          let body_len = get_u32 b 34 in
+          if
+            len <> 38 + body_len
+            || k < 1
+            || cells < k
+            || not (List.mem check_bits [ 8; 16; 32; 62 ])
+          then None
+          else
+            Some
+              (Sketch
+                 { rung; version; n; xor_hash; cells; k; check_bits; body = Bytes.sub b 38 body_len })
+        end
+      | 4 -> if len <> 8 then None else Some (Escalate { rung = Bytes.get_uint8 b 7 })
+      | 5 ->
+        if len <> 8 then None
+        else
+          let* ok = bool_of_u8 (Bytes.get_uint8 b 7) in
+          Some (Done { ok })
+      | 6 ->
+        if len <> 8 then None
+        else
+          let* ok = bool_of_u8 (Bytes.get_uint8 b 7) in
+          Some (Fin { ok })
+      | 7 ->
+        if len <> 16 then None
+        else
+          let* add = bool_of_u8 (Bytes.get_uint8 b 7) in
+          let* key = Buf.get_int_le_opt b 8 in
+          let* key = nonneg key in
+          Some (Mutate { add; key })
+      | 8 ->
+        if len <> 15 then None
+        else
+          let* version = Buf.get_int_le_opt b 7 in
+          let* version = nonneg version in
+          Some (Mut_ack { version })
+      | _ -> None
+    in
+    Some { shard; session; msg }
+  end

@@ -1,0 +1,53 @@
+(** Session-protocol wire messages between a reconciliation client and
+    the server.
+
+    Every packet carries its shard and session id in a fixed header, so
+    the server can group a batch of raw packets by shard before any
+    per-shard work starts — the grouping is a pure function of the
+    bytes. All integers are little-endian; keys, versions and hashes
+    travel as 8-byte fields holding non-negative 62/63-bit values.
+
+    {!decode_opt} is total on arbitrary bytes: every length is validated
+    against the exact packet size before any field is read, claimed body
+    lengths must match the bytes actually present, and enumerated fields
+    (message tag, checksum width, flags) must hold known values — no
+    exception escapes, hostile input yields [None]. *)
+
+type msg =
+  | Req of { l0 : Bytes.t }
+      (** Open a session: the client's serialized L0 estimator (members
+          on side [S2], built with the shard's [l0_seed]). *)
+  | Reject of { retry_after_us : int }
+      (** Backpressure: the shard is at capacity; retry the [Req] after
+          this much virtual time. *)
+  | Sketch of {
+      rung : int;
+      version : int;
+      n : int;
+      xor_hash : int;
+      cells : int;
+      k : int;
+      check_bits : int;
+      body : Bytes.t;
+    }
+      (** One ladder rung from the session's pinned epoch snapshot,
+          with the snapshot's coordinates for verification. *)
+  | Escalate of { rung : int }
+      (** Client could not decode the previous rung: send this one. *)
+  | Done of { ok : bool }  (** Client finished (or gave up); close the session. *)
+  | Fin of { ok : bool }  (** Server confirms the session is closed. *)
+  | Mutate of { add : bool; key : int }  (** Write-path ingest of one mutation. *)
+  | Mut_ack of { version : int }  (** Mutation applied (or was a no-op) at this version. *)
+
+type packet = { shard : int; session : int; msg : msg }
+
+val encode : packet -> Bytes.t
+(** Raises [Invalid_argument] when a field is out of range for its wire
+    width (shard beyond 16 bits, session beyond 32, negative key, ...). *)
+
+val decode_opt : Bytes.t -> packet option
+(** Total parse of untrusted bytes; [None] on any malformation. *)
+
+val max_l0_bytes : int
+(** Upper bound accepted for the [Req] L0 payload (matches the default
+    L0 shape with headroom). *)

@@ -371,6 +371,133 @@ let test_rateless_wire_fuzz () =
     ignore (Rateless_recon.ack_of_bytes_opt (random_bytes rng (Prng.int_below rng 12)))
   done
 
+(* The server wire format: every path through [decode_opt] must be total
+   — truncations, corruptions and pure noise return [None] or a
+   range-consistent parse, never an exception. *)
+let test_server_wire_fuzz () =
+  let module Wire = Ssr_server.Wire in
+  let rng = Prng.create ~seed:(Prng.derive ~seed ~tag:0xE7) in
+  let goods =
+    List.map Wire.encode
+      [
+        { Wire.shard = 3; session = 9; msg = Wire.Req { l0 = random_bytes rng 600 } };
+        { Wire.shard = 0; session = 1; msg = Wire.Reject { retry_after_us = 10_000 } };
+        {
+          Wire.shard = 2;
+          session = 5;
+          msg =
+            Wire.Sketch
+              {
+                rung = 1;
+                version = 4242;
+                n = 17;
+                xor_hash = 0xBEEF;
+                cells = 64;
+                k = 4;
+                check_bits = 32;
+                body = random_bytes rng 48;
+              };
+        };
+        { Wire.shard = 2; session = 5; msg = Wire.Escalate { rung = 2 } };
+        { Wire.shard = 2; session = 5; msg = Wire.Done { ok = true } };
+        { Wire.shard = 2; session = 5; msg = Wire.Fin { ok = false } };
+        { Wire.shard = 7; session = 8; msg = Wire.Mutate { add = false; key = 123_456 } };
+        { Wire.shard = 7; session = 8; msg = Wire.Mut_ack { version = 77 } };
+      ]
+  in
+  let check_total b =
+    match Wire.decode_opt b with
+    | None -> ()
+    | Some { Wire.shard; session; msg } ->
+      if shard < 0 || shard > 0xFFFF || session < 0 then
+        Alcotest.fail "accepted packet out of header range";
+      (match msg with
+      | Wire.Req { l0 } ->
+        if Bytes.length l0 > 8192 then Alcotest.fail "oversized l0 accepted"
+      | Wire.Sketch { cells; k; check_bits; version; n; xor_hash; _ } ->
+        if
+          k < 1 || cells < k || version < 0 || n < 0 || xor_hash < 0
+          || not (List.mem check_bits [ 8; 16; 32; 62 ])
+        then Alcotest.fail "accepted sketch out of range"
+      | Wire.Mutate { key; _ } -> if key < 0 then Alcotest.fail "negative key accepted"
+      | Wire.Mut_ack { version } ->
+        if version < 0 then Alcotest.fail "negative version accepted"
+      | Wire.Reject _ | Wire.Escalate _ | Wire.Done _ | Wire.Fin _ -> ())
+  in
+  List.iter
+    (fun good ->
+      (* The canonical encoding parses; every strict truncation is rejected
+         (each message's length is pinned exactly). *)
+      (match Wire.decode_opt good with
+      | Some p -> Alcotest.(check bytes) "re-encode identical" good (Wire.encode p)
+      | None -> Alcotest.fail "canonical encoding rejected");
+      for n = 0 to Bytes.length good - 1 do
+        if Wire.decode_opt (Bytes.sub good 0 n) <> None then
+          Alcotest.failf "truncation to %d bytes accepted" n
+      done;
+      Alcotest.(check bool) "trailing byte rejected" true
+        (Wire.decode_opt (Bytes.cat good (Bytes.make 1 'x')) = None);
+      (* Single-byte corruptions: total, and anything accepted stays in
+         range. *)
+      for _ = 1 to 100 do
+        let b = Bytes.copy good in
+        let i = Prng.int_below rng (Bytes.length b) in
+        Bytes.set b i (Char.chr (Prng.int_below rng 256));
+        check_total b
+      done)
+    goods;
+  (* Pure noise at assorted sizes, plus every length around the fixed-size
+     messages' boundaries. *)
+  for _ = 1 to 500 do
+    check_total (random_bytes rng (Prng.int_below rng 64))
+  done;
+  for n = 0 to 40 do
+    check_total (Bytes.make n '\xFF')
+  done
+
+(* ---------- Domain-safety of the metrics registry and trace ring ---------- *)
+
+(* Four domains hammer one counter, one gauge, one distribution and the
+   trace ring concurrently. Atomic counters and the mutexes must lose no
+   update: the diff over the window equals the ground-truth totals. *)
+let test_metrics_domain_safety () =
+  let n_domains = 4 and per_domain = 25_000 in
+  let c = Metrics.counter "test.obs.par.counter" in
+  let g = Metrics.gauge "test.obs.par.gauge" in
+  let h = Metrics.dist "test.obs.par.dist" in
+  Trace.set_capacity 64;
+  let (), d =
+    delta (fun () ->
+        let workers =
+          Array.init n_domains (fun w ->
+              Domain.spawn (fun () ->
+                  for i = 1 to per_domain do
+                    Metrics.incr c;
+                    if i land 1023 = 0 then begin
+                      Metrics.set g ((w * per_domain) + i);
+                      Metrics.observe h 2;
+                      Trace.emit ~layer:"test" ~fields:[ ("w", Trace.I w) ] "par";
+                      (* Concurrent registration of an existing name must
+                         return the same cell, not clash or duplicate. *)
+                      ignore (Metrics.counter "test.obs.par.counter")
+                    end
+                  done))
+        in
+        Array.iter Domain.join workers)
+  in
+  Alcotest.(check int) "no lost counter updates" (n_domains * per_domain)
+    (Metrics.counter_value d "test.obs.par.counter");
+  let expected_obs = n_domains * (per_domain / 1024) in
+  (match Metrics.find d "test.obs.par.dist" with
+  | Some (Metrics.Dist dd) ->
+    Alcotest.(check int) "no lost dist observations" expected_obs dd.count;
+    Alcotest.(check int) "dist sum consistent" (2 * expected_obs) dd.sum
+  | _ -> Alcotest.fail "dist missing from diff");
+  (* The trace ring accounts for every emit: buffered + overwritten. *)
+  Alcotest.(check int) "no lost trace emits" expected_obs
+    (List.length (Trace.events ()) + Trace.dropped ());
+  Trace.set_capacity 4096
+
 (* ---------- Metrics vs. network transcript (cross-layer accounting) ---------- *)
 
 (* Over a clean network every wire write is delivered exactly once, so three
@@ -483,7 +610,10 @@ let () =
           Alcotest.test_case "direct payload parsers fuzz" `Quick
             test_direct_payload_parsers_fuzz;
           Alcotest.test_case "rateless wire fuzz" `Quick test_rateless_wire_fuzz;
+          Alcotest.test_case "server wire fuzz" `Quick test_server_wire_fuzz;
         ] );
+      ( "domain-safety",
+        [ Alcotest.test_case "metrics + trace under 4 domains" `Quick test_metrics_domain_safety ] );
       ( "accounting",
         [
           Alcotest.test_case "metrics match network transcript" `Quick

@@ -858,6 +858,56 @@ let test_batch_matches_serial () =
         [ 5; 33; 600 ])
     [ (128, 4, 8, 62); (1024, 3, 12, 62); (512, 4, 8, 16); (300, 5, 20, 32) ]
 
+(* A [delete_int] of a never-inserted key followed by the matching
+   [insert_int] must restore a byte-identical buffer at every checksum
+   width on both cell paths — the server's incremental maintenance relies
+   on exact cancellation when a removal lands before the insert it
+   reverses. Count is a two's-complement i32 add and key/checksum are XOR,
+   so any sign asymmetry (extension on the -1 count, checksum truncation
+   differing between paths) shows up as a byte diff here. *)
+let test_delete_then_insert_restores_bytes () =
+  let was_safe = Iblt.safe_cell_path () in
+  Fun.protect
+    ~finally:(fun () -> Iblt.set_safe_cell_path was_safe)
+    (fun () ->
+      List.iter
+        (fun safe ->
+          Iblt.set_safe_cell_path safe;
+          List.iter
+            (fun check_bits ->
+              List.iter
+                (fun key_len ->
+                  let prm : Iblt.params =
+                    {
+                      cells = 64;
+                      k = 4;
+                      key_len;
+                      seed = Prng.derive ~seed ~tag:(0xD1F0 + check_bits + key_len);
+                    }
+                  in
+                  let t = Iblt.create ~check_bits prm in
+                  List.iter (Iblt.insert_int t) [ 3; 1_000_003; max_int ];
+                  let before = Iblt.body_bytes t in
+                  let rng = Prng.create ~seed:(Prng.derive ~seed ~tag:0xD1F1) in
+                  for _ = 1 to 64 do
+                    let x = Prng.int_below rng max_int in
+                    Iblt.delete_int t x;
+                    Iblt.insert_int t x
+                  done;
+                  for i = 1 to 16 do
+                    let key = Bytes.make key_len '\000' in
+                    Buf.set_int_le key 0 ((i * 0x9E3779B1) land max_int);
+                    Iblt.delete t key;
+                    Iblt.insert t key
+                  done;
+                  Alcotest.(check bool)
+                    (Printf.sprintf "safe=%b check_bits=%d key_len=%d" safe check_bits key_len)
+                    true
+                    (Bytes.equal before (Iblt.body_bytes t)))
+                [ 8; 12 ])
+            [ 8; 16; 32; 62 ])
+        [ true; false ])
+
 (* A copy must share no mutable state with the original: mutating either
    side afterwards cannot leak into the other. *)
 let test_copy_does_not_alias () =
@@ -1097,6 +1147,8 @@ let () =
           Alcotest.test_case "checksum widths" `Quick test_checksum_widths;
           Alcotest.test_case "safe = unsafe cell path" `Quick test_safe_unsafe_identical;
           Alcotest.test_case "batch = serial" `Quick test_batch_matches_serial;
+          Alcotest.test_case "delete-then-insert restores bytes" `Quick
+            test_delete_then_insert_restores_bytes;
           Alcotest.test_case "copy does not alias" `Quick test_copy_does_not_alias;
           Alcotest.test_case "insert_int allocates nothing" `Quick test_insert_int_zero_alloc;
           Alcotest.test_case "residual narrow width" `Quick test_residual_narrow_width_roundtrip;
