@@ -1158,6 +1158,7 @@ let sections =
     ("robust", fun () -> Robust.run ~smoke:(List.mem "--smoke" (Array.to_list Sys.argv)));
     ("rateless", fun () -> Rateless_bench.run ~smoke:(List.mem "--smoke" (Array.to_list Sys.argv)));
     ("server", fun () -> Server_bench.run ~smoke:(List.mem "--smoke" (Array.to_list Sys.argv)));
+    ("million", fun () -> Million.run ~smoke:(List.mem "--smoke" (Array.to_list Sys.argv)));
   ]
 
 let () =
@@ -1186,7 +1187,7 @@ let () =
       if chosen = [] then
         List.filter (fun (name, _) ->
             name <> "perf" && name <> "transport" && name <> "obs" && name <> "robust"
-            && name <> "rateless" && name <> "server")
+            && name <> "rateless" && name <> "server" && name <> "million")
           sections
       else List.filter (fun (name, _) -> List.mem name chosen) sections
     in

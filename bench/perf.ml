@@ -248,16 +248,40 @@ let sketch_suite ~smoke ~trials =
   let h = child_size + edits in
   List.iter
     (fun kind ->
-      let ns =
-        measure ~trials ~batch_ns:5e7 (fun () ->
-            Protocol.reconcile_known kind ~seed:(Prng.derive ~seed ~tag:0xE2E) ~d ~u ~h ~alice
-              ~bob ())
+      let op () =
+        Protocol.reconcile_known kind ~seed:(Prng.derive ~seed ~tag:0xE2E) ~d ~u ~h ~alice ~bob ()
       in
+      let ns = measure ~trials ~batch_ns:5e7 op in
+      (* Minor-words per whole-protocol run: encoding-cache wins show up
+         here as allocation drops, not just time. *)
+      let mw = minor_words_per_op ~reps:8 op in
       push
         (latency_fields "sos_protocol" ~ns
            [ ("protocol", S (Protocol.name kind)); ("children", I s); ("child_size", I child_size);
-             ("edits", I edits); ("domains", I (Par.available ())) ]))
+             ("edits", I edits); ("domains", I (Par.available ())); ("mw_per_op", F mw) ]))
     Protocol.all;
+
+  (* The per-child encoding build the nested-protocol loops bottom out in
+     (cascade re-walks it per level, the retry ladder per rung, each party
+     once): one row for the computing path, one for a cache hit. The hit
+     row's mw_per_op is the cache's allocation saving per child. *)
+  (let module Encoding = Ssr_core.Encoding in
+   let module Enc_cache = Ssr_core.Enc_cache in
+   let cfg = { Encoding.child_cells = 64; child_k = 3; hash_bits = 16; seed } in
+   let child = Iset.random_subset rng ~universe:(1 lsl 30) ~size:24 in
+   let was_enabled = Enc_cache.is_enabled () in
+   List.iter
+     (fun (mode, enabled) ->
+       Enc_cache.set_enabled enabled;
+       Enc_cache.clear ();
+       let op () = Encoding.encode cfg child in
+       let ns = measure ~trials op in
+       let mw = minor_words_per_op op in
+       push
+         (ops_fields "child_encode" ~ns
+            [ ("cells", I 64); ("child_size", I 24); ("mode", S mode); ("mw_per_op", F mw) ]))
+     [ ("compute", false); ("cache_hit", true) ];
+   Enc_cache.set_enabled was_enabled);
   List.rev !results
 
 (* ------------------------------------------------------------------ *)
@@ -337,7 +361,14 @@ let field_suite ~smoke ~trials =
    trials than the committed smoke numbers, and their larger workloads
    have no baseline row at all. *)
 
-let measured_keys = [ "ns_per_op"; "ops_per_sec"; "ms_per_op"; "mb_per_sec"; "mw_per_op" ]
+(* Keys that always parse back from a baseline file as measurements (F),
+   never as identity — integer-valued floats would otherwise round-trip as
+   identity ints and quietly orphan every row of their suite. *)
+let measured_keys =
+  [
+    "ns_per_op"; "ops_per_sec"; "ms_per_op"; "mb_per_sec"; "mw_per_op"; "bits"; "bound_bits";
+    "x_bound"; "wall_ms"; "attempts"; "uncached_ms"; "cached_ms"; "speedup";
+  ]
 
 (* Stable row key: name plus every string/int field, sorted. *)
 let identity_of_fields fields =
@@ -350,13 +381,20 @@ let identity_of_fields fields =
     fields
   |> List.sort compare |> String.concat " "
 
+(* Gate metric, in preference order: timings when the row has them, else
+   exact communication bits (the million suite gates on bits — they are a
+   deterministic function of the seeds, so the 10% threshold trips on real
+   protocol-cost changes rather than shared-runner noise). *)
 let metric_of_fields fields =
   match List.assoc_opt "ms_per_op" fields with
   | Some (F v) -> Some ("ms_per_op", v)
   | _ -> (
     match List.assoc_opt "ns_per_op" fields with
     | Some (F v) -> Some ("ns_per_op", v)
-    | _ -> None)
+    | _ -> (
+      match List.assoc_opt "bits" fields with
+      | Some (F v) -> Some ("bits", v)
+      | _ -> None))
 
 let contains_substring hay needle =
   let nh = String.length hay and nn = String.length needle in

@@ -299,6 +299,80 @@ let sos_cmd =
        Term.(const run_sos $ seed_term $ children $ child_size $ universe $ edits $ unknown
              $ protocol_term))
 
+(* ---- dataset ---- *)
+
+(* Streaming runs over the seeded offline workload generators: the parent
+   sets are never materialized (children are re-derived from seed +
+   position on every walk), so this scales to millions of elements in
+   bounded memory. The reported delta is the O(d) child difference. *)
+let run_dataset seed family children edits no_cache kind =
+  let module Datasets = Ssr_apps.Datasets in
+  let module Enc_cache = Ssr_core.Enc_cache in
+  let bob_inst =
+    match family with
+    | `Graph -> Datasets.graph ~seed ~nodes:children ~avg_degree:4
+    | `Zipf ->
+      Datasets.zipf ~seed ~parents:children ~universe:(1 lsl 30) ~max_child_size:24 ~alpha:1.0
+    | `Shingles -> Datasets.shingle_corpus ~seed ~docs:children ~shingles_per_doc:9 ~overlap:0.5
+  in
+  let alice_inst = Datasets.pair ~seed:(Prng.derive ~seed ~tag:0xED1) ~edits bob_inst in
+  let alice = alice_inst.Datasets.stream and bob = bob_inst.Datasets.stream in
+  let u = alice_inst.Datasets.universe and h = alice_inst.Datasets.max_child_size in
+  let d = 2 * edits in
+  Printf.printf "dataset: s=%d children, n=%d elements, %d edits (d bound %d), protocol %s%s\n"
+    bob.Parent.length
+    (Parent.stream_total_elements bob)
+    edits d (Protocol.name kind)
+    (if no_cache then ", cache off" else "");
+  let was_enabled = Ssr_core.Enc_cache.is_enabled () in
+  Enc_cache.set_enabled (not no_cache);
+  Enc_cache.clear ();
+  let comm = Comm.create () in
+  start_wall ();
+  let result =
+    Protocol.run_known_stream kind ~comm ~seed ~enc_seed:None ~d ~u ~h ~alice ~bob
+  in
+  Enc_cache.set_enabled was_enabled;
+  match result with
+  | Ok { Protocol.delta; stats } ->
+    let cs = Enc_cache.stats () in
+    Printf.printf "delta: %d alice-only / %d bob-only children; cache %d hits / %d misses\n"
+      (List.length delta.Parent.a_only)
+      (List.length delta.Parent.b_only)
+      cs.Ssr_core.Enc_cache.hits cs.Ssr_core.Enc_cache.misses;
+    report ~true_d:d ~label:(Protocol.name kind)
+      ~ok:(List.length delta.Parent.a_only = List.length delta.Parent.b_only)
+      stats
+  | Error `Decode_failure ->
+    report ~true_d:d ~label:(Protocol.name kind) ~ok:false (Comm.stats comm)
+
+let dataset_cmd =
+  let family =
+    Arg.(value
+         & opt (enum [ ("graph", `Graph); ("zipf", `Zipf); ("shingles", `Shingles) ]) `Zipf
+         & info [ "family" ]
+             ~doc:"Workload generator: $(b,graph) (edge-list neighbourhoods), $(b,zipf) \
+                   (skewed child sizes) or $(b,shingles) (document shingle corpus).")
+  in
+  let children =
+    Arg.(value & opt int 100_000
+         & info [ "children" ] ~doc:"Child sets (graph nodes / zipf parents / documents).")
+  in
+  let edits =
+    Arg.(value & opt int 16 & info [ "edits" ] ~doc:"Element edits between the parents.")
+  in
+  let no_cache =
+    Arg.(value & flag
+         & info [ "no-cache" ]
+             ~doc:"Disable the child-encoding cache (transcripts are byte-identical either \
+                   way; only wall time changes).")
+  in
+  Cmd.v
+    (Cmd.info "dataset"
+       ~doc:"Streaming reconciliation over seeded million-element workload generators")
+    (with_obs
+       Term.(const run_dataset $ seed_term $ family $ children $ edits $ no_cache $ protocol_term))
+
 (* ---- db ---- *)
 
 let run_db seed columns rows flips kind =
@@ -833,6 +907,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            sets_cmd; sos_cmd; db_cmd; graph_cmd; forest_cmd; estimate_cmd; sos3_cmd; faulty_cmd;
-            multiparty_cmd; twoway_cmd; server_cmd;
+            sets_cmd; sos_cmd; dataset_cmd; db_cmd; graph_cmd; forest_cmd; estimate_cmd; sos3_cmd;
+            faulty_cmd; multiparty_cmd; twoway_cmd; server_cmd;
           ]))

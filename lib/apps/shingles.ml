@@ -1,42 +1,17 @@
 module Iset = Ssr_util.Iset
-module Hashing = Ssr_util.Hashing
 module Parent = Ssr_core.Parent
 module Protocol = Ssr_core.Protocol
 module Comm = Ssr_setrecon.Comm
 
 type doc = { shingles : Iset.t }
 
-let words text =
-  let buf = Buffer.create 16 in
-  let out = ref [] in
-  let flush () =
-    if Buffer.length buf > 0 then begin
-      out := Buffer.contents buf :: !out;
-      Buffer.clear buf
-    end
-  in
-  String.iter
-    (fun c ->
-      match c with
-      | 'a' .. 'z' | '0' .. '9' -> Buffer.add_char buf c
-      | 'A' .. 'Z' -> Buffer.add_char buf (Char.lowercase_ascii c)
-      | _ -> flush ())
-    text;
-  flush ();
-  List.rev !out
-
-let shingle_hash_fn = Hashing.make ~seed:0x5417D0C5L ~tag:0
-
+(* Ingestion is routed through the streaming dataset layer: the window
+   hashes arrive as a Seq and are folded straight into the sorted-set
+   representation, never materializing an intermediate list per document.
+   Hash values are unchanged (same seeded window hash). *)
 let shingle ~k text =
   if k < 1 then invalid_arg "Shingles.shingle: k must be positive";
-  let ws = Array.of_list (words text) in
-  let window i =
-    let parts = Array.to_list (Array.sub ws i (min k (Array.length ws - i))) in
-    Hashing.hash_bytes shingle_hash_fn (Bytes.of_string (String.concat "\x00" parts))
-  in
-  let count = max 1 (Array.length ws - k + 1) in
-  if Array.length ws = 0 then { shingles = Iset.empty }
-  else { shingles = Iset.of_list (List.init count window) }
+  { shingles = Iset.of_seq (Datasets.shingle_seq ~k text) }
 
 let shingle_set d = d.shingles
 
@@ -60,10 +35,12 @@ let universe = (1 lsl 62) - 1
 
 let classify ~recovered ~bob =
   let bob_children = Parent.children bob in
+  let bob_tbl = Iset.Tbl.create (max 16 (List.length bob_children)) in
+  List.iter (fun c -> Iset.Tbl.replace bob_tbl c ()) bob_children;
   let unchanged = ref 0 and near = ref 0 and fresh = ref 0 in
   List.iter
     (fun c ->
-      if List.exists (Iset.equal c) bob_children then incr unchanged
+      if Iset.Tbl.mem bob_tbl c then incr unchanged
       else begin
         let cd = { shingles = c } in
         let best =

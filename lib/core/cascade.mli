@@ -39,8 +39,30 @@ val reconcile_unknown :
 (** Corollary 3.8: repeated doubling on d; O(log d) rounds. *)
 
 val run :
-  comm:Ssr_setrecon.Comm.t -> seed:int64 -> d:int -> d_hat:int -> s_bound:int ->
-  u:int -> h:int -> k:int ->
+  comm:Ssr_setrecon.Comm.t -> seed:int64 -> enc_seed:int64 option -> d:int -> d_hat:int ->
+  s_bound:int -> u:int -> h:int -> k:int ->
   alice:Parent.t -> bob:Parent.t -> (outcome, [ `Decode_failure ]) result
 (** One attempt threaded through a caller-supplied recorder (for retry
-    drivers and transports); the outcome's stats are cumulative for [comm]. *)
+    drivers and transports); the outcome's stats are cumulative for [comm].
+    [enc_seed] (default: [seed]) salts only the per-level child-encoding
+    configs: a retry driver that pins it across attempts re-derives
+    identical child encodings, so the {!Enc_cache} carries the per-level
+    encoding sweeps between escalation rungs. Outer and T* tables stay
+    salted by the per-attempt [seed]. *)
+
+type stream_outcome = {
+  delta : Parent.delta;
+  levels : int;
+  used_star : bool;
+  stats : Ssr_setrecon.Comm.stats;
+}
+
+val run_stream :
+  comm:Ssr_setrecon.Comm.t -> seed:int64 -> enc_seed:int64 option -> d:int -> d_hat:int ->
+  s_bound:int -> u:int -> h:int -> k:int ->
+  alice:Parent.stream -> bob:Parent.stream ->
+  (stream_outcome, [ `Decode_failure ]) result
+(** [run] over {!Parent.stream} views: every level is built by a chunked
+    pass (bounded memory, one encoding chunk live at a time) and the result
+    is the O(d) delta. Wire format matches [run] except the 8-byte guard
+    carries {!Parent.stream_hash}. *)

@@ -29,7 +29,7 @@ let key_length cfg =
   check cfg;
   min (bitmap_length cfg) (list_length cfg)
 
-let encode cfg child =
+let encode_fresh cfg child =
   check cfg;
   if Iset.cardinal child > cfg.h then invalid_arg "Direct.encode: child larger than h";
   (match (Iset.is_empty child, Iset.is_empty child || (Iset.min_elt child >= 0 && Iset.max_elt child < cfg.u)) with
@@ -54,6 +54,15 @@ let encode cfg child =
         done)
       (Iset.to_list child);
     out
+
+(* Direct encodings are seedless (pure functions of the child and the
+   (u, h) geometry), so cached entries survive across escalation rungs and
+   doubling attempts for free. *)
+let cache_kind = 1
+
+let encode cfg child =
+  Enc_cache.find_or_add ~kind:cache_kind ~cells:cfg.u ~k:cfg.h ~bits:0 ~seed:0L ~child (fun () ->
+      encode_fresh cfg child)
 
 let decode cfg bytes =
   check cfg;

@@ -17,7 +17,7 @@ let child_params cfg : Iblt.params =
     seed = Ssr_util.Prng.derive ~seed:cfg.seed ~tag:child_seed_tag;
   }
 
-let child_table cfg child =
+let child_table_raw cfg child =
   let t = Iblt.create (child_params cfg) in
   Iset.iter (fun x -> Iblt.insert_int t x) child;
   t
@@ -33,8 +33,8 @@ let hash_len cfg = Bits.ceil_div cfg.hash_bits 8
 
 let key_length cfg = Iblt.body_length (child_params cfg) + hash_len cfg
 
-let encode cfg child =
-  let body = Iblt.body_bytes (child_table cfg child) in
+let encode_fresh cfg child =
+  let body = Iblt.body_bytes (child_table_raw cfg child) in
   let h = child_hash cfg child in
   let hl = hash_len cfg in
   let out = Bytes.create (Bytes.length body + hl) in
@@ -43,6 +43,20 @@ let encode cfg child =
     Bytes.set out (Bytes.length body + i) (Char.chr ((h lsr (8 * i)) land 0xFF))
   done;
   out
+
+let cache_kind = 0
+
+let encode cfg child =
+  Enc_cache.find_or_add ~kind:cache_kind ~cells:cfg.child_cells ~k:cfg.child_k
+    ~bits:cfg.hash_bits ~seed:cfg.seed ~child (fun () -> encode_fresh cfg child)
+
+(* Re-derive the child table from the (possibly cached) encoding: a hit
+   turns the per-element hashing of a rebuild into one buffer copy. The
+   body bytes are the table's exact memory layout, so this is bit-identical
+   to [child_table_raw] whether or not the cache served the key. *)
+let child_table cfg child =
+  let key = encode cfg child in
+  Iblt.of_body_bytes (child_params cfg) (Bytes.sub key 0 (Iblt.body_length (child_params cfg)))
 
 let split_opt cfg key =
   if Bytes.length key <> key_length cfg then None

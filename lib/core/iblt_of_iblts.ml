@@ -3,6 +3,7 @@ module Bits = Ssr_util.Bits
 module Prng = Ssr_util.Prng
 module Buf = Ssr_util.Buf
 module Codec = Ssr_util.Codec
+module Hashing = Ssr_util.Hashing
 module Par = Ssr_util.Par
 module Iblt = Ssr_sketch.Iblt
 module Comm = Ssr_setrecon.Comm
@@ -23,8 +24,13 @@ let config ~seed ~d ~s_bound ~k : Encoding.config =
     seed;
   }
 
-let run ~comm ~seed ~d ~d_hat ~s_bound ~k ~alice ~bob =
-  let cfg = config ~seed ~d ~s_bound ~k in
+(* [enc_seed] (default: the run seed) salts the child-encoding config only;
+   outer tables stay salted by the per-attempt run seed. Resilient pins it
+   to the base seed so escalation rungs re-derive identical child-encoding
+   configs and the encoding cache carries the work across attempts. *)
+let run ~comm ~seed ~enc_seed ~d ~d_hat ~s_bound ~k ~alice ~bob =
+  let enc_seed = Option.value enc_seed ~default:seed in
+  let cfg = config ~seed:enc_seed ~d ~s_bound ~k in
   let outer_prm : Iblt.params =
     {
       cells = Iblt.recommended_cells ~k ~diff_bound:(2 * d_hat);
@@ -66,13 +72,13 @@ let run ~comm ~seed ~d ~d_hat ~s_bound ~k ~alice ~bob =
   match Iblt.decode (Iblt.subtract outer bob_outer) with
   | Error `Peel_stuck -> Error `Decode_failure
   | Ok { positives; negatives } -> (
-    (* D_B: Bob's children whose encodings surfaced as negatives. *)
-    let db =
-      List.filter_map
-        (fun neg ->
-          List.find_opt (fun (key, _) -> Bytes.equal key neg) bob_encodings |> Option.map snd)
-        negatives
-    in
+    (* D_B: Bob's children whose encodings surfaced as negatives. Indexed
+       by key bytes: the linear scan per negative was O(s * d). *)
+    let by_key = Hashtbl.create (2 * List.length bob_encodings) in
+    List.iter
+      (fun (key, c) -> if not (Hashtbl.mem by_key key) then Hashtbl.add by_key key c)
+      bob_encodings;
+    let db = List.filter_map (fun neg -> Hashtbl.find_opt by_key neg) negatives in
     if List.length db <> List.length negatives then Error `Decode_failure
     else begin
       (* Pair each of Alice's differing child IBLTs with one of Bob's. *)
@@ -88,8 +94,10 @@ let run ~comm ~seed ~d ~d_hat ~s_bound ~k ~alice ~bob =
       match recover_all positives [] with
       | None -> Error `Decode_failure
       | Some da ->
+        let db_tbl = Iset.Tbl.create (List.length db) in
+        List.iter (fun c -> Iset.Tbl.replace db_tbl c ()) db;
         let remaining =
-          List.filter (fun c -> not (List.exists (Iset.equal c) db)) (Parent.children bob)
+          List.filter (fun c -> not (Iset.Tbl.mem db_tbl c)) (Parent.children bob)
         in
         let recovered = Parent.of_children (da @ remaining) in
         if Parent.hash ~seed recovered = alice_hash then
@@ -97,11 +105,105 @@ let run ~comm ~seed ~d ~d_hat ~s_bound ~k ~alice ~bob =
         else Error `Decode_failure
     end)))
 
+type stream_outcome = { delta : Parent.delta; differing_pairs : int; stats : Comm.stats }
+
+(* Fingerprint salt for mapping peeled-out negative keys back to Bob's
+   child positions without rescanning the stream. *)
+let stream_fp_tag = 0xF19B
+
+(* Streaming build: same wire bytes as [run] except the 8-byte guard is the
+   order-independent [Parent.stream_hash] digest (Bob verifies it
+   incrementally from the recovered delta), because the canonical
+   [Parent.hash] needs sorted children — impossible without materializing.
+   Both sides hold one encoding chunk plus O(s) fingerprints at a time,
+   never the parent itself. *)
+let run_stream ~comm ~seed ~enc_seed ~d ~d_hat ~s_bound ~k ~(alice : Parent.stream)
+    ~(bob : Parent.stream) =
+  let enc_seed = Option.value enc_seed ~default:seed in
+  let cfg = config ~seed:enc_seed ~d ~s_bound ~k in
+  let outer_prm : Iblt.params =
+    {
+      cells = Iblt.recommended_cells ~k ~diff_bound:(2 * d_hat);
+      k;
+      key_len = Encoding.key_length cfg;
+      seed = Prng.derive ~seed ~tag:0x07E5;
+    }
+  in
+  let outer = Iblt.create outer_prm in
+  Parent.stream_iter_encoded alice ~encode:(Encoding.encode cfg) ~sink:(Iblt.add_all outer);
+  let alice_digest = Parent.stream_hash ~seed alice in
+  let hash_bytes = Bytes.create 8 in
+  Buf.set_int_le hash_bytes 0 alice_digest;
+  let payload = Bytes.cat (Iblt.body_bytes outer) hash_bytes in
+  match Comm.xfer comm Comm.A_to_b ~label:"outer-iblt+digest" payload with
+  | Error `Lost -> Error `Decode_failure
+  | Ok delivered -> (
+  let r = Codec.reader delivered in
+  let parsed =
+    match (Codec.take r (Iblt.body_length outer_prm), Codec.int62 r) with
+    | Some body, Some h when Codec.at_end r ->
+      Option.map (fun t -> (t, h)) (Iblt.of_body_bytes_opt outer_prm body)
+    | _ -> None
+  in
+  match parsed with
+  | None -> Error `Decode_failure
+  | Some (outer, alice_digest) -> (
+  (* Bob: same chunked build, plus a fingerprint -> positions index so a
+     differing key maps back to his child (verified by re-encoding it — a
+     cache hit) instead of a linear rescan. *)
+  let fp_fn = Hashing.make ~seed ~tag:stream_fp_tag in
+  let fp_of = Hashing.hash_bytes fp_fn in
+  let fp_tbl : (int, int list) Hashtbl.t = Hashtbl.create (2 * bob.Parent.length) in
+  let bob_outer = Iblt.create outer_prm in
+  let base = ref 0 in
+  Parent.stream_iter_encoded bob ~encode:(Encoding.encode cfg)
+    ~sink:(fun keys ->
+      Array.iteri
+        (fun j key ->
+          let f = fp_of key in
+          let prev = Option.value (Hashtbl.find_opt fp_tbl f) ~default:[] in
+          Hashtbl.replace fp_tbl f ((!base + j) :: prev))
+        keys;
+      Iblt.add_all bob_outer keys;
+      base := !base + Array.length keys);
+  let bob_digest = Parent.stream_hash ~seed bob in
+  match Iblt.decode (Iblt.subtract outer bob_outer) with
+  | Error `Peel_stuck -> Error `Decode_failure
+  | Ok { positives; negatives } -> (
+    let child_of_neg neg =
+      let candidates = Option.value (Hashtbl.find_opt fp_tbl (fp_of neg)) ~default:[] in
+      List.find_map
+        (fun i ->
+          let c = bob.Parent.child i in
+          if Bytes.equal (Encoding.encode cfg c) neg then Some c else None)
+        (List.rev candidates)
+    in
+    let db = List.filter_map child_of_neg negatives in
+    if List.length db <> List.length negatives then Error `Decode_failure
+    else begin
+      let recover_one alice_key =
+        List.find_map (fun bob_child -> Encoding.try_recover cfg ~alice_key ~bob_child) db
+      in
+      let rec recover_all keys acc =
+        match keys with
+        | [] -> Some acc
+        | key :: rest -> (
+          match recover_one key with None -> None | Some child -> recover_all rest (child :: acc))
+      in
+      match recover_all positives [] with
+      | None -> Error `Decode_failure
+      | Some da ->
+        let delta : Parent.delta = { a_only = da; b_only = db } in
+        if Parent.delta_digest ~seed ~base:bob_digest delta = alice_digest then
+          Ok { delta; differing_pairs = List.length positives; stats = Comm.stats comm }
+        else Error `Decode_failure
+    end)))
+
 let reconcile_known ~seed ~d ?d_hat ?s_bound ?(k = 4) ~alice ~bob () =
   let s_bound = match s_bound with Some s -> s | None -> max 2 (Parent.cardinal bob) in
   let d_hat = match d_hat with Some dh -> dh | None -> min d s_bound in
   let comm = Comm.create () in
-  match run ~comm ~seed ~d ~d_hat ~s_bound ~k ~alice ~bob with
+  match run ~comm ~seed ~enc_seed:None ~d ~d_hat ~s_bound ~k ~alice ~bob with
   | Ok o -> Ok o
   | Error `Decode_failure -> Error (`Decode_failure (Comm.stats comm))
 
@@ -112,7 +214,7 @@ let reconcile_unknown ~seed ?s_bound ?(k = 4) ?(max_d = 1 lsl 22) ~alice ~bob ()
     if d > max_d then Error (`Decode_failure (Comm.stats comm))
     else begin
       let d_hat = min d s_bound in
-      match run ~comm ~seed:(Prng.derive ~seed ~tag:(0xD0 + Bits.ceil_log2 (d + 1))) ~d ~d_hat ~s_bound ~k ~alice ~bob with
+      match run ~comm ~seed:(Prng.derive ~seed ~tag:(0xD0 + Bits.ceil_log2 (d + 1))) ~enc_seed:None ~d ~d_hat ~s_bound ~k ~alice ~bob with
       | Ok o -> Ok o
       | Error `Decode_failure ->
         Ssr_obs.Metrics.incr m_retries;

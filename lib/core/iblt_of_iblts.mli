@@ -32,7 +32,29 @@ val reconcile_unknown :
     verifies; O(log d) rounds, asymptotically the same communication. *)
 
 val run :
-  comm:Ssr_setrecon.Comm.t -> seed:int64 -> d:int -> d_hat:int -> s_bound:int -> k:int ->
+  comm:Ssr_setrecon.Comm.t -> seed:int64 -> enc_seed:int64 option -> d:int -> d_hat:int ->
+  s_bound:int -> k:int ->
   alice:Parent.t -> bob:Parent.t -> (outcome, [ `Decode_failure ]) result
 (** One attempt threaded through a caller-supplied recorder (for retry
-    drivers and transports); the outcome's stats are cumulative for [comm]. *)
+    drivers and transports); the outcome's stats are cumulative for [comm].
+    [enc_seed] (default: [seed]) salts only the child-encoding config, so a
+    retry driver that pins it across attempts re-derives identical child
+    encodings and the {!Enc_cache} carries that work between rungs; outer
+    tables stay salted by the per-attempt [seed]. *)
+
+type stream_outcome = {
+  delta : Parent.delta;  (** What Bob learned: Alice-only and Bob-only children. *)
+  differing_pairs : int;
+  stats : Ssr_setrecon.Comm.stats;
+}
+
+val run_stream :
+  comm:Ssr_setrecon.Comm.t -> seed:int64 -> enc_seed:int64 option -> d:int -> d_hat:int ->
+  s_bound:int -> k:int ->
+  alice:Parent.stream -> bob:Parent.stream ->
+  (stream_outcome, [ `Decode_failure ]) result
+(** [run] over {!Parent.stream} views: sketches are built in bounded
+    memory (one encoding chunk at a time, plus O(s) child fingerprints) and
+    the result is the O(d) delta rather than a materialized parent. Wire
+    format matches [run] except the 8-byte guard carries the
+    order-independent {!Parent.stream_hash} digest. *)

@@ -57,3 +57,20 @@ val run :
   alice:Parent.t -> bob:Parent.t -> (outcome, [ `Decode_failure ]) result
 (** One attempt threaded through a caller-supplied recorder (for retry
     drivers and transports); the outcome's stats are cumulative for [comm]. *)
+
+type stream_outcome = {
+  delta : Parent.delta;
+  matched_children : int;
+  cpi_children : int;
+  stats : Ssr_setrecon.Comm.stats;
+}
+
+val run_stream :
+  comm:Ssr_setrecon.Comm.t -> seed:int64 -> d:int -> d_hat:int -> k:int ->
+  shape:Ssr_sketch.L0_estimator.shape -> primitive:primitive ->
+  alice:Parent.stream -> bob:Parent.stream ->
+  (stream_outcome, [ `Decode_failure ]) result
+(** [run] over {!Parent.stream} views: the hash index stores stream
+    positions, so only the O(d_hat) differing children are ever fetched;
+    result is the O(d) delta. Wire format matches [run] except the round-1
+    guard carries {!Parent.stream_hash}. *)

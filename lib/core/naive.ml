@@ -62,11 +62,71 @@ let run ~comm ~seed ~d_hat ~u ~h ~k ~alice ~bob =
     in
     match (decode_all positives, decode_all negatives) with
     | Some alice_only, Some bob_only ->
+      let bob_only_tbl = Iset.Tbl.create (List.length bob_only) in
+      List.iter (fun c -> Iset.Tbl.replace bob_only_tbl c ()) bob_only;
       let remaining =
-        List.filter (fun c -> not (List.exists (Iset.equal c) bob_only)) (Parent.children bob)
+        List.filter (fun c -> not (Iset.Tbl.mem bob_only_tbl c)) (Parent.children bob)
       in
       let recovered = Parent.of_children (alice_only @ remaining) in
       if Parent.hash ~seed recovered = alice_hash then Ok { recovered; stats = Comm.stats comm }
+      else Error `Decode_failure
+    | _ -> Error `Decode_failure)))
+
+type stream_outcome = { delta : Parent.delta; stats : Comm.stats }
+
+(* Streaming build: direct encodings are decoded straight back to child
+   sets, so Bob needs no index at all — the peeled positives/negatives ARE
+   the delta. Guard field carries [Parent.stream_hash] (order-independent,
+   incrementally verifiable) instead of the canonical sorted hash. *)
+let run_stream ~comm ~seed ~d_hat ~u ~h ~k ~(alice : Parent.stream) ~(bob : Parent.stream) =
+  let cfg : Direct.config = { u; h } in
+  let prm : Iblt.params =
+    {
+      cells = Iblt.recommended_cells ~k ~diff_bound:(2 * d_hat);
+      k;
+      key_len = Direct.key_length cfg;
+      seed;
+    }
+  in
+  let table = Iblt.create prm in
+  Parent.stream_iter_encoded alice ~encode:(Direct.encode cfg) ~sink:(Iblt.add_all table);
+  let alice_digest = Parent.stream_hash ~seed alice in
+  let hash_bytes = Bytes.create 8 in
+  Buf.set_int_le hash_bytes 0 alice_digest;
+  let payload = Bytes.cat (Iblt.body_bytes table) hash_bytes in
+  match Comm.xfer comm Comm.A_to_b ~label:"naive-iblt+digest" payload with
+  | Error `Lost -> Error `Decode_failure
+  | Ok delivered -> (
+  let r = Codec.reader delivered in
+  let parsed =
+    match (Codec.take r (Iblt.body_length prm), Codec.int62 r) with
+    | Some body, Some h when Codec.at_end r ->
+      Option.map (fun t -> (t, h)) (Iblt.of_body_bytes_opt prm body)
+    | _ -> None
+  in
+  match parsed with
+  | None -> Error `Decode_failure
+  | Some (table, alice_digest) -> (
+  let bob_table = Iblt.create prm in
+  Parent.stream_iter_encoded bob ~encode:(Direct.encode cfg) ~sink:(Iblt.add_all bob_table);
+  let bob_digest = Parent.stream_hash ~seed bob in
+  match Iblt.decode (Iblt.subtract table bob_table) with
+  | Error `Peel_stuck -> Error `Decode_failure
+  | Ok { positives; negatives } -> (
+    let decode_all keys =
+      List.fold_left
+        (fun acc key ->
+          match acc with
+          | None -> None
+          | Some kids -> (
+            match Direct.decode cfg key with Some c -> Some (c :: kids) | None -> None))
+        (Some []) keys
+    in
+    match (decode_all positives, decode_all negatives) with
+    | Some alice_only, Some bob_only ->
+      let delta : Parent.delta = { a_only = alice_only; b_only = bob_only } in
+      if Parent.delta_digest ~seed ~base:bob_digest delta = alice_digest then
+        Ok { delta; stats = Comm.stats comm }
       else Error `Decode_failure
     | _ -> Error `Decode_failure)))
 

@@ -29,3 +29,15 @@ val run :
   alice:Parent.t -> bob:Parent.t -> (outcome, [ `Decode_failure ]) result
 (** One attempt threaded through a caller-supplied recorder (for retry
     drivers and transports); the outcome's stats are cumulative for [comm]. *)
+
+type stream_outcome = { delta : Parent.delta; stats : Ssr_setrecon.Comm.stats }
+
+val run_stream :
+  comm:Ssr_setrecon.Comm.t -> seed:int64 -> d_hat:int -> u:int -> h:int -> k:int ->
+  alice:Parent.stream -> bob:Parent.stream ->
+  (stream_outcome, [ `Decode_failure ]) result
+(** [run] over {!Parent.stream} views: the table is built one encoding
+    chunk at a time and the result is the O(d) delta (direct encodings
+    decode straight back to children, so no side index is needed). Wire
+    format matches [run] except the 8-byte guard carries
+    {!Parent.stream_hash}. *)

@@ -2,6 +2,7 @@ module Iset = Ssr_util.Iset
 module Prng = Ssr_util.Prng
 module Hashing = Ssr_util.Hashing
 module Buf = Ssr_util.Buf
+module Par = Ssr_util.Par
 
 type t = Iset.t array
 (* Invariant: strictly increasing under Iset.compare (so children are
@@ -107,6 +108,86 @@ let random rng ~universe ~children:s ~child_size =
     end
   in
   of_children (distinct [] s 0)
+
+(* ---- Streaming views. ----
+
+   A stream presents a parent as a pure random-access function of position:
+   child [i] is recomputable at any time, so protocol build passes can walk
+   the children in bounded memory (encode a chunk, land it in the sketch,
+   drop it) and recovery sweeps can fetch individual children by index
+   instead of rescanning. Children must be distinct and in-universe, like
+   the materialized representation's invariant. *)
+
+type stream = { length : int; child : int -> Iset.t }
+
+let stream_of_t (t : t) = { length = Array.length t; child = (fun i -> t.(i)) }
+
+let of_stream st = of_children (List.init st.length st.child)
+
+let stream_to_seq ?(from = 0) st =
+  let rec go i () =
+    if i >= st.length then Seq.Nil else Seq.Cons (st.child i, go (i + 1))
+  in
+  go from
+
+let stream_total_elements st =
+  let n = ref 0 in
+  for i = 0 to st.length - 1 do
+    n := !n + Iset.cardinal (st.child i)
+  done;
+  !n
+
+let stream_max_child_size st =
+  let h = ref 0 in
+  for i = 0 to st.length - 1 do
+    h := max !h (Iset.cardinal (st.child i))
+  done;
+  !h
+
+(* Chunked encode-and-land: children [base, base+chunk) are encoded under
+   the parallel pool (order-preserving) and handed to [sink] as one batch —
+   the Iblt.add_all path — so a build touches at most [chunk] encodings at
+   a time. XOR-linear sinks make the chunking bit-identical to a one-shot
+   whole-parent batch. *)
+let stream_iter_encoded ?(chunk = 4096) st ~encode ~sink =
+  let n = st.length in
+  let i = ref 0 in
+  while !i < n do
+    let len = min chunk (n - !i) in
+    let base = !i in
+    sink (Par.init len (fun j -> encode (st.child (base + j))));
+    i := !i + len
+  done
+
+(* Order-independent whole-parent digest: XOR of salted per-child hashes.
+   The canonical [hash] needs the children in sorted order — impossible to
+   produce from a stream without materializing — while XOR commutes, and
+   Bob can adjust it incrementally: removing his extra children and adding
+   Alice's recovered ones must land exactly on Alice's digest. *)
+let stream_hash_tag = 0x57A9
+
+let child_digest ~seed c =
+  Hashing.hash_bytes (Hashing.make ~seed ~tag:stream_hash_tag) (Iset.canonical_bytes c)
+
+let stream_hash ~seed st =
+  let acc = ref 0 in
+  for i = 0 to st.length - 1 do
+    acc := !acc lxor child_digest ~seed (st.child i)
+  done;
+  !acc
+
+type delta = { a_only : Iset.t list; b_only : Iset.t list }
+
+(* Bob's verification step: starting from his own digest, XOR out what only
+   he has and XOR in what he recovered; the result must equal Alice's. *)
+let delta_digest ~seed ~base { a_only; b_only } =
+  let f = List.fold_left (fun acc c -> acc lxor child_digest ~seed c) in
+  f (f base b_only) a_only
+
+let apply_delta t { a_only; b_only } =
+  let drop = Iset.Tbl.create (List.length b_only) in
+  List.iter (fun c -> Iset.Tbl.replace drop c ()) b_only;
+  of_children (a_only @ List.filter (fun c -> not (Iset.Tbl.mem drop c)) (children t))
 
 let pp fmt t =
   Format.fprintf fmt "parent(s=%d){%a}" (cardinal t)

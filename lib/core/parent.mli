@@ -61,4 +61,67 @@ val random :
 (** A random parent of [children] distinct child sets with approximately
     [child_size] elements each, drawn from [\[0, universe)]. *)
 
+(** {2 Streaming views}
+
+    Million-element workloads cannot afford to materialize a whole parent:
+    a {!stream} presents the children as a pure random-access function of
+    position (resumable from any index, deterministic at any domain-pool
+    size), and the protocols' [run_stream] entry points build their
+    sketches from it in bounded memory. *)
+
+type stream = {
+  length : int;  (** Number of children (s). *)
+  child : int -> Ssr_util.Iset.t;
+      (** Child at a canonical-order-free position in [\[0, length)]. Must
+          be pure (same index, same child — streams are re-walked) and the
+          children pairwise distinct. *)
+}
+
+val stream_of_t : t -> stream
+(** Zero-copy view of a materialized parent. *)
+
+val of_stream : stream -> t
+(** Materialize (tests and small inputs only — this is exactly what the
+    streaming paths exist to avoid at scale). *)
+
+val stream_to_seq : ?from:int -> stream -> Ssr_util.Iset.t Seq.t
+(** The children from position [from] (default 0) on; restarting the
+    sequence re-invokes the pure generator, so iteration is resumable. *)
+
+val stream_total_elements : stream -> int
+(** Sum of child sizes (n), by one folding pass. *)
+
+val stream_max_child_size : stream -> int
+(** Largest child (h), by one folding pass. *)
+
+val stream_iter_encoded :
+  ?chunk:int -> stream -> encode:(Ssr_util.Iset.t -> Bytes.t) -> sink:(Bytes.t array -> unit) -> unit
+(** Encode the children in chunks of [chunk] (default 4096) under the
+    parallel pool and hand each batch to [sink] (typically
+    [Iblt.add_all table]); at most one chunk of encodings is live at a
+    time, and XOR-linearity makes the result bit-identical to a one-shot
+    batch over all children. *)
+
+val stream_hash : seed:int64 -> stream -> int
+(** Order-independent whole-parent digest: XOR of the salted 62-bit
+    {!child_digest} of every child. The streaming protocols verify against
+    this instead of {!hash} (which needs sorted children), because Bob can
+    update it incrementally from a recovered delta. *)
+
+val child_digest : seed:int64 -> Ssr_util.Iset.t -> int
+(** One child's term of {!stream_hash}. *)
+
+type delta = { a_only : Ssr_util.Iset.t list; b_only : Ssr_util.Iset.t list }
+(** What a streaming reconciliation recovers: the children only Alice has
+    and the children only Bob has — O(d) state, never the whole parent. *)
+
+val delta_digest : seed:int64 -> base:int -> delta -> int
+(** [delta_digest ~seed ~base:(stream_hash bob) delta]: Bob's digest with
+    [b_only] XORed out and [a_only] XORed in — equals Alice's
+    {!stream_hash} exactly when the delta is correct. *)
+
+val apply_delta : t -> delta -> t
+(** Apply a recovered delta to (materialized) Bob: drop [b_only], add
+    [a_only]. Test/bridge helper. *)
+
 val pp : Format.formatter -> t -> unit

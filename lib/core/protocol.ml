@@ -64,11 +64,12 @@ let reconcile_unknown kind ~seed ~u ~h ~alice ~bob () =
          (fun (o : Multiround.outcome) -> (o.Multiround.recovered, o.Multiround.stats))
          (Multiround.reconcile_unknown ~seed ~alice ~bob ()))
 
-let run_known kind ~comm ~seed ~d ~u ~h ~alice ~bob =
+let run_known kind ~comm ~seed ~enc_seed ~d ~u ~h ~alice ~bob =
   let s_bound = max 2 (Parent.cardinal bob) in
   let d_hat = min d s_bound in
   match kind with
   | Naive ->
+    (* Direct encodings are seedless, so there is nothing to pin. *)
     Result.map
       (fun (o : Naive.outcome) -> { recovered = o.Naive.recovered; stats = o.Naive.stats })
       (Naive.run ~comm ~seed ~d_hat ~u ~h ~k:4 ~alice ~bob)
@@ -76,16 +77,44 @@ let run_known kind ~comm ~seed ~d ~u ~h ~alice ~bob =
     Result.map
       (fun (o : Iblt_of_iblts.outcome) ->
         { recovered = o.Iblt_of_iblts.recovered; stats = o.Iblt_of_iblts.stats })
-      (Iblt_of_iblts.run ~comm ~seed ~d ~d_hat ~s_bound ~k:4 ~alice ~bob)
+      (Iblt_of_iblts.run ~comm ~seed ~enc_seed ~d ~d_hat ~s_bound ~k:4 ~alice ~bob)
   | Cascade ->
     Result.map
       (fun (o : Cascade.outcome) -> { recovered = o.Cascade.recovered; stats = o.Cascade.stats })
-      (Cascade.run ~comm ~seed ~d ~d_hat ~s_bound ~u ~h ~k:3 ~alice ~bob)
+      (Cascade.run ~comm ~seed ~enc_seed ~d ~d_hat ~s_bound ~u ~h ~k:3 ~alice ~bob)
   | Multiround ->
+    (* Per-child tables are keyed by entry position, not reusable. *)
     Result.map
       (fun (o : Multiround.outcome) ->
         { recovered = o.Multiround.recovered; stats = o.Multiround.stats })
       (Multiround.run ~comm ~seed ~d ~d_hat ~k:4 ~shape:Multiround.default_child_shape
+         ~primitive:Multiround.Auto ~alice ~bob)
+
+type stream_outcome = { delta : Parent.delta; stats : Comm.stats }
+
+let run_known_stream kind ~comm ~seed ~enc_seed ~d ~u ~h ~(alice : Parent.stream)
+    ~(bob : Parent.stream) =
+  let s_bound = max 2 bob.Parent.length in
+  let d_hat = min d s_bound in
+  match kind with
+  | Naive ->
+    Result.map
+      (fun (o : Naive.stream_outcome) -> { delta = o.Naive.delta; stats = o.Naive.stats })
+      (Naive.run_stream ~comm ~seed ~d_hat ~u ~h ~k:4 ~alice ~bob)
+  | Iblt_of_iblts ->
+    Result.map
+      (fun (o : Iblt_of_iblts.stream_outcome) ->
+        { delta = o.Iblt_of_iblts.delta; stats = o.Iblt_of_iblts.stats })
+      (Iblt_of_iblts.run_stream ~comm ~seed ~enc_seed ~d ~d_hat ~s_bound ~k:4 ~alice ~bob)
+  | Cascade ->
+    Result.map
+      (fun (o : Cascade.stream_outcome) -> { delta = o.Cascade.delta; stats = o.Cascade.stats })
+      (Cascade.run_stream ~comm ~seed ~enc_seed ~d ~d_hat ~s_bound ~u ~h ~k:3 ~alice ~bob)
+  | Multiround ->
+    Result.map
+      (fun (o : Multiround.stream_outcome) ->
+        { delta = o.Multiround.delta; stats = o.Multiround.stats })
+      (Multiround.run_stream ~comm ~seed ~d ~d_hat ~k:4 ~shape:Multiround.default_child_shape
          ~primitive:Multiround.Auto ~alice ~bob)
 
 let reconcile_amplified kind ~seed ~d ~u ~h ~replicas ~alice ~bob () =
@@ -98,7 +127,9 @@ let reconcile_amplified kind ~seed ~d ~u ~h ~replicas ~alice ~bob () =
   in
   let first = replica 0 in
   let rest = List.init (replicas - 1) (fun i -> replica (i + 1)) in
-  let stats_of = function Ok o -> o.stats | Error (`Decode_failure st) -> st in
+  let stats_of (r : (outcome, error) result) =
+    match r with Ok o -> o.stats | Error (`Decode_failure st) -> st
+  in
   let total_stats =
     List.fold_left (fun acc r -> Comm.merge_stats acc (stats_of r)) (stats_of first) rest
   in

@@ -34,12 +34,30 @@ val reconcile_unknown :
     whichever the protocol prescribes). *)
 
 val run_known :
-  kind -> comm:Ssr_setrecon.Comm.t -> seed:int64 -> d:int -> u:int -> h:int ->
+  kind -> comm:Ssr_setrecon.Comm.t -> seed:int64 -> enc_seed:int64 option -> d:int -> u:int -> h:int ->
   alice:Parent.t -> bob:Parent.t -> (outcome, [ `Decode_failure ]) result
 (** One known-d attempt threaded through a caller-supplied recorder, with
     each protocol's default tuning. The transport-aware driver
     (lib/transport's Resilient) uses this to run several attempts over one
-    channel transcript; the outcome's stats are cumulative for [comm]. *)
+    channel transcript; the outcome's stats are cumulative for [comm].
+    [enc_seed] (default: [seed]) pins the child-encoding salt across
+    attempts for the protocols with seeded child encodings (Iblt_of_iblts,
+    Cascade), letting the {!Enc_cache} carry encoding work between
+    escalation rungs; the other protocols ignore it (Naive's direct
+    encodings are seedless, Multiround's per-child tables are
+    position-keyed). *)
+
+type stream_outcome = { delta : Parent.delta; stats : Ssr_setrecon.Comm.stats }
+
+val run_known_stream :
+  kind -> comm:Ssr_setrecon.Comm.t -> seed:int64 -> enc_seed:int64 option -> d:int -> u:int -> h:int ->
+  alice:Parent.stream -> bob:Parent.stream ->
+  (stream_outcome, [ `Decode_failure ]) result
+(** {!run_known} over {!Parent.stream} views: sketches are built in bounded
+    memory and the result is the O(d) delta Bob learned rather than a
+    materialized parent. Wire formats match the materialized runs except
+    that the 8-byte guard field carries the order-independent
+    {!Parent.stream_hash} digest. *)
 
 val reconcile_amplified :
   kind -> seed:int64 -> d:int -> u:int -> h:int -> replicas:int ->

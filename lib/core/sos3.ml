@@ -163,12 +163,11 @@ let try_recover_parent cfg ~alice_key ~bob_parent =
     let bob_encodings =
       Par.map_list (fun c -> (Encoding.encode cfg.cfg1 c, c)) bob_children
     in
-    let db =
-      List.filter_map
-        (fun neg ->
-          List.find_opt (fun (key, _) -> Bytes.equal key neg) bob_encodings |> Option.map snd)
-        negatives
-    in
+    let by_key = Hashtbl.create (2 * List.length bob_encodings) in
+    List.iter
+      (fun (key, c) -> if not (Hashtbl.mem by_key key) then Hashtbl.add by_key key c)
+      bob_encodings;
+    let db = List.filter_map (fun neg -> Hashtbl.find_opt by_key neg) negatives in
     if List.length db <> List.length negatives then None
     else begin
       let rec recover_children keys acc =
@@ -182,7 +181,9 @@ let try_recover_parent cfg ~alice_key ~bob_parent =
       match recover_children positives [] with
       | None -> None
       | Some da ->
-        let remaining = List.filter (fun c -> not (List.exists (Iset.equal c) db)) bob_children in
+        let db_tbl = Iset.Tbl.create (List.length db) in
+        List.iter (fun c -> Iset.Tbl.replace db_tbl c ()) db;
+        let remaining = List.filter (fun c -> not (Iset.Tbl.mem db_tbl c)) bob_children in
         let candidate = Parent.of_children (da @ remaining) in
         if Parent.hash ~seed:cfg.seed candidate = alice_hash then Some candidate else None
     end))

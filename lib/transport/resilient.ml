@@ -426,9 +426,14 @@ let reconcile_sos ~link ~kind ~seed ~u ~h ?(initial_d = 4) ?(max_attempts = 5)
   let ctx = mk_ctx ~link ~seed ?attempt_deadline_us ?run_deadline_us ?backoff_us () in
   let direct_payload = lazy (sos_direct_payload ~seed alice) in
   let run_attempt ~number ~d =
+    (* The child-encoding salt is pinned to the base seed: every rung of the
+       ladder (and the rehash rung, which re-runs at the last tried bound)
+       re-derives identical child-encoding configs, so the Enc_cache serves
+       the per-child encodings across attempts; only the outer tables get
+       fresh per-attempt salts. *)
     match
       Protocol.run_known kind ~comm:ctx.comm ~seed:(Hashing.attempt_seed ~seed ~attempt:number)
-        ~d ~u ~h ~alice ~bob
+        ~enc_seed:(Some seed) ~d ~u ~h ~alice ~bob
     with
     | Ok (o : Protocol.outcome) -> Some o.Protocol.recovered
     | Error `Decode_failure -> None

@@ -21,6 +21,8 @@ let of_list xs =
 
 let of_sorted_array_unchecked arr = arr
 
+let of_seq seq = of_list (List.of_seq seq)
+
 let to_list = Array.to_list
 
 let to_array t = Array.copy t
@@ -148,6 +150,27 @@ let random_subset rng ~universe ~size =
     done;
     of_list (Hashtbl.fold (fun x () acc -> x :: acc) seen [])
   end
+
+(* FNV-1a over every element (seeded with the length): unlike the
+   polymorphic [Hashtbl.hash], which samples a bounded prefix, two child
+   sets differing only deep in the tail still hash apart — the property the
+   fingerprint-indexed recovery sweeps rely on. *)
+let hash (t : t) =
+  let fnv_prime = 0x100000001B3 in
+  let h = ref (Array.length t lxor 0x3574_6E49) in
+  for i = 0 to Array.length t - 1 do
+    let x = t.(i) in
+    h := (!h lxor (x land 0xFFFF_FFFF)) * fnv_prime;
+    h := (!h lxor (x lsr 32)) * fnv_prime
+  done;
+  !h land max_int
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)
 
 let pp fmt t =
   Format.fprintf fmt "{%a}" (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ",") Format.pp_print_int) (to_list t)

@@ -16,6 +16,11 @@ val of_sorted_array_unchecked : int array -> t
 (** Trusts the caller that the array is strictly increasing. The array is
     not copied; callers must not mutate it afterwards. *)
 
+val of_seq : int Seq.t -> t
+(** Sorts and deduplicates; the sequence is forced once. Entry point for
+    streaming producers (document shingling, dataset generators) that never
+    build an intermediate list per element. *)
+
 val to_list : t -> int list
 val to_array : t -> int array
 (** A fresh copy. *)
@@ -60,5 +65,15 @@ val random_subset : Prng.t -> universe:int -> size:int -> t
 (** Uniform random subset of [\[0, universe)] with exactly [size] elements
     (reservoir-free, via partial Fisher–Yates). Requires
     [size <= universe]. *)
+
+val hash : t -> int
+(** Non-negative structural hash over {e every} element (FNV-1a), so sets
+    differing only in their tail still separate — suitable for hashtable
+    keys, unlike the prefix-sampling polymorphic hash. *)
+
+module Tbl : Hashtbl.S with type key = t
+(** Hashtables keyed by whole child sets (via {!hash}/{!equal}): the O(1)
+    recovered-child lookups used by the set-of-sets recovery sweeps in
+    place of linear [List.exists] scans. *)
 
 val pp : Format.formatter -> t -> unit

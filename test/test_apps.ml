@@ -187,6 +187,166 @@ let test_bindb_duplicate_rows_collapse () =
   let db = Bindb.create ~columns:3 ~rows:[ r; Array.copy r; [| false; false; true |] ] in
   Alcotest.(check int) "two distinct rows" 2 (Bindb.num_rows db)
 
+(* ---------- Datasets ---------- *)
+
+module Datasets = Ssr_apps.Datasets
+module Parent = Ssr_core.Parent
+module Par = Ssr_util.Par
+
+let dataset_families tag =
+  let dseed = Prng.derive ~seed ~tag in
+  [
+    ("graph", Datasets.graph ~seed:dseed ~nodes:300 ~avg_degree:3);
+    ( "zipf",
+      Datasets.zipf ~seed:dseed ~parents:400 ~universe:(1 lsl 20) ~max_child_size:12 ~alpha:1.0
+    );
+    ("shingles", Datasets.shingle_corpus ~seed:dseed ~docs:250 ~shingles_per_doc:6 ~overlap:0.5);
+  ]
+
+let test_dataset_determinism () =
+  List.iter2
+    (fun (name, a) (_, b) ->
+      let sa = a.Datasets.stream and sb = b.Datasets.stream in
+      Alcotest.(check int) (name ^ " length") sa.Parent.length sb.Parent.length;
+      for i = 0 to sa.Parent.length - 1 do
+        Alcotest.(check bool)
+          (Printf.sprintf "%s child %d identical" name i)
+          true
+          (Iset.equal (sa.Parent.child i) (sb.Parent.child i))
+      done;
+      Alcotest.(check bool) (name ^ " digest identical") true
+        (Parent.stream_hash ~seed sa = Parent.stream_hash ~seed sb);
+      (* A different seed is a different stream. *)
+      let other =
+        match dataset_families 0x0FF5E7 with
+        | l -> snd (List.find (fun (n, _) -> n = name) l)
+      in
+      Alcotest.(check bool) (name ^ " seed matters") false
+        (Parent.stream_hash ~seed sa = Parent.stream_hash ~seed other.Datasets.stream))
+    (dataset_families 0xD5) (dataset_families 0xD5)
+
+let test_dataset_resumable () =
+  List.iter
+    (fun (name, inst) ->
+      let st = inst.Datasets.stream in
+      let full = List.of_seq (Datasets.to_seq st) in
+      Alcotest.(check int) (name ^ " full walk") st.Parent.length (List.length full);
+      List.iter
+        (fun from ->
+          let resumed = List.of_seq (Datasets.to_seq ~from st) in
+          let expect = List.filteri (fun i _ -> i >= from) full in
+          Alcotest.(check int)
+            (Printf.sprintf "%s resume@%d length" name from)
+            (List.length expect) (List.length resumed);
+          List.iter2
+            (fun a b ->
+              Alcotest.(check bool) (Printf.sprintf "%s resume@%d child" name from) true
+                (Iset.equal a b))
+            expect resumed)
+        [ 0; 1; 7; st.Parent.length / 2; st.Parent.length - 1; st.Parent.length ])
+    (dataset_families 0xD6)
+
+let test_dataset_pool_independent () =
+  (* The generators are pure functions of (seed, index); the pooled
+     whole-stream digest must not depend on the domain count. *)
+  List.iter
+    (fun (name, inst) ->
+      let st = inst.Datasets.stream in
+      let digest_at n =
+        Par.set_domains n;
+        Fun.protect ~finally:(fun () -> Par.set_domains 1) (fun () -> Parent.stream_hash ~seed st)
+      in
+      let d1 = digest_at 1 in
+      List.iter
+        (fun n ->
+          Alcotest.(check bool) (Printf.sprintf "%s digest pool=%d" name n) true (digest_at n = d1))
+        [ 2; 4 ])
+    (dataset_families 0xD7)
+
+let test_dataset_children_distinct_and_bounded () =
+  List.iter
+    (fun (name, inst) ->
+      let st = inst.Datasets.stream in
+      let seen = Hashtbl.create (2 * st.Parent.length) in
+      for i = 0 to st.Parent.length - 1 do
+        let c = st.Parent.child i in
+        Alcotest.(check bool) (name ^ " child non-empty") true (Iset.cardinal c > 0);
+        Alcotest.(check bool) (name ^ " child size bound") true
+          (Iset.cardinal c <= inst.Datasets.max_child_size);
+        Iset.iter
+          (fun e ->
+            Alcotest.(check bool) (name ^ " element in universe") true
+              (e >= 0 && e < inst.Datasets.universe))
+          c;
+        let key = Iset.hash c in
+        (match Hashtbl.find_opt seen key with
+        | Some prev ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s children %d and %d distinct" name prev i)
+            false
+            (Iset.equal c (st.Parent.child prev))
+        | None -> ());
+        Hashtbl.replace seen key i
+      done)
+    (dataset_families 0xD8)
+
+let test_dataset_pair_edit_cost () =
+  List.iter
+    (fun (name, inst) ->
+      List.iter
+        (fun edits ->
+          let twin = Datasets.pair ~seed:(Prng.derive ~seed ~tag:(17 + edits)) ~edits inst in
+          let a = Parent.of_stream twin.Datasets.stream in
+          let b = Parent.of_stream inst.Datasets.stream in
+          (* Each edit adds one fresh element to one child, so the edited
+             child is at distance [adds] from its base twin and is charged
+             from both sides of the relaxed matching: cost = 2 * edits. *)
+          Alcotest.(check int)
+            (Printf.sprintf "%s %d edits cost" name edits)
+            (2 * edits)
+            (Parent.relaxed_matching_cost a b);
+          Alcotest.(check bool) (name ^ " universe widened") true
+            (twin.Datasets.universe = inst.Datasets.universe + edits))
+        [ 0; 1; 6 ])
+    (dataset_families 0xD9)
+
+let test_dataset_stream_matches_materialized () =
+  (* The streaming entry point recovers exactly the symmetric difference
+     the materialized protocols compute, for every protocol stack. *)
+  let inst =
+    Datasets.zipf
+      ~seed:(Prng.derive ~seed ~tag:0xDA)
+      ~parents:120 ~universe:(1 lsl 20) ~max_child_size:10 ~alpha:1.0
+  in
+  let edits = 5 in
+  let twin = Datasets.pair ~seed:(Prng.derive ~seed ~tag:0xDB) ~edits inst in
+  let alice_m = Parent.of_stream twin.Datasets.stream in
+  let bob_m = Parent.of_stream inst.Datasets.stream in
+  let a_only_ref, b_only_ref = Parent.symmetric_diff alice_m bob_m in
+  let sort = List.sort Iset.compare in
+  let u = twin.Datasets.universe and h = twin.Datasets.max_child_size in
+  List.iter
+    (fun kind ->
+      let rseed = Prng.derive ~seed ~tag:(Hashtbl.hash ("sm", Protocol.name kind)) in
+      match
+        Protocol.run_known_stream kind ~comm:(Comm.create ()) ~seed:rseed ~enc_seed:None
+          ~d:(2 * edits) ~u ~h ~alice:twin.Datasets.stream ~bob:inst.Datasets.stream
+      with
+      | Ok { Protocol.delta; _ } ->
+        let check_side label got expect =
+          Alcotest.(check int)
+            (Printf.sprintf "%s %s count" (Protocol.name kind) label)
+            (List.length expect) (List.length got);
+          List.iter2
+            (fun x y ->
+              Alcotest.(check bool) (Protocol.name kind ^ " " ^ label) true (Iset.equal x y))
+            (sort got) (sort expect)
+        in
+        check_side "a_only" delta.Parent.a_only a_only_ref;
+        check_side "b_only" delta.Parent.b_only b_only_ref
+      | Error `Decode_failure -> Alcotest.fail (Protocol.name kind ^ ": stream run failed"))
+    Protocol.all
+
 (* ---------- qcheck ---------- *)
 
 let prop_bindb_reconcile =
@@ -232,6 +392,17 @@ let () =
           Alcotest.test_case "bindb zero flips" `Quick test_bindb_zero_flips_identity;
           Alcotest.test_case "bindb column mismatch" `Quick test_bindb_column_mismatch;
           Alcotest.test_case "duplicate rows collapse" `Quick test_bindb_duplicate_rows_collapse;
+        ] );
+      ( "datasets",
+        [
+          Alcotest.test_case "deterministic across rebuilds" `Quick test_dataset_determinism;
+          Alcotest.test_case "resumable from any position" `Quick test_dataset_resumable;
+          Alcotest.test_case "pool-size independent" `Quick test_dataset_pool_independent;
+          Alcotest.test_case "children distinct and bounded" `Quick
+            test_dataset_children_distinct_and_bounded;
+          Alcotest.test_case "pair edit cost exact" `Quick test_dataset_pair_edit_cost;
+          Alcotest.test_case "stream delta = materialized diff (all stacks)" `Quick
+            test_dataset_stream_matches_materialized;
         ] );
       ("properties", qcheck_tests);
     ]

@@ -488,6 +488,45 @@ let prop_perturb_then_reconcile kind =
       | Ok o -> Parent.equal o.Protocol.recovered alice
       | Error _ -> QCheck.assume_fail ())
 
+(* ---------- Scale regression ---------- *)
+
+(* 10^4 children through iblt-of-iblts: the candidate filter on Bob's side
+   used to scan the O(d) recovered list once per child (O(s*d) child-set
+   equality tests); it is now a fingerprint-keyed table lookup. This pins
+   the behavior at a scale where the old scan was the dominant cost, and
+   cross-checks the streaming delta against the materialized diff. *)
+let test_ioi_ten_thousand_children () =
+  let module Datasets = Ssr_apps.Datasets in
+  let bob_inst =
+    Datasets.zipf
+      ~seed:(Prng.derive ~seed ~tag:0x1A4)
+      ~parents:10_000 ~universe:(1 lsl 24) ~max_child_size:8 ~alpha:1.0
+  in
+  let edits = 12 in
+  let alice_inst = Datasets.pair ~seed:(Prng.derive ~seed ~tag:0x1A5) ~edits bob_inst in
+  let u = alice_inst.Datasets.universe and h = alice_inst.Datasets.max_child_size in
+  match
+    Protocol.run_known_stream Protocol.Iblt_of_iblts ~comm:(Comm.create ())
+      ~seed:(Prng.derive ~seed ~tag:0x1A6)
+      ~enc_seed:None ~d:(2 * edits) ~u ~h ~alice:alice_inst.Datasets.stream
+      ~bob:bob_inst.Datasets.stream
+  with
+  | Error `Decode_failure -> Alcotest.fail "10^4-child stream run failed"
+  | Ok { Protocol.delta; _ } ->
+    let a_ref, b_ref =
+      Parent.symmetric_diff
+        (Parent.of_stream alice_inst.Datasets.stream)
+        (Parent.of_stream bob_inst.Datasets.stream)
+    in
+    let sort = List.sort Iset.compare in
+    List.iter2
+      (fun got expect ->
+        Alcotest.(check bool) "delta child matches diff" true (Iset.equal got expect))
+      (sort (delta.Parent.a_only @ delta.Parent.b_only))
+      (sort (a_ref @ b_ref));
+    Alcotest.(check int) "a_only count" (List.length a_ref) (List.length delta.Parent.a_only);
+    Alcotest.(check int) "b_only count" (List.length b_ref) (List.length delta.Parent.b_only)
+
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -564,5 +603,7 @@ let () =
           Alcotest.test_case "duplicate children" `Quick test_sos_multiset_duplicates;
           Alcotest.test_case "identical" `Quick test_sos_multiset_identical;
         ] );
+      ( "scale",
+        [ Alcotest.test_case "10^4-child iblt-of-iblts" `Quick test_ioi_ten_thousand_children ] );
       ("properties", qcheck_tests);
     ]

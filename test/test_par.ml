@@ -159,6 +159,45 @@ let test_parallel_matches_serial_transcripts () =
         stacks)
     [ 0x11AL; 0x22BL; 0x33CL ]
 
+(* The child-encoding cache must be byte-transparent: a cached run of any
+   stack is the same wire transcript, bit for bit, as an uncached one —
+   at any pool size. The uncached reference runs serial; the cached runs
+   straddle pool sizes so a cache+pool interaction can't hide. *)
+module Enc_cache = Ssr_core.Enc_cache
+
+let with_cache enabled f =
+  let was = Enc_cache.is_enabled () in
+  Enc_cache.set_enabled enabled;
+  Enc_cache.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      Enc_cache.set_enabled was;
+      Enc_cache.clear ())
+    f
+
+let test_cached_transcripts_byte_identical () =
+  let stacks = `Set :: List.map (fun k -> `Sos k) Protocol.all in
+  List.iter
+    (fun nseed ->
+      List.iter
+        (fun stack ->
+          let plain =
+            with_domains 1 (fun () -> with_cache false (fun () -> transcript_of_stack ~nseed stack))
+          in
+          List.iter
+            (fun pool ->
+              let cached =
+                with_domains pool (fun () ->
+                    with_cache true (fun () -> transcript_of_stack ~nseed stack))
+              in
+              Alcotest.(check bool)
+                (Printf.sprintf "cached = uncached %s seed=0x%Lx pool=%d (%d bytes)"
+                   (stack_name stack) nseed pool (String.length plain))
+                true (String.equal plain cached))
+            [ 1; 4 ])
+        stacks)
+    [ 0x9A1L; 0x9B2L; 0x9C3L ]
+
 (* The salted-rehash rung must be exactly as deterministic as the rest of
    the ladder: an adversarial family ground against the attempt-0 schedule
    forces the set stack through stalled partial decodes, stash traffic and
@@ -290,6 +329,8 @@ let () =
         [
           Alcotest.test_case "parallel = serial transcripts (3 seeds x 5 stacks)" `Quick
             test_parallel_matches_serial_transcripts;
+          Alcotest.test_case "cache transparent (3 seeds x 5 stacks x 2 pools)" `Quick
+            test_cached_transcripts_byte_identical;
           Alcotest.test_case "salted rehash deterministic (2 seeds)" `Quick
             test_adversarial_salted_rehash_deterministic;
           Alcotest.test_case "rateless cells parallel = serial (3 pool sizes)" `Quick
